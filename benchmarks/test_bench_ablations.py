@@ -1,0 +1,72 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not a figure from the paper, but a quantified justification of three design
+decisions the paper's compiler makes: merging simultaneous single-qubit
+gates on one ququart, exploiting the fast internal CX, and routing with the
+fidelity-aware Eq. 4 cost.
+"""
+
+import pytest
+
+from repro.evaluation import (
+    format_table,
+    internal_gate_ablation,
+    merging_ablation,
+    uniform_routing_ablation,
+)
+
+
+def _header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    return {
+        "single-qubit merging (torus QAOA 16q, EQM)": merging_ablation(
+            benchmark="qaoa_torus", num_qubits=16, strategy="eqm"
+        ),
+        "internal gate advantage (Cuccaro 16q, RB)": internal_gate_ablation(
+            benchmark="cuccaro", num_qubits=16, strategy="rb"
+        ),
+        "fidelity-aware routing (random QAOA 16q, EQM)": uniform_routing_ablation(
+            benchmark="qaoa_random", num_qubits=16, strategy="eqm"
+        ),
+    }
+
+
+def test_ablations(benchmark, ablation_results):
+    benchmark.pedantic(
+        merging_ablation,
+        kwargs={"benchmark": "qaoa_torus", "num_qubits": 10},
+        rounds=1, iterations=1,
+    )
+
+    _header("Ablations — effect of removing each design choice")
+    rows = []
+    for label, result in ablation_results.items():
+        rows.append([
+            label,
+            result.baseline.gate_eps,
+            result.ablated.gate_eps,
+            result.baseline.makespan_ns / 1000.0,
+            result.ablated.makespan_ns / 1000.0,
+        ])
+    print(format_table(
+        ["ablation", "gate_eps (with)", "gate_eps (without)",
+         "makespan_us (with)", "makespan_us (without)"],
+        rows,
+    ))
+
+    merging = ablation_results["single-qubit merging (torus QAOA 16q, EQM)"]
+    assert merging.baseline.num_ops <= merging.ablated.num_ops
+
+    internal = ablation_results["internal gate advantage (Cuccaro 16q, RB)"]
+    assert internal.ablated.gate_eps < internal.baseline.gate_eps
+    assert internal.ablated.makespan_ns >= internal.baseline.makespan_ns
+
+    routing = ablation_results["fidelity-aware routing (random QAOA 16q, EQM)"]
+    assert routing.baseline.num_ops > 0 and routing.ablated.num_ops > 0

@@ -1,0 +1,66 @@
+"""Figure 10: coherence expected probability of success for every benchmark.
+
+Compression lengthens circuits (longer mixed-radix gates plus serialization)
+so at the paper's default T1 model the coherence EPS of compressed circuits
+drops below qubit-only — but stays far above the FQ encode/decode baseline.
+"""
+
+import pytest
+
+from repro.evaluation import format_table, strategy_sweep
+
+BENCHMARKS = ("cuccaro", "cnu", "bv", "qaoa_cylinder", "qaoa_torus")
+SIZES = (8, 12, 16)
+STRATEGIES = ("qubit_only", "fq", "eqm", "rb")
+
+
+def _header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return strategy_sweep(benchmarks=BENCHMARKS, sizes=SIZES, strategies=STRATEGIES)
+
+
+def test_figure10_coherence_eps(benchmark, sweep):
+    benchmark.pedantic(
+        strategy_sweep,
+        kwargs={"benchmarks": ("cnu",), "sizes": (12,),
+                "strategies": ("qubit_only", "rb")},
+        rounds=1, iterations=1,
+    )
+
+    _header("Figure 10 — coherence EPS by benchmark, size and strategy")
+    rows = []
+    for bench, by_size in sweep.items():
+        for size, by_strategy in by_size.items():
+            rows.append([
+                bench, size,
+                by_strategy["qubit_only"].report.coherence_eps,
+                by_strategy["fq"].report.coherence_eps,
+                by_strategy["eqm"].report.coherence_eps,
+                by_strategy["rb"].report.coherence_eps,
+            ])
+    print(format_table(["benchmark", "qubits", "qubit_only", "fq", "eqm", "rb"], rows))
+
+    for bench, by_size in sweep.items():
+        for size, by_strategy in by_size.items():
+            fq = by_strategy["fq"].report
+            for strategy in ("qubit_only", "eqm", "rb"):
+                other = by_strategy[strategy].report
+                # Every compression strategy mitigates duration far better
+                # than the encode/decode baseline.
+                assert other.makespan_ns < fq.makespan_ns
+                assert other.coherence_eps >= fq.coherence_eps
+            # At the default 1:3 T1 ratio the compressed circuits pay a
+            # coherence penalty relative to qubit-only whenever they actually
+            # compress something.
+            if by_strategy["eqm"].report.num_compressed_pairs > 0:
+                assert (
+                    by_strategy["eqm"].report.coherence_eps
+                    <= by_strategy["qubit_only"].report.coherence_eps + 1e-12
+                )

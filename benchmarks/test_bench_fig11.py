@@ -1,0 +1,70 @@
+"""Figure 11: coherence EPS with 10x better T1 times.
+
+With uniformly better coherence the margin between qubit-only and
+compressed circuits narrows substantially, though it does not vanish at the
+worst-case 1:3 ququart ratio.
+"""
+
+import pytest
+
+from repro.evaluation import figure11_t1_improvement, format_table, run_strategies
+
+STRATEGIES = ("qubit_only", "eqm", "rb")
+
+
+def _header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="module")
+def results():
+    baseline = {
+        bench: run_strategies(bench, 16, strategies=STRATEGIES)
+        for bench in ("cuccaro", "qaoa_torus")
+    }
+    improved = figure11_t1_improvement(
+        benchmarks=("cuccaro", "qaoa_torus"), num_qubits=16,
+        strategies=STRATEGIES, t1_scale=10.0,
+    )
+    return baseline, improved
+
+
+def test_figure11_t1_improvement(benchmark, results):
+    benchmark.pedantic(
+        figure11_t1_improvement,
+        kwargs={"benchmarks": ("cuccaro",), "num_qubits": 10,
+                "strategies": ("qubit_only", "eqm")},
+        rounds=1, iterations=1,
+    )
+    baseline, improved = results
+
+    _header("Figure 11 — coherence EPS at 1x vs 10x T1")
+    rows = []
+    for bench in ("cuccaro", "qaoa_torus"):
+        for strategy in STRATEGIES:
+            rows.append([
+                bench, strategy,
+                baseline[bench][strategy].report.coherence_eps,
+                improved[bench][strategy].report.coherence_eps,
+            ])
+    print(format_table(["benchmark", "strategy", "coherence_eps_1x", "coherence_eps_10x"], rows))
+
+    for bench in ("cuccaro", "qaoa_torus"):
+        for strategy in STRATEGIES:
+            # Better T1 always helps.
+            assert (
+                improved[bench][strategy].report.coherence_eps
+                > baseline[bench][strategy].report.coherence_eps
+            )
+        # The margin between qubit-only and compressed circuits improves at
+        # 10x T1: the compressed circuit retains a much larger *fraction* of
+        # the qubit-only coherence EPS.
+        def retention(results_for_bench):
+            qubit_only = results_for_bench["qubit_only"].report.coherence_eps
+            compressed = results_for_bench["eqm"].report.coherence_eps
+            return compressed / qubit_only if qubit_only > 0 else float("inf")
+
+        assert retention(improved[bench]) > retention(baseline[bench])

@@ -1,0 +1,58 @@
+"""Figure 12: total EPS as the ququart T1 ratio improves from 1/3 to 1.
+
+The paper's crossover claim: before the ququart T1 reaches the qubit T1
+there is a point where the total (gate x coherence) EPS of the compressed
+circuit overtakes qubit-only compilation.
+"""
+
+import pytest
+
+from repro.evaluation import figure12_t1_ratio_sweep, format_table
+
+RATIOS = (1 / 3, 0.5, 0.6, 0.75, 0.9, 1.0)
+BENCHMARKS = ("cuccaro", "cnu", "qaoa_torus")
+
+
+def _header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return figure12_t1_ratio_sweep(
+        benchmarks=BENCHMARKS, num_qubits=25, ratios=RATIOS,
+        strategy="rb", t1_scale=10.0,
+    )
+
+
+def test_figure12_t1_ratio_crossover(benchmark, sweep):
+    benchmark.pedantic(
+        figure12_t1_ratio_sweep,
+        kwargs={"benchmarks": ("cuccaro",), "num_qubits": 12,
+                "ratios": (1 / 3, 1.0), "strategy": "rb", "t1_scale": 10.0},
+        rounds=1, iterations=1,
+    )
+
+    _header("Figure 12 — total EPS vs ququart/qubit T1 ratio (RB compression)")
+    rows = []
+    for bench, data in sweep.items():
+        baseline = data["baseline"].report.total_eps
+        for ratio in RATIOS:
+            rows.append([
+                bench, round(ratio, 3), data["series"][ratio].report.total_eps, baseline,
+            ])
+        rows.append([bench, "crossover", data["crossover_ratio"], ""])
+    print(format_table(["benchmark", "t1_ratio", "total_eps_rb", "total_eps_qubit_only"], rows))
+
+    for bench, data in sweep.items():
+        totals = [data["series"][ratio].report.total_eps for ratio in RATIOS]
+        # Total EPS improves monotonically with the ququart T1 ratio.
+        assert all(b >= a - 1e-12 for a, b in zip(totals, totals[1:]))
+
+    # At least one structured benchmark shows a crossover strictly before the
+    # T1 times are equal (the paper's dashed lines).
+    crossovers = [data["crossover_ratio"] for data in sweep.values()]
+    assert any(ratio is not None and ratio < 1.0 for ratio in crossovers)

@@ -1,0 +1,55 @@
+"""Figure 13: gate-EPS improvement ranges across device topologies.
+
+The compression advantage is not an artefact of the grid assumption: the
+same improvement ranges appear on the 65-unit heavy-hex (IBM Ithaca-like)
+and ring devices.
+"""
+
+import pytest
+
+from repro.evaluation import figure13_topologies, format_table
+
+SIZES = (8, 12, 16, 20)
+TOPOLOGIES = ("grid", "heavy_hex", "ring")
+
+
+def _header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return figure13_topologies(
+        benchmarks=("cnu", "qaoa_cylinder"), sizes=SIZES, topologies=TOPOLOGIES,
+        strategy="eqm",
+    )
+
+
+def test_figure13_topology_ranges(benchmark, results):
+    benchmark.pedantic(
+        figure13_topologies,
+        kwargs={"benchmarks": ("cnu",), "sizes": (9,), "topologies": ("grid", "ring")},
+        rounds=1, iterations=1,
+    )
+
+    _header("Figure 13 — gate EPS improvement (EQM / qubit-only) by topology")
+    rows = []
+    for bench, by_topology in results.items():
+        for topology, stats in by_topology.items():
+            rows.append([bench, topology, stats["min"], stats["mean"], stats["max"]])
+    print(format_table(["benchmark", "topology", "min", "mean", "max"], rows))
+
+    for bench, by_topology in results.items():
+        means = [stats["mean"] for stats in by_topology.values()]
+        # The structured CNU benchmark improves on every topology on average.
+        if bench == "cnu":
+            assert all(mean > 1.0 for mean in means)
+        # No significant difference in behaviour across architectures: the
+        # mean improvements stay within a factor ~2 of each other.
+        assert max(means) <= 2.0 * min(means)
+        # And no topology collapses: the worst case never loses more than half
+        # the qubit-only success rate.
+        assert all(stats["min"] > 0.5 for stats in by_topology.values())

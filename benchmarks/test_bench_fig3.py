@@ -1,0 +1,49 @@
+"""Figure 3: state evolution of CX2 versus CX0q.
+
+Reproduces the qualitative content of Figure 3: both gates flip the target
+when the control is set, and the encoded-control gate (CX0q) operates on
+twice as many logical basis states as the bare-qubit CX2.
+"""
+
+import numpy as np
+
+from repro.evaluation import figure3_state_evolution
+
+
+def _header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def test_figure3_state_evolution(benchmark):
+    traces = benchmark(figure3_state_evolution, steps=41)
+
+    cx2 = traces["cx2"]
+    cx0q = traces["cx0q"]
+
+    # CX2: control |1>, target |0> -> |1>, |1>.
+    labels2 = cx2["labels"]
+    assert cx2["populations"][0, labels2.index((1, 0))] > 0.999
+    assert cx2["populations"][-1, labels2.index((1, 1))] > 0.999
+
+    # CX0q: ququart |3> (= encoded |11>), bare target flips.
+    labels4 = cx0q["labels"]
+    assert cx0q["populations"][0, labels4.index((3, 0))] > 0.999
+    assert cx0q["populations"][-1, labels4.index((3, 1))] > 0.999
+
+    # The encoded gate acts on twice as many logical basis states (the
+    # paper's observation about growing Hilbert-space complexity).
+    assert cx0q["populations"].shape[1] == 2 * cx2["populations"].shape[1]
+
+    # Populations stay normalised along both traces.
+    assert np.allclose(cx2["populations"].sum(axis=1), 1.0, atol=1e-8)
+    assert np.allclose(cx0q["populations"].sum(axis=1), 1.0, atol=1e-8)
+
+    _header("Figure 3 — CX2 vs CX0q state evolution (populations at t=0, T/2, T)")
+    for name, trace in (("CX2", cx2), ("CX0q", cx0q)):
+        midpoint = trace["populations"][len(trace["times"]) // 2]
+        print(f"{name}: start={np.round(trace['populations'][0], 3)}")
+        print(f"{name}: mid  ={np.round(midpoint, 3)}")
+        print(f"{name}: end  ={np.round(trace['populations'][-1], 3)}")

@@ -1,0 +1,72 @@
+"""Figure 7: gate expected probability of success for every benchmark.
+
+Sweeps the paper's workloads over several sizes and all compression
+strategies on circuit-sized grid devices, and checks the headline claims:
+FQ is consistently worse than qubit-only, and the structured circuits
+(Cuccaro, CNU) gain the most from EQM / RB compression.
+"""
+
+import pytest
+
+from repro.evaluation import format_table, results_to_rows, strategy_sweep
+from repro.evaluation.reporting import SWEEP_HEADERS
+
+BENCHMARKS = ("cuccaro", "cnu", "qram", "bv", "qaoa_random", "qaoa_cylinder",
+              "qaoa_torus", "qaoa_bwt")
+SIZES = (8, 12, 16)
+STRATEGIES = ("qubit_only", "fq", "eqm", "rb", "awe", "pp")
+
+
+def _header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return strategy_sweep(benchmarks=BENCHMARKS, sizes=SIZES, strategies=STRATEGIES)
+
+
+def test_figure7_gate_eps(benchmark, sweep):
+    # Time a single representative cell; the full sweep is reused from the fixture.
+    benchmark.pedantic(
+        strategy_sweep,
+        kwargs={"benchmarks": ("cuccaro",), "sizes": (12,),
+                "strategies": ("qubit_only", "eqm")},
+        rounds=1, iterations=1,
+    )
+
+    _header("Figure 7 — gate EPS by benchmark, size and strategy")
+    rows = results_to_rows(sweep)
+    print(format_table(SWEEP_HEADERS, rows))
+
+    # Claim 1: FQ is consistently worse than qubit-only.
+    fq_losses = 0
+    cells = 0
+    for by_size in sweep.values():
+        for by_strategy in by_size.values():
+            cells += 1
+            if by_strategy["fq"].report.gate_eps <= by_strategy["qubit_only"].report.gate_eps:
+                fq_losses += 1
+    assert fq_losses == cells
+
+    # Claim 2: on the structured circuits the best compression strategy beats
+    # qubit-only gate EPS at every size.
+    for bench in ("cuccaro", "cnu"):
+        for size, by_strategy in sweep[bench].items():
+            baseline = by_strategy["qubit_only"].report.gate_eps
+            best = max(
+                by_strategy[s].report.gate_eps for s in ("eqm", "rb", "awe", "pp")
+            )
+            assert best > baseline, f"{bench}-{size}: no strategy beat qubit-only"
+
+    # Claim 3: EQM is the most consistent performer — it should rarely fall
+    # below qubit-only (the paper: "almost never drops below").
+    drops = 0
+    for by_size in sweep.values():
+        for by_strategy in by_size.values():
+            if by_strategy["eqm"].report.gate_eps < 0.95 * by_strategy["qubit_only"].report.gate_eps:
+                drops += 1
+    assert drops <= cells // 6

@@ -1,0 +1,51 @@
+"""Figure 8: gate-type distribution for the 30-qubit torus QAOA circuit.
+
+Checks the paper's explanation for EQM's advantage: it converts far more
+interactions into internal CX gates than the communication-focused
+strategies (AWE, PP), which instead rely on partial CX and SWAP operations.
+"""
+
+import pytest
+
+from repro.evaluation import figure8_gate_distribution, format_table
+
+
+def _header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="module")
+def distributions():
+    return figure8_gate_distribution(
+        num_qubits=30, strategies=("qubit_only", "eqm", "rb", "awe", "pp")
+    )
+
+
+def test_figure8_gate_type_distribution(benchmark, distributions):
+    benchmark.pedantic(
+        figure8_gate_distribution,
+        kwargs={"num_qubits": 16, "strategies": ("eqm",)},
+        rounds=1, iterations=1,
+    )
+
+    _header("Figure 8 — gate-type distribution, 30-qubit torus QAOA")
+    categories = list(next(iter(distributions.values())).keys())
+    rows = []
+    for strategy, histogram in distributions.items():
+        rows.append([strategy] + [histogram[category] for category in categories])
+    print(format_table(["strategy"] + categories, rows))
+
+    # Qubit-only never uses ququart operations.
+    assert distributions["qubit_only"]["internal CX"] == 0
+    assert distributions["qubit_only"]["ququart-ququart CX"] == 0
+
+    # EQM turns interactions into internal CX gates.
+    assert distributions["eqm"]["internal CX"] > 0
+
+    # EQM uses at least as many internal CX gates as the communication-driven
+    # strategies (the paper's Figure 8 observation).
+    assert distributions["eqm"]["internal CX"] >= distributions["awe"]["internal CX"]
+    assert distributions["eqm"]["internal CX"] >= distributions["pp"]["internal CX"]

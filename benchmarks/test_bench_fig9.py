@@ -1,0 +1,64 @@
+"""Figure 9: sensitivity of the gate EPS to improving qubit-only error.
+
+As the bare-qubit gate error improves while ququart error stays fixed, the
+advantage of compression shrinks (and eventually crosses over).
+"""
+
+import pytest
+
+from repro.evaluation import figure9_qubit_error_sweep, format_table
+
+ERROR_SCALES = (1.0, 0.5, 0.25, 0.1)
+
+
+def _header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return figure9_qubit_error_sweep(
+        benchmarks=("cuccaro", "qaoa_cylinder"),
+        num_qubits=16,
+        error_scales=ERROR_SCALES,
+        strategies=("qubit_only", "eqm", "rb"),
+    )
+
+
+def test_figure9_qubit_error_sensitivity(benchmark, sweep):
+    benchmark.pedantic(
+        figure9_qubit_error_sweep,
+        kwargs={"benchmarks": ("cuccaro",), "num_qubits": 10,
+                "error_scales": (1.0, 0.5), "strategies": ("qubit_only", "rb")},
+        rounds=1, iterations=1,
+    )
+
+    _header("Figure 9 — gate EPS vs qubit gate error scale")
+    rows = []
+    for bench, by_scale in sweep.items():
+        for scale in ERROR_SCALES:
+            entry = by_scale[scale]
+            rows.append([
+                bench, scale,
+                entry["qubit_only"].report.gate_eps,
+                entry["eqm"].report.gate_eps,
+                entry["rb"].report.gate_eps,
+            ])
+    print(format_table(["benchmark", "error_scale", "qubit_only", "eqm", "rb"], rows))
+
+    for bench, by_scale in sweep.items():
+        # Qubit-only improves monotonically as its gate error improves.
+        baselines = [by_scale[scale]["qubit_only"].report.gate_eps for scale in ERROR_SCALES]
+        assert all(b <= a + 1e-12 for a, b in zip(baselines[1:], baselines))
+
+        # The compression advantage at default error shrinks as qubits improve
+        # (diminishing returns, Figure 9).
+        def advantage(scale, strategy):
+            cell = by_scale[scale]
+            return cell[strategy].report.gate_eps / cell["qubit_only"].report.gate_eps
+
+        for strategy in ("eqm", "rb"):
+            assert advantage(ERROR_SCALES[-1], strategy) < advantage(ERROR_SCALES[0], strategy)

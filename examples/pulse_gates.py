@@ -1,0 +1,61 @@
+"""Pulse-level view of the mixed-radix gate set (Table 1 / Figure 3 flavour).
+
+Shows the Table 1 duration model the compiler consumes, traces the state
+evolution of a bare-qubit CX against a partial ququart CX (Figure 3), and
+runs the GRAPE-style pulse optimizer on a single-qubit X gate against the
+paper's transmon Hamiltonian.
+
+Run with:  python examples/pulse_gates.py
+"""
+
+import numpy as np
+
+from repro.evaluation import figure3_state_evolution, format_table, table1_durations
+from repro.pulses import GateDurationTable, PulseOptimizer, TransmonSystem, qubit_gate
+
+
+def show_table1() -> None:
+    print("=== Table 1: gate durations (ns) ===\n")
+    groups = table1_durations(GateDurationTable())
+    rows = []
+    for group, gates in groups.items():
+        for name, duration in gates.items():
+            rows.append([group, name, duration])
+    print(format_table(["group", "gate", "duration_ns"], rows))
+    print()
+
+
+def show_figure3() -> None:
+    print("=== Figure 3: CX2 vs CX0q state evolution ===\n")
+    traces = figure3_state_evolution(steps=5)
+    for name, trace in traces.items():
+        print(f"{name}: basis states {trace['labels']}")
+        for time, row in zip(trace["times"], trace["populations"]):
+            print(f"  t={time:4.2f}T  populations={np.round(row, 3)}")
+        print()
+
+
+def run_pulse_optimization() -> None:
+    print("=== Pulse optimization: single-qubit X on the paper's transmon ===\n")
+    system = TransmonSystem(num_transmons=1, logical_levels=2, guard_levels=1)
+    optimizer = PulseOptimizer(system, segments=10, max_iterations=80, seed=1)
+    result = optimizer.find_min_duration(
+        qubit_gate("x"), fidelity_target=0.995, gate_name="x",
+        start_ns=6.0, step_ns=3.0, max_duration_ns=30.0,
+    )
+    print(f"shortest pulse found: {result.duration_ns:.1f} ns "
+          f"at fidelity {result.fidelity:.4f} "
+          f"({result.evaluations} objective evaluations)")
+    print("(the paper's Table 1 value for a single-qubit X is 35 ns on the")
+    print(" full model with leakage constraints; the trend — a hard minimum")
+    print(" duration set by the bounded drive amplitude — is what matters.)")
+
+
+def main() -> None:
+    show_table1()
+    show_figure3()
+    run_pulse_optimization()
+
+
+if __name__ == "__main__":
+    main()

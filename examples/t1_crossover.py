@@ -1,0 +1,51 @@
+"""Where does ququart compression start paying off? (Figure 12 flavour)
+
+At the worst-case coherence model (ququart T1 = qubit T1 / 3) the gate-EPS
+gains of compression are outweighed by decoherence.  This example sweeps the
+ququart/qubit T1 ratio and reports the crossover point at which the total
+expected probability of success of the compressed circuit overtakes
+qubit-only compilation.
+
+Run with:  python examples/t1_crossover.py
+"""
+
+from repro.evaluation import figure12_t1_ratio_sweep, format_table
+
+RATIOS = (1 / 3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def main() -> None:
+    results = figure12_t1_ratio_sweep(
+        benchmarks=("cuccaro", "cnu", "qaoa_torus"),
+        num_qubits=20,
+        ratios=RATIOS,
+        strategy="rb",
+        t1_scale=10.0,
+    )
+    for benchmark, data in results.items():
+        baseline = data["baseline"].report.total_eps
+        rows = []
+        for ratio in RATIOS:
+            point = data["series"][ratio].report
+            rows.append([
+                f"{ratio:.2f}",
+                point.gate_eps,
+                point.coherence_eps,
+                point.total_eps,
+                "<- crossover" if data["crossover_ratio"] == ratio else "",
+            ])
+        print(f"\n=== {benchmark} (20 qubits, RB compression, 10x T1 baseline) ===")
+        print(f"qubit-only total EPS: {baseline:.4f}\n")
+        print(format_table(
+            ["ququart_T1 / qubit_T1", "gate_eps", "coherence_eps", "total_eps", ""],
+            rows,
+        ))
+        if data["crossover_ratio"] is None:
+            print("no crossover below ratio 1.0 for this benchmark")
+        else:
+            print(f"compression wins once the ququart T1 reaches "
+                  f"{data['crossover_ratio']:.2f} of the qubit T1")
+
+
+if __name__ == "__main__":
+    main()

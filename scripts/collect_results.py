@@ -1,0 +1,109 @@
+"""Collect reproduction numbers for EXPERIMENTS.md.
+
+Runs a representative slice of every experiment and writes a plain-text
+summary to results/summary.txt plus per-figure CSV files under results/.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.evaluation import (
+    figure3_state_evolution,
+    figure4_exhaustive,
+    figure8_gate_distribution,
+    figure9_qubit_error_sweep,
+    figure11_t1_improvement,
+    figure12_t1_ratio_sweep,
+    figure13_topologies,
+    format_table,
+    results_to_rows,
+    run_strategies,
+    save_csv,
+    strategy_sweep,
+    table1_durations,
+)
+from repro.evaluation.reporting import SWEEP_HEADERS
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def banner(handle, title):
+    handle.write("\n" + "=" * 70 + "\n" + title + "\n" + "=" * 70 + "\n")
+
+
+def main() -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "summary.txt"
+    with out_path.open("w") as out:
+        banner(out, "Table 1")
+        for group, gates in table1_durations().items():
+            out.write(f"{group}: {gates}\n")
+
+        banner(out, "Figure 3 (endpoint populations)")
+        traces = figure3_state_evolution(steps=11)
+        for name, trace in traces.items():
+            out.write(f"{name}: start={trace['populations'][0].round(3).tolist()} "
+                      f"end={trace['populations'][-1].round(3).tolist()}\n")
+
+        banner(out, "Figure 4 (cylinder QAOA 12q, EC)")
+        fig4 = figure4_exhaustive(num_qubits=12, max_pairs=3)
+        for label, data in fig4.items():
+            out.write(f"{label}: gate_eps={data['report'].gate_eps:.4f} "
+                      f"coh={data['report'].coherence_eps:.4f} pairs={data['pairs']}\n")
+
+        banner(out, "Figures 7/10 sweep (sizes 8-20)")
+        sweep = strategy_sweep(
+            benchmarks=("cuccaro", "cnu", "qram", "bv", "qaoa_random",
+                        "qaoa_cylinder", "qaoa_torus", "qaoa_bwt"),
+            sizes=(8, 12, 16, 20),
+            strategies=("qubit_only", "fq", "eqm", "rb", "awe", "pp"),
+        )
+        rows = results_to_rows(sweep)
+        save_csv(RESULTS_DIR / "fig7_fig10_sweep.csv", SWEEP_HEADERS, rows)
+        out.write(format_table(SWEEP_HEADERS, rows) + "\n")
+
+        banner(out, "Figure 8 (torus QAOA 30q gate types)")
+        for strategy, histogram in figure8_gate_distribution(num_qubits=30).items():
+            out.write(f"{strategy}: {histogram}\n")
+
+        banner(out, "Figure 9 (qubit error sweep, 16q)")
+        fig9 = figure9_qubit_error_sweep(num_qubits=16)
+        for bench, by_scale in fig9.items():
+            for scale, cell in by_scale.items():
+                out.write(
+                    f"{bench} scale={scale}: " + " ".join(
+                        f"{name}={res.report.gate_eps:.4f}" for name, res in cell.items()
+                    ) + "\n"
+                )
+
+        banner(out, "Figure 11 (10x T1, 16q)")
+        base = {b: run_strategies(b, 16, strategies=("qubit_only", "eqm", "rb"))
+                for b in ("cuccaro", "qaoa_torus")}
+        fig11 = figure11_t1_improvement(num_qubits=16)
+        for bench in fig11:
+            for strategy in ("qubit_only", "eqm", "rb"):
+                out.write(f"{bench} {strategy}: 1x={base[bench][strategy].report.coherence_eps:.4f} "
+                          f"10x={fig11[bench][strategy].report.coherence_eps:.4f}\n")
+
+        banner(out, "Figure 12 (T1 ratio sweep, 25q, RB)")
+        fig12 = figure12_t1_ratio_sweep(num_qubits=25)
+        for bench, data in fig12.items():
+            out.write(f"{bench}: baseline_total={data['baseline'].report.total_eps:.4f} "
+                      f"crossover={data['crossover_ratio']}\n")
+            for ratio, point in data["series"].items():
+                out.write(f"  ratio={ratio:.3f} total={point.report.total_eps:.4f}\n")
+
+        banner(out, "Figure 13 (topologies)")
+        fig13 = figure13_topologies(sizes=(8, 12, 16, 20))
+        for bench, by_topology in fig13.items():
+            for topology, stats in by_topology.items():
+                out.write(f"{bench} {topology}: min={stats['min']:.3f} "
+                          f"mean={stats['mean']:.3f} max={stats['max']:.3f}\n")
+
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this project targets can be fully offline (no access to a
+package index), where PEP 517 editable installs fail because the ``wheel``
+package is unavailable.  Keeping a ``setup.py`` allows
+``pip install -e . --no-build-isolation --no-use-pep517`` to fall back to the
+classic ``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""Qompress reproduction: mixed-radix (qubit/ququart) quantum compilation.
+
+This package reproduces the system described in "Qompress: Efficient
+Compilation for Ququarts Exploiting Partial and Mixed Radix Operations for
+Communication Reduction" (ASPLOS 2023).  It provides:
+
+* a self-contained quantum circuit intermediate representation
+  (:mod:`repro.circuits`),
+* the mixed-radix gate set with the paper's Table 1 duration model and a
+  transmon-Hamiltonian pulse optimizer (:mod:`repro.gates`,
+  :mod:`repro.pulses`),
+* a mixed-radix state-vector simulator used to validate gate semantics
+  (:mod:`repro.simulation`),
+* device topologies and the expanded interaction graph
+  (:mod:`repro.arch`),
+* the Qompress compiler pipeline: mapping, routing, scheduling
+  (:mod:`repro.compiler`),
+* the qubit-to-ququart compression strategies and baselines
+  (:mod:`repro.compression`),
+* success-probability metrics (:mod:`repro.metrics`),
+* the paper's benchmark workloads (:mod:`repro.workloads`), and
+* the evaluation harness regenerating every table and figure
+  (:mod:`repro.evaluation`).
+"""
+
+from repro.circuits import Gate, QuantumCircuit
+from repro.arch import (
+    Device,
+    Topology,
+    grid_topology,
+    heavy_hex_topology,
+    linear_topology,
+    ring_topology,
+)
+from repro.pulses import GateDurationTable
+from repro.compiler import CompiledCircuit, QompressCompiler
+from repro.compression import (
+    AverageWeightPerEdge,
+    ExhaustiveCompression,
+    ExtendedQubitMapping,
+    FullQuquart,
+    ProgressivePairing,
+    QubitOnly,
+    RingBased,
+    get_strategy,
+)
+from repro.metrics import EPSReport, evaluate_eps
+
+__all__ = [
+    "Gate",
+    "QuantumCircuit",
+    "Device",
+    "Topology",
+    "grid_topology",
+    "heavy_hex_topology",
+    "linear_topology",
+    "ring_topology",
+    "GateDurationTable",
+    "QompressCompiler",
+    "CompiledCircuit",
+    "QubitOnly",
+    "FullQuquart",
+    "ExhaustiveCompression",
+    "ExtendedQubitMapping",
+    "RingBased",
+    "AverageWeightPerEdge",
+    "ProgressivePairing",
+    "get_strategy",
+    "EPSReport",
+    "evaluate_eps",
+]
+
+__version__ = "1.0.0"

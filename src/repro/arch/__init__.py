@@ -1,0 +1,32 @@
+"""Device architectures for mixed-radix compilation.
+
+Provides the coupling-graph topologies used in the paper's evaluation
+(square grid sized to the circuit, 65-unit heavy-hex, ring), the
+:class:`Device` model combining a topology with gate durations, fidelities
+and coherence times, and the expanded ququart interaction graph with
+``2V`` qubit slots and ``4E + V`` edges (Section 4.1).
+"""
+
+from repro.arch.topology import (
+    Topology,
+    grid_topology,
+    grid_for_circuit,
+    heavy_hex_topology,
+    linear_topology,
+    ring_topology,
+)
+from repro.arch.device import Device
+from repro.arch.interaction_graph import Slot, expanded_slot_graph, slot_neighbors
+
+__all__ = [
+    "Topology",
+    "grid_topology",
+    "grid_for_circuit",
+    "heavy_hex_topology",
+    "linear_topology",
+    "ring_topology",
+    "Device",
+    "Slot",
+    "expanded_slot_graph",
+    "slot_neighbors",
+]

@@ -1,0 +1,67 @@
+"""Expanded ququart interaction graph (Section 4.1).
+
+Every physical unit is expanded into two *slots* — the two logical qubits it
+could encode.  Slot ``(u, 0)`` is the primary encoding position and
+``(u, 1)`` the secondary.  The expanded graph has ``2V`` nodes and
+``4E + V`` edges: the two slots of a unit are connected, and every slot of a
+unit is connected to every slot of each adjacent unit.
+
+The compiler maps logical circuit qubits onto these slots; which physical
+gate realises an edge then depends on the current encoding (resolved by
+:mod:`repro.gates.resolution`).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.arch.topology import Topology
+
+#: A slot is the pair (physical unit index, encoding position 0 or 1).
+Slot = tuple[int, int]
+
+
+def expanded_slot_graph(topology: Topology) -> nx.Graph:
+    """Build the expanded slot graph of a topology.
+
+    Returns a :class:`networkx.Graph` whose nodes are ``(unit, slot)`` pairs.
+    The graph has ``2V`` nodes and ``4E + V`` edges as described in the
+    paper.
+    """
+    graph = nx.Graph()
+    for unit in range(topology.num_units):
+        graph.add_node((unit, 0))
+        graph.add_node((unit, 1))
+        graph.add_edge((unit, 0), (unit, 1), internal=True)
+    for a, b in topology.edges():
+        for slot_a in (0, 1):
+            for slot_b in (0, 1):
+                graph.add_edge((a, slot_a), (b, slot_b), internal=False)
+    return graph
+
+
+def slot_neighbors(topology: Topology, slot: Slot, include_secondary: bool = True) -> list[Slot]:
+    """Slots reachable from ``slot`` with a single two-qudit operation.
+
+    Parameters
+    ----------
+    topology:
+        The physical coupling graph.
+    slot:
+        The ``(unit, position)`` slot to expand around.
+    include_secondary:
+        If False, secondary slots ``(v, 1)`` of other units are omitted —
+        used by qubit-only compilation, which never encodes ququarts.
+    """
+    unit, position = slot
+    if position not in (0, 1):
+        raise ValueError("slot position must be 0 or 1")
+    neighbors: list[Slot] = []
+    other = (unit, 1 - position)
+    if include_secondary or other[1] == 0:
+        neighbors.append(other)
+    for adjacent in topology.neighbors(unit):
+        neighbors.append((adjacent, 0))
+        if include_secondary:
+            neighbors.append((adjacent, 1))
+    return neighbors

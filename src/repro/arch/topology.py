@@ -1,0 +1,179 @@
+"""Coupling-graph topologies.
+
+The evaluation uses three families of devices (Section 6.1):
+
+* square grid meshes sized "just large enough" for the circuit,
+* the 65-unit IBM Ithaca-style heavy-hex lattice,
+* a 65-unit ring.
+
+All topologies are undirected graphs whose nodes are physical units
+(transmons) numbered ``0..V-1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+
+class Topology:
+    """An undirected coupling graph over physical units.
+
+    Parameters
+    ----------
+    graph:
+        A connected :class:`networkx.Graph` whose nodes are consecutive
+        integers starting at zero.
+    name:
+        Human-readable topology name used in reports.
+    """
+
+    def __init__(self, graph: nx.Graph, name: str = "custom") -> None:
+        nodes = sorted(graph.nodes)
+        if not nodes:
+            raise ValueError("a topology needs at least one unit")
+        if nodes != list(range(len(nodes))):
+            raise ValueError("topology nodes must be consecutive integers starting at 0")
+        if len(nodes) > 1 and not nx.is_connected(graph):
+            raise ValueError("topology must be connected")
+        self.graph = graph
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_units(self) -> int:
+        """Number of physical units."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_links(self) -> int:
+        """Number of coupler links."""
+        return self.graph.number_of_edges()
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All coupler links as sorted tuples."""
+        return [tuple(sorted(edge)) for edge in self.graph.edges]
+
+    def neighbors(self, unit: int) -> list[int]:
+        """Units directly coupled to ``unit``."""
+        return sorted(self.graph.neighbors(unit))
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """Whether two units share a coupler."""
+        return self.graph.has_edge(a, b)
+
+    def shortest_path_length(self, a: int, b: int) -> int:
+        """Hop distance between two units."""
+        return nx.shortest_path_length(self.graph, a, b)
+
+    def all_pairs_distances(self) -> dict[int, dict[int, int]]:
+        """Hop distance between every pair of units."""
+        return {
+            source: dict(lengths)
+            for source, lengths in nx.all_pairs_shortest_path_length(self.graph)
+        }
+
+    def center_unit(self) -> int:
+        """The most central unit (minimum eccentricity, ties broken by index).
+
+        The mapping pass places the most-connected program qubit here
+        (Section 4.2).
+        """
+        eccentricities = nx.eccentricity(self.graph)
+        best = min(eccentricities.values())
+        return min(unit for unit, value in eccentricities.items() if value == best)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology(name={self.name!r}, units={self.num_units}, links={self.num_links})"
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+def grid_topology(rows: int, cols: int) -> Topology:
+    """A ``rows x cols`` rectangular mesh with nearest-neighbour couplers."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    graph = nx.Graph()
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_node(node(r, c))
+            if c + 1 < cols:
+                graph.add_edge(node(r, c), node(r, c + 1))
+            if r + 1 < rows:
+                graph.add_edge(node(r, c), node(r + 1, c))
+    return Topology(graph, name=f"grid-{rows}x{cols}")
+
+
+def grid_for_circuit(num_qubits: int) -> Topology:
+    """Grid mesh "just large enough" for a circuit (Section 6.1).
+
+    Dimensions are ``ceil(sqrt(n)) x ceil(n / ceil(sqrt(n)))`` where ``n`` is
+    the number of circuit qubits, matching the paper's construction.
+    """
+    if num_qubits < 1:
+        raise ValueError("a circuit needs at least one qubit")
+    rows = math.ceil(math.sqrt(num_qubits))
+    cols = math.ceil(num_qubits / rows)
+    return grid_topology(rows, cols)
+
+
+def linear_topology(num_units: int) -> Topology:
+    """A 1-D chain of units."""
+    if num_units < 1:
+        raise ValueError("need at least one unit")
+    graph = nx.path_graph(num_units)
+    return Topology(graph, name=f"linear-{num_units}")
+
+
+def ring_topology(num_units: int = 65) -> Topology:
+    """A ring of units (default 65, matching the paper's ring baseline)."""
+    if num_units < 3:
+        raise ValueError("a ring needs at least three units")
+    graph = nx.cycle_graph(num_units)
+    return Topology(graph, name=f"ring-{num_units}")
+
+
+def heavy_hex_topology(rows: int = 5, row_length: int = 11) -> Topology:
+    """An IBM Ithaca-style heavy-hex lattice (defaults give 65 units).
+
+    The lattice consists of ``rows`` horizontal lines of ``row_length``
+    units each; consecutive lines are joined by bridge units placed every
+    four columns, with the bridge columns offset by two between alternating
+    gaps.  With the default parameters this yields ``5 * 11 + 10 = 65``
+    units of degree at most three, the same scale and connectivity class as
+    the 65-qubit IBM Ithaca device used in the paper.
+    """
+    if rows < 1 or row_length < 1:
+        raise ValueError("heavy-hex dimensions must be positive")
+    graph = nx.Graph()
+    next_index = 0
+    row_nodes: list[list[int]] = []
+    for _ in range(rows):
+        line = []
+        for _ in range(row_length):
+            line.append(next_index)
+            graph.add_node(next_index)
+            next_index += 1
+        for a, b in zip(line, line[1:]):
+            graph.add_edge(a, b)
+        row_nodes.append(line)
+    for gap in range(rows - 1):
+        # Even gaps anchor bridges at columns 0, 4, 8, ...; odd gaps are offset
+        # by two and stop short of the final column, matching the staggered
+        # heavy-hex pattern.  The defaults (5 rows of 11) give exactly 65 units.
+        offsets = range(0, row_length, 4) if gap % 2 == 0 else range(2, row_length - 1, 4)
+        for column in offsets:
+            if column >= row_length:
+                continue
+            bridge = next_index
+            graph.add_node(bridge)
+            next_index += 1
+            graph.add_edge(row_nodes[gap][column], bridge)
+            graph.add_edge(bridge, row_nodes[gap + 1][column])
+    return Topology(graph, name=f"heavy-hex-{graph.number_of_nodes()}")

@@ -1,0 +1,32 @@
+"""Quantum circuit intermediate representation.
+
+The compiler in :mod:`repro.compiler` consumes circuits expressed over
+logical qubits.  This package provides the :class:`Gate` and
+:class:`QuantumCircuit` containers, a dependency DAG used for scheduling
+and critical-path analysis, and decomposition helpers for multi-controlled
+gates.
+"""
+
+from repro.circuits.gates import (
+    Gate,
+    SINGLE_QUBIT_GATES,
+    TWO_QUBIT_GATES,
+    THREE_QUBIT_GATES,
+)
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDAG
+from repro.circuits.decompose import decompose_to_basis
+
+__all__ = [
+    "Gate",
+    "QuantumCircuit",
+    "CircuitDAG",
+    "decompose_to_basis",
+    "SINGLE_QUBIT_GATES",
+    "TWO_QUBIT_GATES",
+    "THREE_QUBIT_GATES",
+]
+
+# Note: repro.circuits.drawing is not imported here to avoid a circular
+# import (it renders compiled circuits, which live in repro.compiler).
+# Import it explicitly: ``from repro.circuits.drawing import draw_circuit``.

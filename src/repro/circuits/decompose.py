@@ -1,0 +1,61 @@
+"""Decomposition of multi-controlled gates into the {1q, cx} basis.
+
+The compiler operates on one- and two-qubit gates only.  Workloads such as
+the Cuccaro adder, the generalized Toffoli (CNU) and QRAM are naturally
+written with Toffoli (``ccx``) and Fredkin (``cswap``) gates; this module
+lowers them using the textbook constructions (Barenco et al. 1995).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+
+def _append_ccx(circuit: QuantumCircuit, c1: int, c2: int, target: int) -> None:
+    """Standard 6-CNOT, 9 single-qubit gate Toffoli decomposition."""
+    circuit.h(target)
+    circuit.cx(c2, target)
+    circuit.tdg(target)
+    circuit.cx(c1, target)
+    circuit.t(target)
+    circuit.cx(c2, target)
+    circuit.tdg(target)
+    circuit.cx(c1, target)
+    circuit.t(c2)
+    circuit.t(target)
+    circuit.h(target)
+    circuit.cx(c1, c2)
+    circuit.t(c1)
+    circuit.tdg(c2)
+    circuit.cx(c1, c2)
+
+
+def _append_cswap(circuit: QuantumCircuit, control: int, a: int, b: int) -> None:
+    """Fredkin gate via CX conjugation of a Toffoli."""
+    circuit.cx(b, a)
+    _append_ccx(circuit, control, a, b)
+    circuit.cx(b, a)
+
+
+def decompose_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Return an equivalent circuit containing only 1q and 2q gates.
+
+    ``ccx`` and ``cswap`` gates are expanded; every other gate is copied
+    verbatim.  ``rzz`` is rewritten as ``cx; rz; cx`` so the router only has
+    to understand ``cx`` and ``swap`` two-qubit interactions.
+    """
+    lowered = QuantumCircuit(circuit.num_qubits, circuit.name)
+    for gate in circuit:
+        if gate.name == "ccx":
+            _append_ccx(lowered, *gate.qubits)
+        elif gate.name == "cswap":
+            _append_cswap(lowered, *gate.qubits)
+        elif gate.name == "rzz":
+            a, b = gate.qubits
+            lowered.cx(a, b)
+            lowered.rz(gate.params[0], b)
+            lowered.cx(a, b)
+        else:
+            lowered.append(Gate(gate.name, gate.qubits, gate.params))
+    return lowered

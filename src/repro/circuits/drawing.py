@@ -1,0 +1,124 @@
+"""Plain-text rendering of circuits and compiled programs.
+
+Two renderers are provided:
+
+* :func:`draw_circuit` — a moment-by-moment ASCII picture of a logical
+  circuit, one row per qubit;
+* :func:`draw_compiled_timeline` — a textual timeline of a compiled
+  circuit's physical operations, one row per physical unit, useful for
+  eyeballing ququart serialization and routing traffic.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.result import CompiledCircuit
+
+_GATE_SYMBOLS = {
+    "x": "X", "y": "Y", "z": "Z", "h": "H", "s": "S", "sdg": "S'",
+    "t": "T", "tdg": "T'", "i": "I", "rx": "Rx", "ry": "Ry", "rz": "Rz",
+    "u": "U", "measure": "M",
+}
+
+
+def draw_circuit(circuit: QuantumCircuit, max_width: int = 120) -> str:
+    """Render a logical circuit as ASCII art, one row per qubit.
+
+    Controlled gates show ``*`` on the control and a symbol on the target;
+    SWAPs show ``x`` on both operands.  The drawing is truncated (with an
+    ellipsis column) if it would exceed ``max_width`` characters.
+    """
+    moments = circuit.moments()
+    columns: list[dict[int, str]] = []
+    for layer in moments:
+        column: dict[int, str] = {}
+        for gate_index in layer:
+            gate = circuit[gate_index]
+            if gate.name == "barrier":
+                for qubit in gate.qubits:
+                    column[qubit] = "|"
+            elif gate.name in ("cx", "cz"):
+                control, target = gate.qubits
+                column[control] = "*"
+                column[target] = "X" if gate.name == "cx" else "Z"
+            elif gate.name == "swap":
+                a, b = gate.qubits
+                column[a] = "x"
+                column[b] = "x"
+            elif gate.name == "rzz":
+                a, b = gate.qubits
+                column[a] = "*"
+                column[b] = "Rz"
+            elif gate.name in ("ccx", "cswap"):
+                *controls, target = gate.qubits
+                for control in controls:
+                    column[control] = "*"
+                column[target] = "X" if gate.name == "ccx" else "x"
+            else:
+                column[gate.qubits[0]] = _GATE_SYMBOLS.get(gate.name, gate.name.upper())
+        columns.append(column)
+
+    cell_width = 4
+    label_width = len(f"q{circuit.num_qubits - 1}: ")
+    usable = max(1, (max_width - label_width) // cell_width)
+    truncated = len(columns) > usable
+    visible = columns[:usable]
+
+    lines = []
+    for qubit in range(circuit.num_qubits):
+        cells = []
+        for column in visible:
+            symbol = column.get(qubit, "-")
+            cells.append(symbol.center(cell_width, "-"))
+        suffix = "..." if truncated else ""
+        lines.append(f"q{qubit}: ".ljust(label_width) + "".join(cells) + suffix)
+    return "\n".join(lines)
+
+
+def draw_compiled_timeline(
+    compiled: CompiledCircuit, bucket_ns: float = 500.0, max_width: int = 120
+) -> str:
+    """Render a compiled circuit as a per-unit occupancy timeline.
+
+    Each row is a physical unit; each character covers ``bucket_ns``
+    nanoseconds and shows what the unit was doing: ``.`` idle, ``1``
+    single-qudit gate, ``C`` CX-style gate, ``S`` SWAP-style gate, ``E``
+    encode/decode, ``M`` measurement.
+    """
+    if bucket_ns <= 0:
+        raise ValueError("bucket_ns must be positive")
+    makespan = compiled.makespan_ns
+    num_buckets = max(1, int(makespan / bucket_ns) + 1)
+    label_width = len(f"u{compiled.device.num_units - 1} [Q]: ")
+    usable = max(1, max_width - label_width)
+    truncated = num_buckets > usable
+    num_buckets = min(num_buckets, usable)
+
+    rows = {
+        unit: ["."] * num_buckets for unit in range(compiled.device.num_units)
+    }
+    for op in compiled.ops:
+        if op.start_ns < 0:
+            continue
+        symbol = "1"
+        if op.style.is_swap_like:
+            symbol = "S"
+        elif op.style.is_cx_like:
+            symbol = "C"
+        elif op.style.name in ("ENCODE", "DECODE"):
+            symbol = "E"
+        elif op.gate == "measure":
+            symbol = "M"
+        first = int(op.start_ns / bucket_ns)
+        last = int(max(op.start_ns, op.end_ns - 1e-9) / bucket_ns)
+        for unit in op.units:
+            for bucket in range(first, min(last, num_buckets - 1) + 1):
+                rows[unit][bucket] = symbol
+
+    lines = []
+    for unit in range(compiled.device.num_units):
+        mode = "Q4" if unit in compiled.ququart_units else "Q2"
+        label = f"u{unit} [{mode}]: ".ljust(label_width)
+        suffix = "..." if truncated else ""
+        lines.append(label + "".join(rows[unit]) + suffix)
+    return "\n".join(lines)

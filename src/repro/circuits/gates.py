@@ -1,0 +1,117 @@
+"""Logical gate description used by the circuit IR.
+
+A :class:`Gate` is a named operation acting on an ordered tuple of logical
+qubit indices, optionally carrying real-valued parameters (rotation angles).
+Gates at this level are *logical*: they know nothing about the physical
+device, ququart encodings, or pulse durations.  The compiler later lowers
+them into physical operations (:class:`repro.compiler.result.PhysicalOp`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Names of supported single-qubit gates.
+SINGLE_QUBIT_GATES = frozenset(
+    {"i", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "u"}
+)
+
+#: Names of supported two-qubit gates.
+TWO_QUBIT_GATES = frozenset({"cx", "cz", "swap", "rzz"})
+
+#: Names of supported three-qubit gates (decomposed before compilation).
+THREE_QUBIT_GATES = frozenset({"ccx", "cswap"})
+
+#: Non-unitary / structural operations.
+META_GATES = frozenset({"measure", "barrier"})
+
+_ALL_GATES = SINGLE_QUBIT_GATES | TWO_QUBIT_GATES | THREE_QUBIT_GATES | META_GATES
+
+#: Number of parameters each parameterised gate expects.
+_PARAM_COUNTS = {"rx": 1, "ry": 1, "rz": 1, "rzz": 1, "u": 3}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single logical operation in a quantum circuit.
+
+    Parameters
+    ----------
+    name:
+        Lower-case gate name, e.g. ``"cx"`` or ``"rz"``.
+    qubits:
+        Ordered tuple of logical qubit indices the gate acts on.  For
+        controlled gates the control(s) come first and the target last.
+    params:
+        Tuple of real parameters (rotation angles in radians).
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.name not in _ALL_GATES:
+            raise ValueError(f"unknown gate name: {self.name!r}")
+        if not isinstance(self.qubits, tuple):
+            object.__setattr__(self, "qubits", tuple(self.qubits))
+        if not isinstance(self.params, tuple):
+            object.__setattr__(self, "params", tuple(self.params))
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubit operands in gate {self.name}: {self.qubits}")
+        if any(q < 0 for q in self.qubits):
+            raise ValueError(f"negative qubit index in gate {self.name}: {self.qubits}")
+        expected = self._expected_arity()
+        if expected is not None and len(self.qubits) != expected:
+            raise ValueError(
+                f"gate {self.name} expects {expected} qubit(s), got {len(self.qubits)}"
+            )
+        expected_params = _PARAM_COUNTS.get(self.name, 0)
+        if self.name not in META_GATES and len(self.params) != expected_params:
+            raise ValueError(
+                f"gate {self.name} expects {expected_params} parameter(s), got {len(self.params)}"
+            )
+
+    def _expected_arity(self) -> int | None:
+        if self.name in SINGLE_QUBIT_GATES:
+            return 1
+        if self.name in TWO_QUBIT_GATES:
+            return 2
+        if self.name in THREE_QUBIT_GATES:
+            return 3
+        if self.name == "measure":
+            return 1
+        return None  # barrier takes any number of qubits
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubit operands."""
+        return len(self.qubits)
+
+    @property
+    def is_single_qubit(self) -> bool:
+        """True for one-qubit unitary gates (measure/barrier excluded)."""
+        return self.name in SINGLE_QUBIT_GATES
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for two-qubit unitary gates."""
+        return self.name in TWO_QUBIT_GATES
+
+    @property
+    def is_multi_qubit(self) -> bool:
+        """True for gates acting on two or more qubits."""
+        return self.name in TWO_QUBIT_GATES or self.name in THREE_QUBIT_GATES
+
+    @property
+    def is_meta(self) -> bool:
+        """True for non-unitary structural operations (measure, barrier)."""
+        return self.name in META_GATES
+
+    def remapped(self, mapping: dict[int, int]) -> "Gate":
+        """Return a copy with qubit indices translated through ``mapping``."""
+        return Gate(self.name, tuple(mapping[q] for q in self.qubits), self.params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = f", params={self.params}" if self.params else ""
+        return f"Gate({self.name!r}, {self.qubits}{params})"

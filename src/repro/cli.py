@@ -1,0 +1,219 @@
+"""Command-line interface for the Qompress reproduction.
+
+Provides quick access to the compiler and the evaluation harness without
+writing Python::
+
+    python -m repro compile --benchmark cuccaro --qubits 16 --strategy rb
+    python -m repro sweep --benchmarks cuccaro cnu --sizes 8 12 --strategies qubit_only eqm
+    python -m repro table1
+    python -m repro figure --name fig12 --output results/fig12.csv
+
+Every subcommand prints a plain-text table; ``--output`` additionally writes
+a CSV file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.compression import _STRATEGIES
+from repro.evaluation import (
+    compile_benchmark,
+    figure3_state_evolution,
+    figure4_exhaustive,
+    figure8_gate_distribution,
+    figure9_qubit_error_sweep,
+    figure11_t1_improvement,
+    figure12_t1_ratio_sweep,
+    figure13_topologies,
+    format_table,
+    results_to_rows,
+    save_csv,
+    strategy_sweep,
+    table1_durations,
+)
+from repro.evaluation.reporting import SWEEP_HEADERS
+from repro.metrics import grouped_histogram
+from repro.workloads import BENCHMARK_NAMES
+
+_FIGURES = ("fig3", "fig4", "fig8", "fig9", "fig11", "fig12", "fig13")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Qompress (ASPLOS 2023) reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile one benchmark under one strategy and report its EPS"
+    )
+    compile_parser.add_argument("--benchmark", choices=sorted(BENCHMARK_NAMES), required=True)
+    compile_parser.add_argument("--qubits", type=int, required=True)
+    compile_parser.add_argument("--strategy", choices=sorted(set(_STRATEGIES)), default="eqm")
+    compile_parser.add_argument("--device", choices=("grid", "heavy_hex", "ring"), default="grid")
+    compile_parser.add_argument("--seed", type=int, default=0)
+    compile_parser.add_argument("--show-gates", action="store_true",
+                                help="also print the gate-type histogram")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run the Figure 7 / Figure 10 strategy sweep"
+    )
+    sweep_parser.add_argument("--benchmarks", nargs="+", choices=sorted(BENCHMARK_NAMES),
+                              default=["cuccaro", "cnu"])
+    sweep_parser.add_argument("--sizes", nargs="+", type=int, default=[8, 12, 16])
+    sweep_parser.add_argument("--strategies", nargs="+", choices=sorted(set(_STRATEGIES)),
+                              default=["qubit_only", "eqm", "rb"])
+    sweep_parser.add_argument("--device", choices=("grid", "heavy_hex", "ring"), default="grid")
+    sweep_parser.add_argument("--output", help="write the sweep rows to this CSV file")
+
+    subparsers.add_parser("table1", help="print the Table 1 gate durations")
+
+    figure_parser = subparsers.add_parser("figure", help="run one figure's experiment")
+    figure_parser.add_argument("--name", choices=_FIGURES, required=True)
+    figure_parser.add_argument("--output", help="write figure rows to this CSV file")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+def _run_compile(args: argparse.Namespace) -> int:
+    result = compile_benchmark(
+        args.benchmark, args.qubits, args.strategy,
+        device_kind=args.device, seed=args.seed,
+    )
+    report = result.report
+    rows = [
+        ["circuit", result.compiled.circuit_name],
+        ["device", report.device_name],
+        ["strategy", report.strategy_name],
+        ["compressed pairs", report.num_compressed_pairs],
+        ["physical ops", report.num_ops],
+        ["routing ops", report.num_communication_ops],
+        ["makespan (us)", report.makespan_ns / 1000.0],
+        ["gate EPS", report.gate_eps],
+        ["coherence EPS", report.coherence_eps],
+        ["total EPS", report.total_eps],
+    ]
+    print(format_table(["metric", "value"], rows))
+    if args.show_gates:
+        print()
+        histogram = grouped_histogram(result.compiled)
+        print(format_table(["gate type", "count"],
+                           [[label, count] for label, count in histogram.items() if count]))
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    results = strategy_sweep(
+        benchmarks=tuple(args.benchmarks),
+        sizes=tuple(args.sizes),
+        strategies=tuple(args.strategies),
+        device_kind=args.device,
+    )
+    rows = results_to_rows(results)
+    print(format_table(SWEEP_HEADERS, rows))
+    if args.output:
+        path = save_csv(args.output, SWEEP_HEADERS, rows)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _run_table1(_args: argparse.Namespace) -> int:
+    rows = []
+    for group, gates in table1_durations().items():
+        for name, duration in gates.items():
+            rows.append([group, name, duration])
+    print(format_table(["group", "gate", "duration_ns"], rows))
+    return 0
+
+
+def _figure_rows(name: str) -> tuple[list[str], list[list]]:
+    if name == "fig3":
+        traces = figure3_state_evolution(steps=11)
+        rows = []
+        for gate, trace in traces.items():
+            for time, populations in zip(trace["times"], trace["populations"]):
+                rows.append([gate, round(float(time), 3)] + [round(float(p), 4) for p in populations])
+        width = max(len(row) for row in rows) - 2
+        return ["gate", "t/T"] + [f"p{i}" for i in range(width)], [
+            row + [""] * (2 + width - len(row)) for row in rows
+        ]
+    if name == "fig4":
+        data = figure4_exhaustive()
+        rows = [
+            [label, entry["report"].gate_eps, entry["report"].coherence_eps, str(entry["pairs"])]
+            for label, entry in data.items()
+        ]
+        return ["selection", "gate_eps", "coherence_eps", "pairs"], rows
+    if name == "fig8":
+        distributions = figure8_gate_distribution()
+        categories = list(next(iter(distributions.values())).keys())
+        rows = [[strategy] + [histogram[c] for c in categories]
+                for strategy, histogram in distributions.items()]
+        return ["strategy"] + categories, rows
+    if name == "fig9":
+        sweep = figure9_qubit_error_sweep()
+        rows = []
+        for bench, by_scale in sweep.items():
+            for scale, cell in by_scale.items():
+                for strategy, result in cell.items():
+                    rows.append([bench, scale, strategy, result.report.gate_eps])
+        return ["benchmark", "error_scale", "strategy", "gate_eps"], rows
+    if name == "fig11":
+        improved = figure11_t1_improvement()
+        rows = []
+        for bench, by_strategy in improved.items():
+            for strategy, result in by_strategy.items():
+                rows.append([bench, strategy, result.report.coherence_eps])
+        return ["benchmark", "strategy", "coherence_eps_10x"], rows
+    if name == "fig12":
+        sweep = figure12_t1_ratio_sweep()
+        rows = []
+        for bench, data in sweep.items():
+            for ratio, point in data["series"].items():
+                rows.append([bench, round(ratio, 3), point.report.total_eps,
+                             data["baseline"].report.total_eps])
+        return ["benchmark", "t1_ratio", "total_eps", "total_eps_qubit_only"], rows
+    if name == "fig13":
+        results = figure13_topologies()
+        rows = []
+        for bench, by_topology in results.items():
+            for topology, stats in by_topology.items():
+                rows.append([bench, topology, stats["min"], stats["mean"], stats["max"]])
+        return ["benchmark", "topology", "min", "mean", "max"], rows
+    raise KeyError(f"unknown figure {name!r}")
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    headers, rows = _figure_rows(args.name)
+    print(format_table(headers, rows))
+    if args.output:
+        path = save_csv(args.output, headers, rows)
+        print(f"\nwrote {path}")
+    return 0
+
+
+_HANDLERS = {
+    "compile": _run_compile,
+    "sweep": _run_sweep,
+    "table1": _run_table1,
+    "figure": _run_figure,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

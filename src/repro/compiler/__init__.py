@@ -1,0 +1,39 @@
+"""The Qompress compiler pipeline (Section 4).
+
+Compilation proceeds in four stages:
+
+1. **Planning** — a compression strategy (:mod:`repro.compression`) decides
+   which logical qubit pairs should share a ququart.
+2. **Mapping** — logical qubits are placed onto the expanded slot graph of
+   the device using interaction weights (:mod:`repro.compiler.mapping`).
+3. **Routing** — non-adjacent two-qubit gates trigger SWAP insertion over
+   the enabled slots, using the success-probability cost of Eq. 4
+   (:mod:`repro.compiler.routing`).
+4. **Scheduling** — physical operations receive start times honouring
+   per-unit serialization; simultaneous single-qubit gates on the two halves
+   of a ququart are merged (:mod:`repro.compiler.scheduling`).
+
+:class:`QompressCompiler` orchestrates the stages and returns a
+:class:`CompiledCircuit` carrying everything the metrics need.
+"""
+
+from repro.compiler.result import CompiledCircuit, PhysicalOp
+from repro.compiler.weights import interaction_weights, total_weights
+from repro.compiler.mapping import Placement, initial_mapping
+from repro.compiler.costs import CostModel
+from repro.compiler.routing import Router
+from repro.compiler.scheduling import schedule_ops
+from repro.compiler.pipeline import QompressCompiler
+
+__all__ = [
+    "PhysicalOp",
+    "CompiledCircuit",
+    "interaction_weights",
+    "total_weights",
+    "Placement",
+    "initial_mapping",
+    "CostModel",
+    "Router",
+    "schedule_ops",
+    "QompressCompiler",
+]

@@ -1,0 +1,53 @@
+"""Compression plans: the interface between strategies and the compiler.
+
+A :class:`CompressionPlan` tells the pipeline which qubit pairs must share a
+ququart, whether the mapper may additionally pair qubits opportunistically
+(the EQM behaviour), and whether the full-ququart encode/decode baseline
+semantics apply.  Strategies in :mod:`repro.compression` produce plans; the
+pipeline consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CompressionPlan:
+    """Instructions for the mapping stage.
+
+    Parameters
+    ----------
+    pairs:
+        Logical qubit pairs that must be co-encoded in one ququart.
+    allow_free_pairing:
+        If True the mapper may create additional pairs whenever placing a
+        qubit in an occupied unit's secondary slot scores best (EQM).
+    qubit_only:
+        If True, no ququarts at all (the qubit-only baseline).
+    full_ququart:
+        If True, compile with the FQ baseline semantics: every external
+        operation requires decode / operate / re-encode, and routing happens
+        at the whole-ququart level with SWAP4.
+    """
+
+    pairs: tuple[tuple[int, int], ...] = field(default=())
+    allow_free_pairing: bool = False
+    qubit_only: bool = False
+    full_ququart: bool = False
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for a, b in self.pairs:
+            if a == b:
+                raise ValueError("a compression pair must contain two distinct qubits")
+            if a in seen or b in seen:
+                raise ValueError("a qubit may appear in at most one compression pair")
+            seen.update((a, b))
+        if self.qubit_only and (self.pairs or self.allow_free_pairing or self.full_ququart):
+            raise ValueError("a qubit-only plan cannot request any pairing")
+
+    @property
+    def paired_qubits(self) -> frozenset[int]:
+        """All qubits covered by an explicit pair."""
+        return frozenset(q for pair in self.pairs for q in pair)

@@ -1,0 +1,100 @@
+"""Scheduling of physical operations (Section 4.2, serialization handling).
+
+Two responsibilities:
+
+1. **Merging** — two single-qubit gates that target the two encoded qubits
+   of the same ququart, with no intervening operation on that unit, are
+   combined into one ``x01`` ququart gate ("executing one gate acting on a
+   full ququart is less error prone than executing two single-qubit gates").
+2. **Timing** — every operation receives a start time under the constraint
+   that a physical unit executes at most one operation at a time.  This is
+   exactly where ququart serialization appears: two logical gates that touch
+   different encoded qubits of the same ququart can no longer run in
+   parallel.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.result import PhysicalOp
+from repro.gates.styles import GateStyle
+
+
+def merge_single_qubit_ops(ops: list[PhysicalOp]) -> list[PhysicalOp]:
+    """Combine back-to-back single-qubit gates on both halves of a ququart.
+
+    A pending ``x0``/``x1`` op on a unit is merged with the next ``x1``/``x0``
+    op on the same unit provided nothing else touched the unit in between.
+    The merged op uses the combined ``x01`` gate.
+    """
+    merged: list[PhysicalOp] = []
+    pending_index: dict[int, int] = {}  # unit -> index into `merged` of a mergeable op
+    for op in ops:
+        if op.style is GateStyle.SINGLE_QUQUART and len(op.units) == 1:
+            unit = op.units[0]
+            previous_index = pending_index.get(unit)
+            if previous_index is not None:
+                previous = merged[previous_index]
+                if previous.gate != op.gate:
+                    combined = PhysicalOp(
+                        gate="x01",
+                        units=(unit,),
+                        logical_qubits=tuple(
+                            sorted(set(previous.logical_qubits) | set(op.logical_qubits))
+                        ),
+                        duration_ns=op.duration_ns,  # replaced below by the caller's table
+                        fidelity=op.fidelity,
+                        is_communication=False,
+                        source_gate=previous.source_gate,
+                    )
+                    merged[previous_index] = combined
+                    pending_index.pop(unit, None)
+                    continue
+            pending_index[unit] = len(merged)
+            merged.append(op)
+            continue
+        # Any other op on a unit invalidates its pending single-qubit gate.
+        for unit in op.units:
+            pending_index.pop(unit, None)
+        merged.append(op)
+    return merged
+
+
+def schedule_ops(
+    ops: list[PhysicalOp],
+    combined_duration_ns: float | None = None,
+    combined_fidelity: float | None = None,
+    merge_singles: bool = True,
+) -> list[PhysicalOp]:
+    """Assign start times to every op; returns the (possibly merged) op list.
+
+    Parameters
+    ----------
+    ops:
+        Operations in program order, durations already resolved.
+    combined_duration_ns / combined_fidelity:
+        Duration and fidelity to stamp onto merged ``x01`` ops.  If omitted
+        the values of the second merged op are kept.
+    merge_singles:
+        Whether to run the single-qubit merging pass first.
+    """
+    scheduled = merge_single_qubit_ops(ops) if merge_singles else list(ops)
+    if combined_duration_ns is not None or combined_fidelity is not None:
+        for op in scheduled:
+            if op.gate == "x01":
+                if combined_duration_ns is not None:
+                    op.duration_ns = combined_duration_ns
+                if combined_fidelity is not None:
+                    op.fidelity = combined_fidelity
+    unit_free_at: dict[int, float] = {}
+    for op in scheduled:
+        start = max((unit_free_at.get(unit, 0.0) for unit in op.units), default=0.0)
+        op.start_ns = start
+        finish = start + op.duration_ns
+        for unit in op.units:
+            unit_free_at[unit] = finish
+    return scheduled
+
+
+def makespan(ops: list[PhysicalOp]) -> float:
+    """Total duration of a scheduled op list."""
+    return max((op.end_ns for op in ops), default=0.0)

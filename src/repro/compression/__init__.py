@@ -1,0 +1,66 @@
+"""Qubit-to-ququart compression strategies (Section 5) and baselines (Section 6.2).
+
+Every strategy examines the logical circuit (and sometimes the device) and
+produces a :class:`~repro.compiler.plan.CompressionPlan` describing which
+qubit pairs should share a ququart.  The available strategies are:
+
+=====================  =====  ==========================================
+Strategy               Abbr.  Idea
+=====================  =====  ==========================================
+QubitOnly              —      never encode; the standard-compilation baseline
+FullQuquart            FQ     prior-work baseline: pair everything, decode
+                              and re-encode around every external operation
+ExtendedQubitMapping   EQM    let the mapper pair qubits opportunistically
+RingBased              RB     compress within cycles of the interaction graph
+AverageWeightPerEdge   AWE    maximise the contracted graph's mean edge weight
+ProgressivePairing     PP     greedy pairing guided by estimated fidelity deltas
+ExhaustiveCompression  EC     greedy search that recompiles every candidate pair
+=====================  =====  ==========================================
+"""
+
+from repro.compression.base import CompressionStrategy, circuit_interaction_graph
+from repro.compression.baselines import FullQuquart, QubitOnly
+from repro.compression.eqm import ExtendedQubitMapping
+from repro.compression.ring_based import RingBased
+from repro.compression.awe import AverageWeightPerEdge
+from repro.compression.progressive import ProgressivePairing
+from repro.compression.exhaustive import ExhaustiveCompression
+
+_STRATEGIES = {
+    "qubit_only": QubitOnly,
+    "fq": FullQuquart,
+    "full_ququart": FullQuquart,
+    "eqm": ExtendedQubitMapping,
+    "rb": RingBased,
+    "ring_based": RingBased,
+    "awe": AverageWeightPerEdge,
+    "average_weight_per_edge": AverageWeightPerEdge,
+    "pp": ProgressivePairing,
+    "progressive_pairing": ProgressivePairing,
+    "ec": ExhaustiveCompression,
+    "exhaustive": ExhaustiveCompression,
+}
+
+
+def get_strategy(name: str, **kwargs) -> CompressionStrategy:
+    """Instantiate a compression strategy by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in _STRATEGIES:
+        raise KeyError(
+            f"unknown compression strategy {name!r}; choose one of {sorted(set(_STRATEGIES))}"
+        )
+    return _STRATEGIES[key](**kwargs)
+
+
+__all__ = [
+    "CompressionStrategy",
+    "circuit_interaction_graph",
+    "QubitOnly",
+    "FullQuquart",
+    "ExtendedQubitMapping",
+    "RingBased",
+    "AverageWeightPerEdge",
+    "ProgressivePairing",
+    "ExhaustiveCompression",
+    "get_strategy",
+]

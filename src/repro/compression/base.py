@@ -1,0 +1,88 @@
+"""Shared infrastructure for compression strategies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import networkx as nx
+
+from repro.arch.device import Device
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.plan import CompressionPlan
+from repro.compiler.weights import interaction_weights
+
+
+class CompressionStrategy(ABC):
+    """Base class: decide which qubit pairs to encode into ququarts."""
+
+    #: Short name used in reports and the strategy registry.
+    name: str = "base"
+
+    @abstractmethod
+    def plan(self, circuit: QuantumCircuit, device: Device) -> CompressionPlan:
+        """Produce the compression plan for a circuit on a device."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+def circuit_interaction_graph(circuit: QuantumCircuit) -> nx.Graph:
+    """Weighted interaction graph of a circuit.
+
+    Nodes are logical qubits (every qubit in the register, including idle
+    ones); edges carry the Section 4.2 interaction weight and the raw
+    interaction count.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(range(circuit.num_qubits))
+    weights = interaction_weights(circuit)
+    counts = circuit.interaction_pairs()
+    for (a, b), weight in weights.items():
+        graph.add_edge(a, b, weight=weight, count=counts.get((a, b), 0))
+    return graph
+
+
+def greedy_max_weight_pairing(graph: nx.Graph, pair_everything: bool = False) -> list[tuple[int, int]]:
+    """Pair qubits by descending interaction weight.
+
+    Uses a maximum-weight matching on the interaction graph, then (when
+    ``pair_everything`` is set, as the FQ baseline requires) pairs any
+    remaining unmatched qubits arbitrarily.
+    """
+    matching = nx.max_weight_matching(graph, maxcardinality=pair_everything, weight="weight")
+    pairs = [tuple(sorted(edge)) for edge in matching]
+    if pair_everything:
+        matched = {q for pair in pairs for q in pair}
+        leftovers = sorted(set(graph.nodes) - matched)
+        while len(leftovers) >= 2:
+            a = leftovers.pop(0)
+            b = leftovers.pop(0)
+            pairs.append((a, b))
+    return sorted(pairs)
+
+
+def simultaneity_counts(circuit: QuantumCircuit) -> dict[tuple[int, int], int]:
+    """How often two qubits are busy in the same timestep with *different* gates.
+
+    Used by the Ring-Based strategy to avoid pairings that would serialize:
+    if both encoded qubits are frequently needed at the same time by
+    different operations, putting them in one ququart forces those
+    operations to run one after the other.
+    """
+    counts: dict[tuple[int, int], int] = {}
+    for layer in circuit.moments():
+        busy: list[tuple[int, set[int]]] = []
+        for gate_index in layer:
+            gate = circuit[gate_index]
+            if gate.is_meta:
+                continue
+            busy.append((gate_index, set(gate.qubits)))
+        for i, (gate_i, qubits_i) in enumerate(busy):
+            for gate_j, qubits_j in busy[i + 1 :]:
+                for a in qubits_i:
+                    for b in qubits_j:
+                        if a == b:
+                            continue
+                        key = (a, b) if a < b else (b, a)
+                        counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,52 @@
+"""Baseline strategies: qubit-only compilation and full-ququart pairing (FQ)."""
+
+from __future__ import annotations
+
+from repro.arch.device import Device
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.plan import CompressionPlan
+from repro.compression.base import (
+    CompressionStrategy,
+    circuit_interaction_graph,
+    greedy_max_weight_pairing,
+)
+
+
+class QubitOnly(CompressionStrategy):
+    """Never encode a ququart; standard qubit compilation (Section 6.2).
+
+    This is the paper's primary baseline: the same mapper and router, but
+    the secondary slot of every unit is permanently disabled.
+    """
+
+    name = "qubit_only"
+
+    def plan(self, circuit: QuantumCircuit, device: Device) -> CompressionPlan:
+        return CompressionPlan(qubit_only=True)
+
+
+class FullQuquart(CompressionStrategy):
+    """Full ququart pairing with encode / decode around every external op.
+
+    Models the prior-work approach (Section 6.2): pairs are chosen by a
+    maximum-weight matching of the interaction graph so frequently
+    interacting qubits share a ququart and benefit from fast internal gates,
+    but there are no partial operations — any interaction crossing a ququart
+    boundary must decode both ququarts into ancilla space, run bare-qubit
+    gates, and re-encode, and routing happens at the qudit level with SWAP4.
+    """
+
+    name = "fq"
+
+    def __init__(self, pair_everything: bool = True) -> None:
+        self.pair_everything = pair_everything
+
+    def plan(self, circuit: QuantumCircuit, device: Device) -> CompressionPlan:
+        graph = circuit_interaction_graph(circuit)
+        pairs = greedy_max_weight_pairing(graph, pair_everything=self.pair_everything)
+        if not pairs:
+            # A circuit with no two-qubit interaction still gets paired
+            # arbitrarily so the FQ semantics remain well defined.
+            qubits = list(range(circuit.num_qubits))
+            pairs = [tuple(qubits[i : i + 2]) for i in range(0, len(qubits) - 1, 2)]
+        return CompressionPlan(pairs=tuple(pairs), full_ququart=True)

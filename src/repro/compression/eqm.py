@@ -1,0 +1,24 @@
+"""Extended Qubit Mapping (EQM, Section 5.2).
+
+EQM makes no explicit pair selection: the interaction-weight mapper is
+simply allowed to place a qubit into the secondary slot of an occupied unit
+whenever that placement scores best.  This clusters frequently interacting
+qubits into shared ququarts as a side effect of mapping, at essentially no
+extra classical cost.
+"""
+
+from __future__ import annotations
+
+from repro.arch.device import Device
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.plan import CompressionPlan
+from repro.compression.base import CompressionStrategy
+
+
+class ExtendedQubitMapping(CompressionStrategy):
+    """Opportunistic pairing inside the mapping pass."""
+
+    name = "eqm"
+
+    def plan(self, circuit: QuantumCircuit, device: Device) -> CompressionPlan:
+        return CompressionPlan(allow_free_pairing=True)

@@ -1,0 +1,68 @@
+"""Evaluation harness regenerating the paper's tables and figures.
+
+Each public function corresponds to one experiment:
+
+===========================  =================================================
+Function                     Paper artefact
+===========================  =================================================
+``table1_durations``         Table 1 (gate durations)
+``figure3_state_evolution``  Figure 3 (CX2 vs CX0q state dynamics)
+``figure4_exhaustive``       Figure 4 (exhaustive search, cylinder QAOA)
+``strategy_sweep``           Figures 7 & 10 (gate / coherence EPS vs size)
+``figure8_gate_distribution`` Figure 8 (gate-type histogram, torus QAOA 30)
+``figure9_qubit_error_sweep`` Figure 9 (sensitivity to better qubit error)
+``figure11_t1_improvement``  Figure 11 (10x better T1)
+``figure12_t1_ratio_sweep``  Figure 12 (total EPS vs ququart T1 ratio)
+``figure13_topologies``      Figure 13 (improvement ranges across topologies)
+===========================  =================================================
+"""
+
+from repro.evaluation.sweep import (
+    DEFAULT_STRATEGIES,
+    StrategyResult,
+    compile_benchmark,
+    device_for,
+    run_strategies,
+)
+from repro.evaluation.experiments import (
+    figure3_state_evolution,
+    figure4_exhaustive,
+    figure8_gate_distribution,
+    figure9_qubit_error_sweep,
+    figure11_t1_improvement,
+    figure12_t1_ratio_sweep,
+    figure13_topologies,
+    strategy_sweep,
+    table1_durations,
+)
+from repro.evaluation.reporting import format_table, results_to_rows, save_csv
+from repro.evaluation.ablations import (
+    AblationResult,
+    internal_gate_ablation,
+    merging_ablation,
+    uniform_routing_ablation,
+)
+
+__all__ = [
+    "AblationResult",
+    "merging_ablation",
+    "internal_gate_ablation",
+    "uniform_routing_ablation",
+    "DEFAULT_STRATEGIES",
+    "StrategyResult",
+    "device_for",
+    "compile_benchmark",
+    "run_strategies",
+    "table1_durations",
+    "figure3_state_evolution",
+    "figure4_exhaustive",
+    "strategy_sweep",
+    "figure8_gate_distribution",
+    "figure9_qubit_error_sweep",
+    "figure11_t1_improvement",
+    "figure12_t1_ratio_sweep",
+    "figure13_topologies",
+    "format_table",
+    "results_to_rows",
+    "save_csv",
+]

@@ -1,0 +1,138 @@
+"""Ablation studies for the design choices called out in DESIGN.md.
+
+Three ablations are provided:
+
+* **Single-qubit merging** — Section 4.2 argues that two simultaneous
+  single-qubit gates on one ququart should be merged into a single combined
+  gate.  :func:`merging_ablation` compiles with and without the merging pass
+  and reports the op-count and duration difference.
+* **Internal-gate advantage** — the compression strategies are designed to
+  exploit the fast, high-fidelity internal CX.  :func:`internal_gate_ablation`
+  removes that advantage (internal gates get two-qudit fidelity and
+  qubit-qubit CX duration) and measures how much of the compression win
+  survives.
+* **Fidelity-aware routing** — the router chooses paths by the Eq. 4
+  success-probability cost.  :func:`uniform_routing_ablation` compares
+  against a device whose gates all share one fidelity, which collapses the
+  cost model to (duration-weighted) hop counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.pipeline import QompressCompiler
+from repro.compression import get_strategy
+from repro.metrics.eps import EPSReport, evaluate_eps
+from repro.pulses.durations import GateDurationTable
+from repro.workloads.registry import build_benchmark
+from repro.evaluation.sweep import device_for
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Before/after reports for one ablation on one benchmark."""
+
+    benchmark: str
+    num_qubits: int
+    strategy: str
+    baseline: EPSReport
+    ablated: EPSReport
+
+    @property
+    def gate_eps_ratio(self) -> float:
+        """Ablated gate EPS relative to the baseline (1.0 = no effect)."""
+        if self.baseline.gate_eps == 0:
+            return float("inf")
+        return self.ablated.gate_eps / self.baseline.gate_eps
+
+    @property
+    def makespan_ratio(self) -> float:
+        """Ablated duration relative to the baseline (>1 = ablation is slower)."""
+        if self.baseline.makespan_ns == 0:
+            return float("inf")
+        return self.ablated.makespan_ns / self.baseline.makespan_ns
+
+
+def merging_ablation(
+    benchmark: str = "qaoa_torus", num_qubits: int = 16, strategy: str = "eqm", seed: int = 0
+) -> AblationResult:
+    """Compile with and without the combined single-ququart gate merge."""
+    circuit = build_benchmark(benchmark, num_qubits, seed=seed)
+    device = device_for("grid", num_qubits)
+    strategy_obj = get_strategy(strategy)
+    merged = QompressCompiler(device, strategy_obj, merge_single_qubit_gates=True).compile(circuit)
+    unmerged = QompressCompiler(device, strategy_obj, merge_single_qubit_gates=False).compile(circuit)
+    return AblationResult(
+        benchmark=benchmark,
+        num_qubits=num_qubits,
+        strategy=strategy,
+        baseline=evaluate_eps(merged),
+        ablated=evaluate_eps(unmerged),
+    )
+
+
+def _table_without_internal_advantage() -> GateDurationTable:
+    """Duration table where internal gates are no better than qubit-qubit gates."""
+    table = GateDurationTable()
+    cx2_duration = table.duration("cx2")
+    swap2_duration = table.duration("swap2")
+    two_qudit_fidelity = table.fidelity("cx2")
+    return table.with_overrides(
+        durations_ns={
+            "cx0_in": cx2_duration,
+            "cx1_in": cx2_duration,
+            "swap_in": swap2_duration,
+        },
+        fidelities={
+            "cx0_in": two_qudit_fidelity,
+            "cx1_in": two_qudit_fidelity,
+            "swap_in": two_qudit_fidelity,
+        },
+    )
+
+
+def internal_gate_ablation(
+    benchmark: str = "cuccaro", num_qubits: int = 16, strategy: str = "rb", seed: int = 0
+) -> AblationResult:
+    """Remove the internal-gate advantage and recompile."""
+    circuit = build_benchmark(benchmark, num_qubits, seed=seed)
+    baseline_device = device_for("grid", num_qubits)
+    ablated_device = baseline_device.with_durations(_table_without_internal_advantage())
+    strategy_obj = get_strategy(strategy)
+    baseline = QompressCompiler(baseline_device, strategy_obj).compile(circuit)
+    ablated = QompressCompiler(ablated_device, strategy_obj).compile(circuit)
+    return AblationResult(
+        benchmark=benchmark,
+        num_qubits=num_qubits,
+        strategy=strategy,
+        baseline=evaluate_eps(baseline),
+        ablated=evaluate_eps(ablated),
+    )
+
+
+def uniform_routing_ablation(
+    benchmark: str = "qaoa_random", num_qubits: int = 16, strategy: str = "eqm", seed: int = 0
+) -> AblationResult:
+    """Collapse the Eq. 4 cost model by giving every gate the same fidelity.
+
+    Durations (and therefore the T1 terms) still differ, so this isolates the
+    contribution of fidelity-aware path selection.
+    """
+    circuit = build_benchmark(benchmark, num_qubits, seed=seed)
+    baseline_device = device_for("grid", num_qubits)
+    table = GateDurationTable()
+    uniform = table.with_overrides(
+        fidelities={name: 0.99 for name in table.known_gates() if name != "measure"}
+    )
+    ablated_device = baseline_device.with_durations(uniform)
+    strategy_obj = get_strategy(strategy)
+    baseline = QompressCompiler(baseline_device, strategy_obj).compile(circuit)
+    ablated = QompressCompiler(ablated_device, strategy_obj).compile(circuit)
+    return AblationResult(
+        benchmark=benchmark,
+        num_qubits=num_qubits,
+        strategy=strategy,
+        baseline=evaluate_eps(baseline),
+        ablated=evaluate_eps(ablated),
+    )

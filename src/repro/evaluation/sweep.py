@@ -1,0 +1,104 @@
+"""Shared plumbing for the evaluation experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.device import Device
+from repro.arch.topology import grid_for_circuit, heavy_hex_topology, ring_topology
+from repro.compiler.pipeline import QompressCompiler
+from repro.compiler.result import CompiledCircuit
+from repro.compression import get_strategy
+from repro.metrics.eps import EPSReport, evaluate_eps
+from repro.pulses.durations import GateDurationTable
+from repro.workloads.registry import build_benchmark
+
+#: Strategies plotted in Figures 7 and 10 (EC is opt-in because of its cost).
+DEFAULT_STRATEGIES: tuple[str, ...] = ("qubit_only", "fq", "eqm", "rb", "awe", "pp")
+
+
+@dataclass(frozen=True)
+class StrategyResult:
+    """One compiled data point: the EPS report plus the compiled circuit."""
+
+    benchmark: str
+    num_qubits: int
+    strategy: str
+    report: EPSReport
+    compiled: CompiledCircuit
+
+
+def device_for(
+    kind: str,
+    num_qubits: int,
+    durations: GateDurationTable | None = None,
+    t1_scale: float = 1.0,
+    ququart_t1_ratio: float | None = None,
+) -> Device:
+    """Build a device of the requested kind, sized for the circuit if needed.
+
+    ``kind`` is one of ``"grid"`` (sized to the circuit, Section 6.1),
+    ``"heavy_hex"`` (65 units) or ``"ring"`` (65 units).
+    """
+    key = kind.strip().lower()
+    if key == "grid":
+        topology = grid_for_circuit(max(2, (num_qubits + 1) // 2) if num_qubits else 2)
+        # The paper sizes the grid to the circuit qubit count; compression can
+        # then free up to half the units.  Use the circuit size directly.
+        topology = grid_for_circuit(num_qubits)
+    elif key in ("heavy_hex", "heavyhex", "hex"):
+        topology = heavy_hex_topology()
+    elif key == "ring":
+        topology = ring_topology(65)
+    else:
+        raise KeyError(f"unknown device kind {kind!r}; use grid, heavy_hex or ring")
+    device = Device(topology=topology, durations=durations or GateDurationTable())
+    if t1_scale != 1.0:
+        device = device.with_t1_scaled(t1_scale)
+    if ququart_t1_ratio is not None:
+        device = device.with_ququart_t1_ratio(ququart_t1_ratio)
+    return device
+
+
+def compile_benchmark(
+    benchmark: str,
+    num_qubits: int,
+    strategy: str,
+    device: Device | None = None,
+    device_kind: str = "grid",
+    seed: int = 0,
+    strategy_kwargs: dict | None = None,
+) -> StrategyResult:
+    """Build, compile and evaluate one benchmark under one strategy."""
+    circuit = build_benchmark(benchmark, num_qubits, seed=seed)
+    if device is None:
+        device = device_for(device_kind, num_qubits)
+    strategy_object = get_strategy(strategy, **(strategy_kwargs or {}))
+    compiler = QompressCompiler(device, strategy_object)
+    compiled = compiler.compile(circuit)
+    return StrategyResult(
+        benchmark=benchmark,
+        num_qubits=num_qubits,
+        strategy=strategy,
+        report=evaluate_eps(compiled),
+        compiled=compiled,
+    )
+
+
+def run_strategies(
+    benchmark: str,
+    num_qubits: int,
+    strategies: tuple[str, ...] = DEFAULT_STRATEGIES,
+    device: Device | None = None,
+    device_kind: str = "grid",
+    seed: int = 0,
+) -> dict[str, StrategyResult]:
+    """Compile one benchmark under several strategies on the same device."""
+    if device is None:
+        device = device_for(device_kind, num_qubits)
+    results: dict[str, StrategyResult] = {}
+    for strategy in strategies:
+        results[strategy] = compile_benchmark(
+            benchmark, num_qubits, strategy, device=device, seed=seed
+        )
+    return results

@@ -1,0 +1,28 @@
+"""Mixed-radix physical gate set.
+
+This package names and classifies every physical operation available on a
+ququart-capable device (Figure 2 / Table 1 of the paper): single-qubit and
+single-ququart gates, internal CX/SWAP inside an encoded ququart, partial
+qubit-ququart and ququart-ququart gates, the full ququart SWAP, and the
+encode/decode operations.
+"""
+
+from repro.gates.styles import GateStyle
+from repro.gates.library import PHYSICAL_GATES, PhysicalGateSpec, gate_spec
+from repro.gates.resolution import (
+    UnitMode,
+    resolve_cx,
+    resolve_single_qubit,
+    resolve_swap,
+)
+
+__all__ = [
+    "GateStyle",
+    "PhysicalGateSpec",
+    "PHYSICAL_GATES",
+    "gate_spec",
+    "UnitMode",
+    "resolve_cx",
+    "resolve_swap",
+    "resolve_single_qubit",
+]

@@ -1,0 +1,112 @@
+"""Catalogue of physical gates and their Table 1 durations.
+
+Every entry corresponds to a pulse the paper synthesized with quantum
+optimal control (Section 3.4, Table 1).  Durations are in nanoseconds and
+serve as the *default* duration model; :class:`repro.pulses.GateDurationTable`
+lets experiments override them (e.g. the sensitivity studies of Figures 9,
+11 and 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gates.styles import GateStyle
+
+
+@dataclass(frozen=True)
+class PhysicalGateSpec:
+    """Static description of one physical gate.
+
+    Parameters
+    ----------
+    name:
+        Canonical lower-case name, e.g. ``"cx0q"`` or ``"swap_in"``.
+    style:
+        The :class:`GateStyle` category of the gate.
+    duration_ns:
+        Shortest pulse duration found by optimal control (Table 1).
+    description:
+        Human-readable explanation of which operands the gate couples.
+    """
+
+    name: str
+    style: GateStyle
+    duration_ns: float
+    description: str
+
+    @property
+    def num_units(self) -> int:
+        """Number of physical units the gate occupies."""
+        return 1 if self.style.is_single_qudit else 2
+
+
+def _spec(name: str, style: GateStyle, duration: float, description: str) -> PhysicalGateSpec:
+    return PhysicalGateSpec(name, style, duration, description)
+
+
+#: The full physical gate library (Table 1 of the paper).
+PHYSICAL_GATES: dict[str, PhysicalGateSpec] = {
+    spec.name: spec
+    for spec in [
+        # --- (b) bare qubit gates -------------------------------------------------
+        _spec("x", GateStyle.SINGLE_QUBIT, 35.0, "any single-qubit gate on a bare qubit"),
+        _spec("cx2", GateStyle.QUBIT_QUBIT_CX, 251.0, "CX between two bare qubits"),
+        _spec("swap2", GateStyle.QUBIT_QUBIT_SWAP, 504.0, "SWAP between two bare qubits"),
+        # --- (a) single-ququart gates ----------------------------------------------
+        _spec("x0", GateStyle.SINGLE_QUQUART, 87.0, "single-qubit gate on encoded qubit 0"),
+        _spec("x1", GateStyle.SINGLE_QUQUART, 66.0, "single-qubit gate on encoded qubit 1"),
+        _spec("x01", GateStyle.COMBINED_QUQUART, 86.0,
+              "simultaneous single-qubit gates on both encoded qubits"),
+        _spec("cx0_in", GateStyle.INTERNAL_CX, 83.0,
+              "internal CX, encoded qubit 0 controls encoded qubit 1"),
+        _spec("cx1_in", GateStyle.INTERNAL_CX, 84.0,
+              "internal CX, encoded qubit 1 controls encoded qubit 0"),
+        _spec("swap_in", GateStyle.INTERNAL_SWAP, 78.0,
+              "internal SWAP of the two encoded qubits"),
+        _spec("enc", GateStyle.ENCODE, 608.0, "encode two bare qubits into one ququart"),
+        _spec("dec", GateStyle.DECODE, 608.0, "decode a ququart back into two bare qubits"),
+        # --- (c) qubit-ququart partial gates ---------------------------------------
+        _spec("cx0q", GateStyle.QUBIT_QUQUART_CX, 560.0,
+              "encoded qubit 0 controls a bare qubit"),
+        _spec("cx1q", GateStyle.QUBIT_QUQUART_CX, 632.0,
+              "encoded qubit 1 controls a bare qubit"),
+        _spec("cxq0", GateStyle.QUBIT_QUQUART_CX, 880.0,
+              "bare qubit controls encoded qubit 0"),
+        _spec("cxq1", GateStyle.QUBIT_QUQUART_CX, 812.0,
+              "bare qubit controls encoded qubit 1"),
+        _spec("swapq0", GateStyle.QUBIT_QUQUART_SWAP, 680.0,
+              "SWAP a bare qubit with encoded qubit 0"),
+        _spec("swapq1", GateStyle.QUBIT_QUQUART_SWAP, 792.0,
+              "SWAP a bare qubit with encoded qubit 1"),
+        # --- (d) ququart-ququart partial gates -------------------------------------
+        _spec("cx00", GateStyle.QUQUART_QUQUART_CX, 544.0,
+              "encoded qubit 0 controls encoded qubit 0 of a neighbour"),
+        _spec("cx01", GateStyle.QUQUART_QUQUART_CX, 544.0,
+              "encoded qubit 0 controls encoded qubit 1 of a neighbour"),
+        _spec("cx10", GateStyle.QUQUART_QUQUART_CX, 700.0,
+              "encoded qubit 1 controls encoded qubit 0 of a neighbour"),
+        _spec("cx11", GateStyle.QUQUART_QUQUART_CX, 700.0,
+              "encoded qubit 1 controls encoded qubit 1 of a neighbour"),
+        _spec("swap00", GateStyle.QUQUART_QUQUART_SWAP, 916.0,
+              "SWAP encoded qubit 0 with encoded qubit 0 of a neighbour"),
+        _spec("swap01", GateStyle.QUQUART_QUQUART_SWAP, 892.0,
+              "SWAP encoded qubit 0 with encoded qubit 1 of a neighbour"),
+        _spec("swap11", GateStyle.QUQUART_QUQUART_SWAP, 964.0,
+              "SWAP encoded qubit 1 with encoded qubit 1 of a neighbour"),
+        _spec("swap4", GateStyle.FULL_QUQUART_SWAP, 1184.0,
+              "full SWAP of two ququarts (all four encoded qubits move)"),
+        # --- measurement -----------------------------------------------------------
+        _spec("measure", GateStyle.MEASUREMENT, 0.0, "measurement of one physical unit"),
+    ]
+}
+
+
+def gate_spec(name: str) -> PhysicalGateSpec:
+    """Look up a physical gate by name, raising ``KeyError`` with context."""
+    try:
+        return PHYSICAL_GATES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown physical gate {name!r}; known gates: {sorted(PHYSICAL_GATES)}"
+        ) from None

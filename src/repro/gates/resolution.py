@@ -1,0 +1,116 @@
+"""Resolution of logical operations to physical mixed-radix gates.
+
+Given where the logical operands live — a bare qubit, or slot 0 / slot 1 of
+an encoded ququart — these helpers return the name of the physical gate
+from Table 1 that implements the requested CX, SWAP or single-qubit gate.
+The compiler's router and scheduler use them to annotate every emitted
+operation with the correct duration and fidelity class.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class UnitMode(Enum):
+    """Operating mode of a physical unit."""
+
+    #: The unit holds at most one logical qubit in its lowest two levels.
+    QUBIT = "qubit"
+    #: The unit holds two logical qubits encoded in four levels.
+    QUQUART = "ququart"
+
+
+def resolve_single_qubit(mode: UnitMode, slot: int, paired_with_simultaneous: bool = False) -> str:
+    """Physical gate implementing a single-qubit gate on one logical qubit.
+
+    Parameters
+    ----------
+    mode:
+        Mode of the physical unit holding the qubit.
+    slot:
+        Encoding slot (0 or 1) of the qubit inside its unit.  Ignored for
+        bare qubits.
+    paired_with_simultaneous:
+        If True, the gate is merged with a simultaneous single-qubit gate on
+        the other encoded qubit of the same ququart and becomes the combined
+        ``x01`` operation (Section 4.2 of the paper).
+    """
+    if slot not in (0, 1):
+        raise ValueError(f"slot must be 0 or 1, got {slot}")
+    if mode is UnitMode.QUBIT:
+        return "x"
+    if paired_with_simultaneous:
+        return "x01"
+    return "x0" if slot == 0 else "x1"
+
+
+def resolve_internal_cx(control_slot: int) -> str:
+    """Internal CX inside one ququart, keyed by the control's slot."""
+    if control_slot not in (0, 1):
+        raise ValueError(f"slot must be 0 or 1, got {control_slot}")
+    return "cx0_in" if control_slot == 0 else "cx1_in"
+
+
+def resolve_cx(
+    control_mode: UnitMode,
+    control_slot: int,
+    target_mode: UnitMode,
+    target_slot: int,
+    same_unit: bool = False,
+) -> str:
+    """Physical gate implementing CX(control, target) for the given layout.
+
+    ``same_unit=True`` means both logical qubits live in the same physical
+    ququart, which makes the CX an internal single-ququart operation.
+    """
+    for slot in (control_slot, target_slot):
+        if slot not in (0, 1):
+            raise ValueError(f"slot must be 0 or 1, got {slot}")
+    if same_unit:
+        if control_mode is not UnitMode.QUQUART or target_mode is not UnitMode.QUQUART:
+            raise ValueError("an internal CX requires the unit to be in ququart mode")
+        if control_slot == target_slot:
+            raise ValueError("internal CX operands must occupy different slots")
+        return resolve_internal_cx(control_slot)
+    if control_mode is UnitMode.QUBIT and target_mode is UnitMode.QUBIT:
+        return "cx2"
+    if control_mode is UnitMode.QUQUART and target_mode is UnitMode.QUBIT:
+        return "cx0q" if control_slot == 0 else "cx1q"
+    if control_mode is UnitMode.QUBIT and target_mode is UnitMode.QUQUART:
+        return "cxq0" if target_slot == 0 else "cxq1"
+    # ququart <-> ququart partial CX
+    return f"cx{control_slot}{target_slot}"
+
+
+def resolve_swap(
+    mode_a: UnitMode,
+    slot_a: int,
+    mode_b: UnitMode,
+    slot_b: int,
+    same_unit: bool = False,
+) -> str:
+    """Physical gate implementing SWAP between two logical qubit locations.
+
+    SWAPs are symmetric; the returned name is canonicalised so that e.g.
+    ``swap01`` is used for both (0,1) and (1,0) slot combinations, matching
+    the paper's note that SWAP01 and SWAP10 are equivalent.
+    """
+    for slot in (slot_a, slot_b):
+        if slot not in (0, 1):
+            raise ValueError(f"slot must be 0 or 1, got {slot}")
+    if same_unit:
+        if mode_a is not UnitMode.QUQUART or mode_b is not UnitMode.QUQUART:
+            raise ValueError("an internal SWAP requires the unit to be in ququart mode")
+        if slot_a == slot_b:
+            raise ValueError("internal SWAP operands must occupy different slots")
+        return "swap_in"
+    if mode_a is UnitMode.QUBIT and mode_b is UnitMode.QUBIT:
+        return "swap2"
+    if mode_a is UnitMode.QUBIT and mode_b is UnitMode.QUQUART:
+        return "swapq0" if slot_b == 0 else "swapq1"
+    if mode_a is UnitMode.QUQUART and mode_b is UnitMode.QUBIT:
+        return "swapq0" if slot_a == 0 else "swapq1"
+    # ququart <-> ququart partial SWAP; canonical order of slots.
+    low, high = sorted((slot_a, slot_b))
+    return f"swap{low}{high}"

@@ -1,0 +1,98 @@
+"""Classification of physical operations on a mixed-radix device."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class GateStyle(Enum):
+    """Style (category) of a physical operation.
+
+    The style determines which fidelity class applies (single-qudit vs
+    two-qudit), how the operation is counted in the gate-type histograms of
+    Figure 8, and how many physical units it occupies.
+    """
+
+    #: One-qubit gate on a bare qubit (duration of an optimized X pulse).
+    SINGLE_QUBIT = "single_qubit"
+    #: Gate acting on one encoded qubit inside a ququart (X0 / X1 style).
+    SINGLE_QUQUART = "single_ququart"
+    #: Combined gate acting on both encoded qubits of one ququart (X0,1 style).
+    COMBINED_QUQUART = "combined_ququart"
+    #: CX between the two encoded qubits of the same ququart.
+    INTERNAL_CX = "internal_cx"
+    #: SWAP between the two encoded qubits of the same ququart.
+    INTERNAL_SWAP = "internal_swap"
+    #: CX between two bare qubits.
+    QUBIT_QUBIT_CX = "qubit_qubit_cx"
+    #: SWAP between two bare qubits.
+    QUBIT_QUBIT_SWAP = "qubit_qubit_swap"
+    #: Partial CX between a bare qubit and one encoded qubit.
+    QUBIT_QUQUART_CX = "qubit_ququart_cx"
+    #: Partial SWAP between a bare qubit and one encoded qubit.
+    QUBIT_QUQUART_SWAP = "qubit_ququart_swap"
+    #: Partial CX between encoded qubits in two different ququarts.
+    QUQUART_QUQUART_CX = "ququart_ququart_cx"
+    #: Partial SWAP between encoded qubits in two different ququarts.
+    QUQUART_QUQUART_SWAP = "ququart_ququart_swap"
+    #: Full SWAP of two ququarts (moves both encoded qubits of each).
+    FULL_QUQUART_SWAP = "full_ququart_swap"
+    #: Encoding of two bare qubits into a ququart (ENC).
+    ENCODE = "encode"
+    #: Decoding of a ququart back into two bare qubits (ENC^-1).
+    DECODE = "decode"
+    #: Measurement of a physical unit.
+    MEASUREMENT = "measurement"
+
+    @property
+    def is_single_qudit(self) -> bool:
+        """True if the operation acts on a single physical unit."""
+        return self in {
+            GateStyle.SINGLE_QUBIT,
+            GateStyle.SINGLE_QUQUART,
+            GateStyle.COMBINED_QUQUART,
+            GateStyle.INTERNAL_CX,
+            GateStyle.INTERNAL_SWAP,
+            GateStyle.MEASUREMENT,
+        }
+
+    @property
+    def is_two_qudit(self) -> bool:
+        """True if the operation spans two physical units."""
+        return not self.is_single_qudit
+
+    @property
+    def is_swap_like(self) -> bool:
+        """True for operations that move data between locations."""
+        return self in {
+            GateStyle.INTERNAL_SWAP,
+            GateStyle.QUBIT_QUBIT_SWAP,
+            GateStyle.QUBIT_QUQUART_SWAP,
+            GateStyle.QUQUART_QUQUART_SWAP,
+            GateStyle.FULL_QUQUART_SWAP,
+        }
+
+    @property
+    def is_cx_like(self) -> bool:
+        """True for entangling CX-style operations."""
+        return self in {
+            GateStyle.INTERNAL_CX,
+            GateStyle.QUBIT_QUBIT_CX,
+            GateStyle.QUBIT_QUQUART_CX,
+            GateStyle.QUQUART_QUQUART_CX,
+        }
+
+    @property
+    def is_communication(self) -> bool:
+        """True for operations inserted purely to move qubits (routing)."""
+        return self.is_swap_like
+
+    @property
+    def touches_ququart(self) -> bool:
+        """True if at least one operand unit is operated as a ququart."""
+        return self not in {
+            GateStyle.SINGLE_QUBIT,
+            GateStyle.QUBIT_QUBIT_CX,
+            GateStyle.QUBIT_QUBIT_SWAP,
+            GateStyle.MEASUREMENT,
+        }

@@ -1,0 +1,25 @@
+"""Expected-probability-of-success metrics (Section 6.1.1).
+
+The paper evaluates compiled circuits with two multiplicative statistics:
+
+* **Gate EPS** — the product of the success rate of every physical gate.
+* **Coherence EPS** — the product, over logical qubits, of
+  ``exp(-t_qb / T1_qb - t_qd / T1_qd)`` where ``t_qb`` / ``t_qd`` is the time
+  the qubit spends stored in a qubit-mode / ququart-mode unit.
+
+The product of the two is the overall EPS used for the crossover studies.
+"""
+
+from repro.metrics.eps import EPSReport, coherence_eps, evaluate_eps, gate_eps, total_eps
+from repro.metrics.histograms import FIGURE8_CATEGORIES, gate_style_histogram, grouped_histogram
+
+__all__ = [
+    "EPSReport",
+    "gate_eps",
+    "coherence_eps",
+    "total_eps",
+    "evaluate_eps",
+    "gate_style_histogram",
+    "grouped_histogram",
+    "FIGURE8_CATEGORIES",
+]

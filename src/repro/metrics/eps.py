@@ -1,0 +1,92 @@
+"""Expected probability of success (EPS) calculations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.compiler.result import CompiledCircuit
+
+
+def gate_eps(compiled: CompiledCircuit) -> float:
+    """Product of the success rates of every physical gate in the circuit."""
+    log_total = 0.0
+    for op in compiled.ops:
+        if op.fidelity <= 0.0:
+            return 0.0
+        log_total += math.log(op.fidelity)
+    return math.exp(log_total)
+
+
+def coherence_eps(compiled: CompiledCircuit) -> float:
+    """Probability that no logical qubit decoheres during the circuit.
+
+    Each logical qubit contributes ``exp(-t_qb / T1_qb - t_qd / T1_qd)``
+    where the split of the makespan into qubit-mode and ququart-mode time
+    follows the qubit's residency across physical units.
+    """
+    device = compiled.device
+    exponent = 0.0
+    for _qubit, (qubit_time, ququart_time) in compiled.qubit_mode_times().items():
+        exponent -= qubit_time / device.qubit_t1_ns
+        exponent -= ququart_time / device.ququart_t1_ns
+    return math.exp(exponent)
+
+
+def total_eps(compiled: CompiledCircuit) -> float:
+    """Overall EPS: gate EPS times coherence EPS."""
+    return gate_eps(compiled) * coherence_eps(compiled)
+
+
+@dataclass(frozen=True)
+class EPSReport:
+    """All success statistics for one compiled circuit."""
+
+    circuit_name: str
+    strategy_name: str
+    device_name: str
+    gate_eps: float
+    coherence_eps: float
+    total_eps: float
+    makespan_ns: float
+    num_ops: int
+    num_communication_ops: int
+    num_compressed_pairs: int
+
+    def improvement_over(self, baseline: "EPSReport") -> dict[str, float]:
+        """Relative improvement ratios against a baseline report.
+
+        Values greater than 1 mean this report is better than the baseline.
+        A ratio is reported as ``inf`` when the baseline statistic is zero.
+        """
+        def ratio(ours: float, theirs: float) -> float:
+            if theirs == 0.0:
+                return float("inf") if ours > 0.0 else 1.0
+            return ours / theirs
+
+        return {
+            "gate_eps": ratio(self.gate_eps, baseline.gate_eps),
+            "coherence_eps": ratio(self.coherence_eps, baseline.coherence_eps),
+            "total_eps": ratio(self.total_eps, baseline.total_eps),
+            "makespan": ratio(baseline.makespan_ns, self.makespan_ns)
+            if self.makespan_ns
+            else float("inf"),
+        }
+
+
+def evaluate_eps(compiled: CompiledCircuit) -> EPSReport:
+    """Build the full :class:`EPSReport` for a compiled circuit."""
+    gate = gate_eps(compiled)
+    coherence = coherence_eps(compiled)
+    return EPSReport(
+        circuit_name=compiled.circuit_name,
+        strategy_name=compiled.strategy_name,
+        device_name=compiled.device.name,
+        gate_eps=gate,
+        coherence_eps=coherence,
+        total_eps=gate * coherence,
+        makespan_ns=compiled.makespan_ns,
+        num_ops=compiled.num_ops,
+        num_communication_ops=compiled.communication_op_count(),
+        num_compressed_pairs=len(compiled.compressed_pairs),
+    )

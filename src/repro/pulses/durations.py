@@ -1,0 +1,143 @@
+"""Gate duration and fidelity model (Table 1 + Section 6.1.1).
+
+The compiler never hard-codes a duration; it always asks a
+:class:`GateDurationTable`.  This mirrors the paper's design goal that the
+compilation strategy "will adapt to gate durations and error rates different
+than obtained here".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gates.library import PHYSICAL_GATES
+from repro.gates.styles import GateStyle
+
+#: Optimal-control fidelity target for single-qudit gates (99.9 %).
+DEFAULT_SINGLE_QUDIT_FIDELITY = 0.999
+#: Optimal-control fidelity target for two-qudit gates (99 %).
+DEFAULT_TWO_QUDIT_FIDELITY = 0.99
+
+
+def _default_durations() -> dict[str, float]:
+    return {name: spec.duration_ns for name, spec in PHYSICAL_GATES.items()}
+
+
+def _default_fidelities() -> dict[str, float]:
+    fidelities: dict[str, float] = {}
+    for name, spec in PHYSICAL_GATES.items():
+        if spec.style is GateStyle.MEASUREMENT:
+            fidelities[name] = 1.0
+        elif spec.style.is_single_qudit:
+            fidelities[name] = DEFAULT_SINGLE_QUDIT_FIDELITY
+        else:
+            fidelities[name] = DEFAULT_TWO_QUDIT_FIDELITY
+    return fidelities
+
+
+@dataclass
+class GateDurationTable:
+    """Durations (ns) and success rates for every physical gate.
+
+    The default values reproduce Table 1 and the evaluation assumptions of
+    Section 6.1.1.  Experiments that sweep qubit error (Figure 9) or rescale
+    durations use the ``with_*`` constructors, which return new tables and
+    never mutate the original.
+    """
+
+    durations_ns: dict[str, float] = field(default_factory=_default_durations)
+    fidelities: dict[str, float] = field(default_factory=_default_fidelities)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def duration(self, gate_name: str) -> float:
+        """Duration of a physical gate in nanoseconds."""
+        try:
+            return self.durations_ns[gate_name]
+        except KeyError:
+            raise KeyError(f"no duration registered for physical gate {gate_name!r}") from None
+
+    def fidelity(self, gate_name: str) -> float:
+        """Success rate of a physical gate (its optimal-control fidelity)."""
+        try:
+            return self.fidelities[gate_name]
+        except KeyError:
+            raise KeyError(f"no fidelity registered for physical gate {gate_name!r}") from None
+
+    def style(self, gate_name: str) -> GateStyle:
+        """The :class:`GateStyle` of a physical gate."""
+        return PHYSICAL_GATES[gate_name].style
+
+    def known_gates(self) -> tuple[str, ...]:
+        """Names of every gate with both a duration and a fidelity."""
+        return tuple(sorted(set(self.durations_ns) & set(self.fidelities)))
+
+    # ------------------------------------------------------------------
+    # derived tables
+    # ------------------------------------------------------------------
+    def copy(self) -> "GateDurationTable":
+        """Deep copy of the table."""
+        return GateDurationTable(dict(self.durations_ns), dict(self.fidelities))
+
+    def with_overrides(
+        self,
+        durations_ns: dict[str, float] | None = None,
+        fidelities: dict[str, float] | None = None,
+    ) -> "GateDurationTable":
+        """Return a copy with selected entries replaced."""
+        table = self.copy()
+        if durations_ns:
+            for name, value in durations_ns.items():
+                if value <= 0:
+                    raise ValueError(f"duration for {name!r} must be positive, got {value}")
+                table.durations_ns[name] = float(value)
+        if fidelities:
+            for name, value in fidelities.items():
+                if not 0.0 < value <= 1.0:
+                    raise ValueError(f"fidelity for {name!r} must be in (0, 1], got {value}")
+                table.fidelities[name] = float(value)
+        return table
+
+    def with_qubit_error_scaled(self, scale: float) -> "GateDurationTable":
+        """Scale the *error* of bare-qubit gates by ``scale``, keep ququart error.
+
+        This is the sensitivity study of Figure 9: ququart gate error stays
+        constant while the qubit-only error rate improves (``scale < 1``) or
+        worsens (``scale > 1``).  Gates whose style touches a ququart are left
+        untouched.
+        """
+        if scale < 0:
+            raise ValueError("error scale must be non-negative")
+        table = self.copy()
+        for name in table.fidelities:
+            style = PHYSICAL_GATES[name].style
+            if style.touches_ququart or style is GateStyle.MEASUREMENT:
+                continue
+            error = 1.0 - table.fidelities[name]
+            table.fidelities[name] = max(0.0, min(1.0, 1.0 - error * scale))
+        return table
+
+    def with_all_error_scaled(self, scale: float) -> "GateDurationTable":
+        """Scale the error of *every* gate by ``scale`` (ablation helper)."""
+        if scale < 0:
+            raise ValueError("error scale must be non-negative")
+        table = self.copy()
+        for name in table.fidelities:
+            if PHYSICAL_GATES[name].style is GateStyle.MEASUREMENT:
+                continue
+            error = 1.0 - table.fidelities[name]
+            table.fidelities[name] = max(0.0, min(1.0, 1.0 - error * scale))
+        return table
+
+    def with_duration_scaled(self, scale: float, only_ququart: bool = False) -> "GateDurationTable":
+        """Scale gate durations uniformly; optionally only ququart-touching gates."""
+        if scale <= 0:
+            raise ValueError("duration scale must be positive")
+        table = self.copy()
+        for name in table.durations_ns:
+            style = PHYSICAL_GATES[name].style
+            if only_ququart and not style.touches_ququart:
+                continue
+            table.durations_ns[name] = table.durations_ns[name] * scale
+        return table

@@ -1,0 +1,192 @@
+"""Two-transmon device Hamiltonian (Eq. 3 of the paper).
+
+The paper models each pair of coupled physical units as two weakly coupled
+anharmonic transmons:
+
+    H(t) = sum_k [ w_k a_k^dag a_k + (xi_k / 2) a_k^dag a_k^dag a_k a_k ]
+           + J (a_1^dag a_2 + a_2^dag a_1)
+           + sum_k f_k(t) (a_k + a_k^dag)
+
+with w_1/2pi = 4.914 GHz, w_2/2pi = 5.114 GHz, xi/2pi = -330 MHz,
+J/2pi = 3.8 MHz, and |f_k| <= 45 MHz.
+
+For numerical tractability we express the Hamiltonian in the frame rotating
+at the first transmon's frequency, which removes the fast ~5 GHz phase
+evolution and leaves the detuning of the second transmon, the
+anharmonicities, and the exchange coupling.  This is the standard
+rotating-frame treatment used by optimal-control packages; durations found
+in this frame match the lab frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Conversion from a frequency in GHz to angular frequency in rad/ns.
+GHZ_TO_RAD_PER_NS = 2.0 * np.pi
+
+
+@dataclass(frozen=True)
+class TransmonParams:
+    """Physical parameters of the two-transmon model (Section 3.2)."""
+
+    #: 0-1 transition frequency of transmon 1, in GHz.
+    omega1_ghz: float = 4.914
+    #: 0-1 transition frequency of transmon 2, in GHz.
+    omega2_ghz: float = 5.114
+    #: Anharmonicity of both transmons, in GHz (negative for transmons).
+    anharmonicity_ghz: float = -0.330
+    #: Exchange coupling strength, in GHz.
+    coupling_ghz: float = 0.0038
+    #: Maximum control-field amplitude, in GHz.
+    max_drive_ghz: float = 0.045
+
+
+def lowering_operator(levels: int) -> np.ndarray:
+    """Bosonic lowering operator truncated to ``levels`` levels."""
+    if levels < 2:
+        raise ValueError("a transmon model needs at least two levels")
+    return np.diag(np.sqrt(np.arange(1, levels)), k=1)
+
+
+def number_operator(levels: int) -> np.ndarray:
+    """Number operator ``a^dag a`` truncated to ``levels`` levels."""
+    return np.diag(np.arange(levels, dtype=float))
+
+
+class TransmonSystem:
+    """One or two coupled transmons with guard levels.
+
+    Parameters
+    ----------
+    num_transmons:
+        1 for single-qudit gates, 2 for two-qudit gates.
+    logical_levels:
+        Number of logical levels per transmon (2 for a qubit, 4 for a
+        ququart).
+    guard_levels:
+        Extra levels per transmon included in the simulation to capture
+        leakage, as in the paper's Juqbox setup.
+    params:
+        Physical device parameters.
+    """
+
+    def __init__(
+        self,
+        num_transmons: int = 2,
+        logical_levels: int | tuple[int, ...] = 4,
+        guard_levels: int = 1,
+        params: TransmonParams | None = None,
+    ) -> None:
+        if num_transmons not in (1, 2):
+            raise ValueError("only one- or two-transmon systems are modelled")
+        if isinstance(logical_levels, int):
+            logical_levels = (logical_levels,) * num_transmons
+        if len(logical_levels) != num_transmons:
+            raise ValueError("one logical level count per transmon is required")
+        if any(levels < 2 for levels in logical_levels):
+            raise ValueError("each transmon needs at least two logical levels")
+        if guard_levels < 0:
+            raise ValueError("guard_levels must be non-negative")
+        self.num_transmons = num_transmons
+        self.logical_levels = tuple(int(v) for v in logical_levels)
+        self.guard_levels = int(guard_levels)
+        self.params = params or TransmonParams()
+        self.total_levels = tuple(v + self.guard_levels for v in self.logical_levels)
+        self.dimension = int(np.prod(self.total_levels))
+        self._drift = self._build_drift()
+        self._controls = self._build_controls()
+
+    # ------------------------------------------------------------------
+    # operator construction
+    # ------------------------------------------------------------------
+    def _embed(self, operator: np.ndarray, which: int) -> np.ndarray:
+        """Embed a single-transmon operator into the full tensor space."""
+        matrices = [np.eye(levels) for levels in self.total_levels]
+        matrices[which] = operator
+        result = matrices[0]
+        for matrix in matrices[1:]:
+            result = np.kron(result, matrix)
+        return result
+
+    def _build_drift(self) -> np.ndarray:
+        params = self.params
+        detunings_ghz = [0.0, params.omega2_ghz - params.omega1_ghz]
+        drift = np.zeros((self.dimension, self.dimension), dtype=complex)
+        for k in range(self.num_transmons):
+            levels = self.total_levels[k]
+            number = number_operator(levels)
+            anharmonic = 0.5 * params.anharmonicity_ghz * (number @ number - number)
+            local = detunings_ghz[k] * number + anharmonic
+            drift += GHZ_TO_RAD_PER_NS * self._embed(local, k)
+        if self.num_transmons == 2:
+            a1 = self._embed(lowering_operator(self.total_levels[0]), 0)
+            a2 = self._embed(lowering_operator(self.total_levels[1]), 1)
+            coupling = params.coupling_ghz * (a1.conj().T @ a2 + a2.conj().T @ a1)
+            drift += GHZ_TO_RAD_PER_NS * coupling
+        return drift
+
+    def _build_controls(self) -> list[np.ndarray]:
+        controls = []
+        for k in range(self.num_transmons):
+            lower = lowering_operator(self.total_levels[k])
+            controls.append(GHZ_TO_RAD_PER_NS * self._embed(lower + lower.conj().T, k))
+        return controls
+
+    # ------------------------------------------------------------------
+    # public accessors
+    # ------------------------------------------------------------------
+    @property
+    def drift(self) -> np.ndarray:
+        """Time-independent part of the Hamiltonian, in rad/ns."""
+        return self._drift
+
+    @property
+    def controls(self) -> list[np.ndarray]:
+        """Control operators, one per transmon, in rad/ns per GHz of drive."""
+        return list(self._controls)
+
+    @property
+    def max_drive(self) -> float:
+        """Maximum drive amplitude in GHz."""
+        return self.params.max_drive_ghz
+
+    def hamiltonian(self, drive_amplitudes_ghz: np.ndarray) -> np.ndarray:
+        """Full Hamiltonian for a given set of constant drive amplitudes."""
+        amplitudes = np.asarray(drive_amplitudes_ghz, dtype=float)
+        if amplitudes.shape != (self.num_transmons,):
+            raise ValueError(
+                f"expected {self.num_transmons} drive amplitudes, got shape {amplitudes.shape}"
+            )
+        total = self._drift.copy()
+        for amplitude, control in zip(amplitudes, self._controls):
+            total = total + amplitude * control
+        return total
+
+    def logical_indices(self) -> list[int]:
+        """Indices of full-space basis states inside the logical subspace."""
+        indices = []
+        for index in range(self.dimension):
+            labels = self.basis_labels(index)
+            if all(label < logical for label, logical in zip(labels, self.logical_levels)):
+                indices.append(index)
+        return indices
+
+    def basis_labels(self, index: int) -> tuple[int, ...]:
+        """Decode a flat basis index into per-transmon level labels."""
+        labels = []
+        remainder = index
+        for levels in reversed(self.total_levels):
+            labels.append(remainder % levels)
+            remainder //= levels
+        return tuple(reversed(labels))
+
+    def projector_logical(self) -> np.ndarray:
+        """Rectangular isometry selecting the logical subspace columns."""
+        indices = self.logical_indices()
+        projector = np.zeros((self.dimension, len(indices)))
+        for column, index in enumerate(indices):
+            projector[index, column] = 1.0
+        return projector

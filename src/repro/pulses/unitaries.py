@@ -1,0 +1,314 @@
+"""Target unitaries for the mixed-radix gate set (Figure 2).
+
+Every physical gate in Table 1 acts on one or two physical units whose
+Hilbert-space dimensions are 2 (bare qubit) or 4 (ququart encoding two
+qubits).  Under the paper's encoding (Eq. 2) a ququart level ``l`` stores the
+two-qubit state ``|q0 q1>`` with ``l = 2*q0 + q1``; slot 0 is therefore the
+most-significant encoded bit and slot 1 the least-significant.
+
+:func:`embed_operator` lifts an arbitrary k-qubit gate onto the encoded
+representation, which is how the partial CX/SWAP targets are produced, and
+is also reused by the mixed-radix simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+# ----------------------------------------------------------------------
+# elementary qubit gates
+# ----------------------------------------------------------------------
+_SQRT2 = math.sqrt(2.0)
+
+_FIXED_QUBIT_GATES: dict[str, np.ndarray] = {
+    "i": np.eye(2, dtype=complex),
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "h": np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2,
+    "s": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "sdg": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "t": np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex),
+    "tdg": np.array([[1, 0], [0, np.exp(-1j * np.pi / 4)]], dtype=complex),
+}
+
+#: Two-qubit CX with operand order (control, target).
+CX_MATRIX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+#: Two-qubit SWAP.
+SWAP_MATRIX = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+#: Two-qubit CZ.
+CZ_MATRIX = np.diag([1, 1, 1, -1]).astype(complex)
+
+
+def qubit_gate(name: str, params: tuple[float, ...] = ()) -> np.ndarray:
+    """Return the 2x2 (or 4x4 for two-qubit names) unitary of a logical gate."""
+    if name in _FIXED_QUBIT_GATES:
+        return _FIXED_QUBIT_GATES[name].copy()
+    if name == "rx":
+        (theta,) = params
+        return np.array(
+            [
+                [math.cos(theta / 2), -1j * math.sin(theta / 2)],
+                [-1j * math.sin(theta / 2), math.cos(theta / 2)],
+            ],
+            dtype=complex,
+        )
+    if name == "ry":
+        (theta,) = params
+        return np.array(
+            [
+                [math.cos(theta / 2), -math.sin(theta / 2)],
+                [math.sin(theta / 2), math.cos(theta / 2)],
+            ],
+            dtype=complex,
+        )
+    if name == "rz":
+        (theta,) = params
+        return np.array(
+            [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]], dtype=complex
+        )
+    if name == "u":
+        theta, phi, lam = params
+        return np.array(
+            [
+                [math.cos(theta / 2), -np.exp(1j * lam) * math.sin(theta / 2)],
+                [
+                    np.exp(1j * phi) * math.sin(theta / 2),
+                    np.exp(1j * (phi + lam)) * math.cos(theta / 2),
+                ],
+            ],
+            dtype=complex,
+        )
+    if name == "cx":
+        return CX_MATRIX.copy()
+    if name == "cz":
+        return CZ_MATRIX.copy()
+    if name == "swap":
+        return SWAP_MATRIX.copy()
+    if name == "rzz":
+        (theta,) = params
+        phases = [np.exp(-1j * theta / 2), np.exp(1j * theta / 2),
+                  np.exp(1j * theta / 2), np.exp(-1j * theta / 2)]
+        return np.diag(phases).astype(complex)
+    if name == "ccx":
+        matrix = np.eye(8, dtype=complex)
+        matrix[[6, 7], :] = matrix[[7, 6], :]
+        return matrix
+    if name == "cswap":
+        matrix = np.eye(8, dtype=complex)
+        matrix[[5, 6], :] = matrix[[6, 5], :]
+        return matrix
+    raise ValueError(f"no unitary known for logical gate {name!r}")
+
+
+# ----------------------------------------------------------------------
+# encoding-aware embedding
+# ----------------------------------------------------------------------
+def _bits_per_unit(dim: int) -> int:
+    if dim == 2:
+        return 1
+    if dim == 4:
+        return 2
+    raise ValueError(f"physical units must have dimension 2 or 4, got {dim}")
+
+
+def _decode_unit(level: int, dim: int) -> tuple[int, ...]:
+    """Level of one unit -> tuple of encoded logical bits (slot order)."""
+    if dim == 2:
+        return (level,)
+    return ((level >> 1) & 1, level & 1)
+
+
+def _encode_unit(bits: tuple[int, ...], dim: int) -> int:
+    if dim == 2:
+        return bits[0]
+    return (bits[0] << 1) | bits[1]
+
+
+def embed_operator(
+    gate_matrix: np.ndarray,
+    unit_dims: tuple[int, ...],
+    operands: list[tuple[int, int]],
+) -> np.ndarray:
+    """Lift a k-qubit gate onto the tensor product of encoded physical units.
+
+    Parameters
+    ----------
+    gate_matrix:
+        ``2^k x 2^k`` unitary acting on the selected logical qubits, with
+        operand 0 as the most-significant bit of the gate's index.
+    unit_dims:
+        Dimension (2 or 4) of each physical unit, in tensor-product order.
+    operands:
+        For each gate operand, the pair ``(unit_index, slot)`` identifying
+        which encoded logical qubit it addresses.  Slot must be 0 for bare
+        qubits and 0 or 1 for ququarts.
+
+    Returns
+    -------
+    A ``prod(unit_dims) x prod(unit_dims)`` unitary acting on the physical
+    units, leaving every non-operand encoded qubit untouched.
+    """
+    num_operands = len(operands)
+    if gate_matrix.shape != (2**num_operands, 2**num_operands):
+        raise ValueError(
+            f"gate matrix shape {gate_matrix.shape} does not match {num_operands} operands"
+        )
+    seen: set[tuple[int, int]] = set()
+    for unit_index, slot in operands:
+        if unit_index < 0 or unit_index >= len(unit_dims):
+            raise ValueError(f"operand refers to unit {unit_index} outside {unit_dims}")
+        if slot >= _bits_per_unit(unit_dims[unit_index]):
+            raise ValueError(
+                f"slot {slot} not available on a dimension-{unit_dims[unit_index]} unit"
+            )
+        if (unit_index, slot) in seen:
+            raise ValueError("operands must address distinct encoded qubits")
+        seen.add((unit_index, slot))
+
+    dimension = int(np.prod(unit_dims))
+    full = np.zeros((dimension, dimension), dtype=complex)
+    for column in range(dimension):
+        # Decode the physical basis state into per-unit logical bits.
+        levels: list[int] = []
+        remainder = column
+        for dim in reversed(unit_dims):
+            levels.append(remainder % dim)
+            remainder //= dim
+        levels.reverse()
+        bits = [list(_decode_unit(level, dim)) for level, dim in zip(levels, unit_dims)]
+        # Extract the gate input index from the operand bits.
+        in_index = 0
+        for unit_index, slot in operands:
+            in_index = (in_index << 1) | bits[unit_index][slot]
+        # Distribute the gate's action over all output indices.
+        for out_index in range(2**num_operands):
+            amplitude = gate_matrix[out_index, in_index]
+            if amplitude == 0:
+                continue
+            new_bits = [list(unit_bits) for unit_bits in bits]
+            shift = num_operands - 1
+            for unit_index, slot in operands:
+                new_bits[unit_index][slot] = (out_index >> shift) & 1
+                shift -= 1
+            new_levels = [
+                _encode_unit(tuple(unit_bits), dim)
+                for unit_bits, dim in zip(new_bits, unit_dims)
+            ]
+            row = 0
+            for level, dim in zip(new_levels, unit_dims):
+                row = row * dim + level
+            full[row, column] += amplitude
+    return full
+
+
+# ----------------------------------------------------------------------
+# named target unitaries for the physical gate set
+# ----------------------------------------------------------------------
+def encode_unitary() -> np.ndarray:
+    """The ENC gate (Eq. 2) on units of dimension (4, 2).
+
+    Maps ``|q0>_A |q1>_B -> |2 q0 + q1>_A |0>_B`` on the qubit-qubit
+    subspace; the extension to the remaining levels is an arbitrary
+    permutation chosen so the whole operation stays unitary (the paper notes
+    the extension is arbitrary because those levels are never populated
+    before encoding).
+    """
+    dims = (4, 2)
+    dimension = 8
+    unitary = np.zeros((dimension, dimension), dtype=complex)
+    mapping = {
+        (0, 0): (0, 0),
+        (0, 1): (1, 0),
+        (1, 0): (2, 0),
+        (1, 1): (3, 0),
+        # arbitrary unitary completion on the never-populated input levels
+        (2, 0): (0, 1),
+        (2, 1): (1, 1),
+        (3, 0): (2, 1),
+        (3, 1): (3, 1),
+    }
+    for (a, b), (new_a, new_b) in mapping.items():
+        unitary[new_a * dims[1] + new_b, a * dims[1] + b] = 1.0
+    return unitary
+
+
+def decode_unitary() -> np.ndarray:
+    """The DEC gate: inverse of :func:`encode_unitary`."""
+    return encode_unitary().conj().T
+
+
+def internal_cx_unitary(control_slot: int) -> np.ndarray:
+    """Internal CX inside one ququart (4x4), keyed by the control's slot."""
+    target_slot = 1 - control_slot
+    return embed_operator(CX_MATRIX, (4,), [(0, control_slot), (0, target_slot)])
+
+
+def internal_swap_unitary() -> np.ndarray:
+    """Internal SWAP inside one ququart (exchanges levels |1> and |2>)."""
+    return embed_operator(SWAP_MATRIX, (4,), [(0, 0), (0, 1)])
+
+
+def partial_cx_unitary(
+    control_dim: int, control_slot: int, target_dim: int, target_slot: int
+) -> np.ndarray:
+    """Partial CX between two physical units of the given dimensions."""
+    return embed_operator(
+        CX_MATRIX, (control_dim, target_dim), [(0, control_slot), (1, target_slot)]
+    )
+
+
+def partial_swap_unitary(dim_a: int, slot_a: int, dim_b: int, slot_b: int) -> np.ndarray:
+    """Partial SWAP between two physical units of the given dimensions."""
+    return embed_operator(SWAP_MATRIX, (dim_a, dim_b), [(0, slot_a), (1, slot_b)])
+
+
+def full_ququart_swap_unitary() -> np.ndarray:
+    """SWAP4: exchange the full states of two ququarts (16x16 permutation)."""
+    dimension = 16
+    unitary = np.zeros((dimension, dimension), dtype=complex)
+    for a in range(4):
+        for b in range(4):
+            unitary[b * 4 + a, a * 4 + b] = 1.0
+    return unitary
+
+
+def target_unitary(gate_name: str) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Return ``(unitary, unit_dims)`` for a physical gate from Table 1."""
+    single_x = qubit_gate("x")
+    table: dict[str, tuple[np.ndarray, tuple[int, ...]]] = {
+        "x": (single_x, (2,)),
+        "x0": (embed_operator(single_x, (4,), [(0, 0)]), (4,)),
+        "x1": (embed_operator(single_x, (4,), [(0, 1)]), (4,)),
+        "x01": (np.kron(single_x, single_x), (4,)),
+        "cx0_in": (internal_cx_unitary(0), (4,)),
+        "cx1_in": (internal_cx_unitary(1), (4,)),
+        "swap_in": (internal_swap_unitary(), (4,)),
+        "enc": (encode_unitary(), (4, 2)),
+        "dec": (decode_unitary(), (4, 2)),
+        "cx2": (CX_MATRIX.copy(), (2, 2)),
+        "swap2": (SWAP_MATRIX.copy(), (2, 2)),
+        "cx0q": (partial_cx_unitary(4, 0, 2, 0), (4, 2)),
+        "cx1q": (partial_cx_unitary(4, 1, 2, 0), (4, 2)),
+        "cxq0": (partial_cx_unitary(2, 0, 4, 0), (2, 4)),
+        "cxq1": (partial_cx_unitary(2, 0, 4, 1), (2, 4)),
+        "swapq0": (partial_swap_unitary(2, 0, 4, 0), (2, 4)),
+        "swapq1": (partial_swap_unitary(2, 0, 4, 1), (2, 4)),
+        "cx00": (partial_cx_unitary(4, 0, 4, 0), (4, 4)),
+        "cx01": (partial_cx_unitary(4, 0, 4, 1), (4, 4)),
+        "cx10": (partial_cx_unitary(4, 1, 4, 0), (4, 4)),
+        "cx11": (partial_cx_unitary(4, 1, 4, 1), (4, 4)),
+        "swap00": (partial_swap_unitary(4, 0, 4, 0), (4, 4)),
+        "swap01": (partial_swap_unitary(4, 0, 4, 1), (4, 4)),
+        "swap11": (partial_swap_unitary(4, 1, 4, 1), (4, 4)),
+        "swap4": (full_ququart_swap_unitary(), (4, 4)),
+    }
+    if gate_name not in table:
+        raise KeyError(f"no target unitary defined for physical gate {gate_name!r}")
+    return table[gate_name]

@@ -1,0 +1,35 @@
+"""Mixed-radix state-vector simulation.
+
+Used to validate that the encoded/partial gate set faithfully reproduces
+qubit semantics (the paper's Figure 3 demonstration) and to verify compiled
+circuits are functionally equivalent to their logical sources on small
+instances.
+"""
+
+from repro.simulation.statevector import MixedRadixState
+from repro.simulation.encoding import (
+    encoded_level_for_bits,
+    bits_for_encoded_level,
+    logical_state_of_units,
+    simulate_logical_circuit,
+    cx_state_evolution,
+)
+from repro.simulation.verify import (
+    VerificationError,
+    assert_equivalent,
+    compiled_state_fidelity,
+    replay_compiled,
+)
+
+__all__ = [
+    "MixedRadixState",
+    "encoded_level_for_bits",
+    "bits_for_encoded_level",
+    "logical_state_of_units",
+    "simulate_logical_circuit",
+    "cx_state_evolution",
+    "VerificationError",
+    "assert_equivalent",
+    "compiled_state_fidelity",
+    "replay_compiled",
+]

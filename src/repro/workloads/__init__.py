@@ -1,0 +1,41 @@
+"""Benchmark workloads used in the paper's evaluation (Section 6.3).
+
+Structured circuits: Cuccaro ripple-carry adder, generalized Toffoli (CNU),
+QRAM, Bernstein-Vazirani.  Graph-based circuits: QAOA-style interaction
+circuits built from random (30 % density), cylinder, torus and binary
+welded tree graphs.
+"""
+
+from repro.workloads.graphs import (
+    binary_welded_tree_graph,
+    cylinder_graph,
+    random_graph,
+    torus_graph,
+)
+from repro.workloads.bv import bernstein_vazirani
+from repro.workloads.cuccaro import cuccaro_adder
+from repro.workloads.cnu import generalized_toffoli
+from repro.workloads.qram import qram_circuit
+from repro.workloads.qaoa import qaoa_from_graph
+from repro.workloads.registry import (
+    BENCHMARK_NAMES,
+    STRUCTURED_BENCHMARKS,
+    GRAPH_BENCHMARKS,
+    build_benchmark,
+)
+
+__all__ = [
+    "random_graph",
+    "cylinder_graph",
+    "torus_graph",
+    "binary_welded_tree_graph",
+    "bernstein_vazirani",
+    "cuccaro_adder",
+    "generalized_toffoli",
+    "qram_circuit",
+    "qaoa_from_graph",
+    "BENCHMARK_NAMES",
+    "STRUCTURED_BENCHMARKS",
+    "GRAPH_BENCHMARKS",
+    "build_benchmark",
+]

@@ -1,0 +1,47 @@
+"""Bernstein-Vazirani benchmark.
+
+The interaction graph of BV is a star centred on the oracle target qubit —
+it contains no cycles, which is why the Ring-Based strategy makes no
+compressions on it (Section 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def bernstein_vazirani(num_qubits: int, secret: int | None = None, seed: int = 0) -> QuantumCircuit:
+    """Bernstein-Vazirani circuit on ``num_qubits`` total qubits.
+
+    The last qubit is the oracle target; the remaining ``num_qubits - 1``
+    qubits form the data register.  ``secret`` selects which data qubits
+    couple to the target (defaults to a dense random secret so the circuit
+    exercises most qubits).
+    """
+    if num_qubits < 2:
+        raise ValueError("Bernstein-Vazirani needs at least two qubits")
+    data_qubits = num_qubits - 1
+    if secret is None:
+        rng = np.random.default_rng(seed)
+        secret = 0
+        for bit in range(data_qubits):
+            if rng.random() < 0.75:
+                secret |= 1 << bit
+        if secret == 0:
+            secret = (1 << data_qubits) - 1
+    if secret >= (1 << data_qubits):
+        raise ValueError("secret does not fit in the data register")
+
+    circuit = QuantumCircuit(num_qubits, name=f"bv-{num_qubits}")
+    target = num_qubits - 1
+    circuit.x(target)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for bit in range(data_qubits):
+        if secret & (1 << bit):
+            circuit.cx(bit, target)
+    for qubit in range(data_qubits):
+        circuit.h(qubit)
+    return circuit

@@ -1,0 +1,46 @@
+"""Generalized Toffoli (CNU) benchmark (Barenco et al. 1995).
+
+An n-controlled NOT built from a ladder of Toffoli gates with ancilla
+qubits.  Like the Cuccaro adder, its interaction graph is made of triangles
+(Figure 5a/5b), the pattern the Ring-Based strategy exploits.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def generalized_toffoli(num_qubits: int) -> QuantumCircuit:
+    """CNU circuit using ``num_qubits`` total qubits.
+
+    The register is split into ``k`` controls, ``k - 1`` ancillas and one
+    target, with ``k`` chosen as large as possible for the requested size.
+    The AND of all controls is accumulated into the ancilla ladder, the
+    target is flipped, and the ladder is uncomputed.
+    """
+    if num_qubits < 3:
+        raise ValueError("a generalized Toffoli needs at least three qubits")
+    num_controls = max(2, (num_qubits + 1) // 2)
+    while num_controls > 2 and num_controls + (num_controls - 1) + 1 > num_qubits:
+        num_controls -= 1
+    num_ancillas = 0 if num_controls == 2 else num_controls - 1
+    circuit = QuantumCircuit(num_qubits, name=f"cnu-{num_qubits}")
+    controls = list(range(num_controls))
+    ancillas = list(range(num_controls, num_controls + num_ancillas))
+    target = num_controls + num_ancillas
+
+    if num_controls == 2:
+        circuit.ccx(controls[0], controls[1], target)
+        return circuit
+
+    # Compute the AND ladder.
+    circuit.ccx(controls[0], controls[1], ancillas[0])
+    for index in range(2, num_controls):
+        circuit.ccx(controls[index], ancillas[index - 2], ancillas[index - 1])
+    # Flip the target conditioned on the accumulated AND.
+    circuit.cx(ancillas[-1], target)
+    # Uncompute the ladder.
+    for index in reversed(range(2, num_controls)):
+        circuit.ccx(controls[index], ancillas[index - 2], ancillas[index - 1])
+    circuit.ccx(controls[0], controls[1], ancillas[0])
+    return circuit

@@ -1,0 +1,50 @@
+"""Cuccaro ripple-carry adder benchmark (Cuccaro et al. 2004).
+
+The adder computes ``b <- a + b`` on two n-bit registers using one input
+carry and one output carry qubit: ``2n + 2`` qubits total.  Its interaction
+graph is a chain of triangles (Figure 5), which makes it the showcase for
+cycle-based compression.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def _maj(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    circuit.cx(a, b)
+    circuit.cx(a, c)
+    circuit.ccx(c, b, a)
+
+
+def _uma(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    circuit.ccx(c, b, a)
+    circuit.cx(a, c)
+    circuit.cx(c, b)
+
+
+def cuccaro_adder(num_qubits: int) -> QuantumCircuit:
+    """Cuccaro adder using ``num_qubits`` total qubits.
+
+    The largest register width ``n`` with ``2n + 2 <= num_qubits`` is used;
+    any leftover qubits are left idle so the circuit always matches the
+    requested register size (the paper sweeps total qubit counts).
+    """
+    if num_qubits < 4:
+        raise ValueError("the Cuccaro adder needs at least four qubits")
+    width = (num_qubits - 2) // 2
+    circuit = QuantumCircuit(num_qubits, name=f"cuccaro-{num_qubits}")
+    carry_in = 0
+    b_register = [1 + 2 * i for i in range(width)]
+    a_register = [2 + 2 * i for i in range(width)]
+    carry_out = 2 * width + 1
+
+    previous = carry_in
+    for index in range(width):
+        _maj(circuit, previous, b_register[index], a_register[index])
+        previous = a_register[index]
+    circuit.cx(a_register[-1], carry_out)
+    for index in reversed(range(width)):
+        previous = carry_in if index == 0 else a_register[index - 1]
+        _uma(circuit, previous, b_register[index], a_register[index])
+    return circuit

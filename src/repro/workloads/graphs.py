@@ -1,0 +1,112 @@
+"""Interaction-graph generators for the QAOA-style benchmarks (Figure 6)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+
+def random_graph(num_nodes: int, density: float = 0.3, seed: int = 0) -> nx.Graph:
+    """Erdos-Renyi style random graph with the paper's 30 % edge density.
+
+    The result is guaranteed connected: if the random draw leaves isolated
+    components, bridging edges are added between them.
+    """
+    if num_nodes < 2:
+        raise ValueError("a graph benchmark needs at least two nodes")
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    for a in range(num_nodes):
+        for b in range(a + 1, num_nodes):
+            if rng.random() < density:
+                graph.add_edge(a, b)
+    components = [sorted(component) for component in nx.connected_components(graph)]
+    for first, second in zip(components, components[1:]):
+        graph.add_edge(first[0], second[0])
+    return graph
+
+
+def cylinder_graph(num_nodes: int, ring_size: int = 4) -> nx.Graph:
+    """Cylinder: stacked rings of ``ring_size`` nodes (Figure 6a).
+
+    Rows wrap around (each row is a ring); columns do not.  If ``num_nodes``
+    is not a multiple of the ring size, the final partial row is connected as
+    a path on top of the last full ring.
+    """
+    if num_nodes < 3:
+        raise ValueError("a cylinder needs at least three nodes")
+    ring_size = max(3, min(ring_size, num_nodes))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    rows = [list(range(start, min(start + ring_size, num_nodes)))
+            for start in range(0, num_nodes, ring_size)]
+    for row in rows:
+        for a, b in zip(row, row[1:]):
+            graph.add_edge(a, b)
+        if len(row) == ring_size:
+            graph.add_edge(row[-1], row[0])
+    for upper, lower in zip(rows, rows[1:]):
+        for column in range(min(len(upper), len(lower))):
+            graph.add_edge(upper[column], lower[column])
+    return graph
+
+
+def torus_graph(num_nodes: int, ring_size: int = 4) -> nx.Graph:
+    """Torus: like the cylinder but also wrapping the columns (Figure 6b)."""
+    graph = cylinder_graph(num_nodes, ring_size)
+    rows = [list(range(start, min(start + ring_size, num_nodes)))
+            for start in range(0, num_nodes, ring_size)]
+    if len(rows) > 2:
+        first, last = rows[0], rows[-1]
+        for column in range(min(len(first), len(last))):
+            graph.add_edge(first[column], last[column])
+    return graph
+
+
+def binary_welded_tree_graph(num_nodes: int) -> nx.Graph:
+    """Binary welded tree: two binary trees joined at their leaves (Figure 6c).
+
+    The largest pair of equal binary trees fitting in ``num_nodes`` is built;
+    any remaining nodes are attached to the roots so the requested node count
+    is always honoured.
+    """
+    if num_nodes < 2:
+        raise ValueError("a welded tree needs at least two nodes")
+    height = 1
+    while 2 * (2 ** (height + 2) - 1) <= num_nodes:
+        height += 1
+    tree_size = 2 ** (height + 1) - 1
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+
+    def add_tree(offset: int) -> list[int]:
+        for index in range(tree_size):
+            left = 2 * index + 1
+            right = 2 * index + 2
+            if left < tree_size:
+                graph.add_edge(offset + index, offset + left)
+            if right < tree_size:
+                graph.add_edge(offset + index, offset + right)
+        first_leaf = tree_size // 2
+        return [offset + index for index in range(first_leaf, tree_size)]
+
+    used = min(2 * tree_size, num_nodes)
+    leaves_a = add_tree(0)
+    if used > tree_size:
+        leaves_b = add_tree(tree_size)
+        count = len(leaves_a)
+        for index, leaf in enumerate(leaves_a):
+            graph.add_edge(leaf, leaves_b[index % count])
+            graph.add_edge(leaf, leaves_b[(index + 1) % count])
+    # Attach any remaining nodes to the two roots alternately.
+    for extra in range(used if used == num_nodes else 2 * tree_size, num_nodes):
+        anchor = 0 if (extra % 2 == 0) else (tree_size if num_nodes > tree_size else 0)
+        graph.add_edge(extra, anchor)
+    # Remove any stray isolated nodes by linking them (defensive).
+    for node in range(num_nodes):
+        if graph.degree(node) == 0:
+            graph.add_edge(node, 0)
+    return graph

@@ -1,0 +1,57 @@
+"""Graph-based QAOA-style benchmark circuits (Section 6.3).
+
+The paper's construction: take a graph where each node is a qubit and each
+edge an interaction, then for every edge — in a random order — apply a CX, a
+Z gate on the target, and another CX.  The circuits are not meant as useful
+QAOA instances; they exist to exercise specific interaction-graph shapes.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def qaoa_from_graph(
+    graph: nx.Graph,
+    rounds: int = 1,
+    seed: int = 0,
+    initial_hadamards: bool = True,
+    name: str | None = None,
+) -> QuantumCircuit:
+    """Build the CX-Z-CX interaction circuit of a graph.
+
+    Parameters
+    ----------
+    graph:
+        Interaction graph; nodes must be integers ``0..n-1``.
+    rounds:
+        Number of passes over the edge list (each with a fresh random order).
+    seed:
+        Seed controlling the random edge order.
+    initial_hadamards:
+        Whether to prepend a layer of Hadamards (standard QAOA preparation).
+    name:
+        Optional circuit name.
+    """
+    nodes = sorted(graph.nodes)
+    if nodes != list(range(len(nodes))):
+        raise ValueError("graph nodes must be consecutive integers starting at 0")
+    if rounds < 1:
+        raise ValueError("at least one round is required")
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(len(nodes), name=name or f"qaoa-{len(nodes)}")
+    if initial_hadamards:
+        for qubit in nodes:
+            circuit.h(qubit)
+    edges = [tuple(sorted(edge)) for edge in graph.edges]
+    for _round in range(rounds):
+        order = rng.permutation(len(edges))
+        for edge_index in order:
+            a, b = edges[edge_index]
+            circuit.cx(a, b)
+            circuit.z(b)
+            circuit.cx(a, b)
+    return circuit

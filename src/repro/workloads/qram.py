@@ -1,0 +1,69 @@
+"""Quantum RAM (QRAM) query benchmark.
+
+A serial QRAM read: for every memory cell, the address register is matched
+against the cell index (with X gates), the match is accumulated into a
+fetch ancilla with a Toffoli ladder, and the cell's value is copied to the
+bus conditioned on the fetch bit.  The resulting interaction graph has many
+cycles that *share edges* (the address qubits participate in every lookup),
+the structure the paper highlights as problematic for the Ring-Based
+strategy.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def qram_circuit(num_qubits: int) -> QuantumCircuit:
+    """QRAM query circuit on ``num_qubits`` total qubits.
+
+    The register layout is: ``k`` address qubits, one fetch ancilla, one bus
+    qubit, and ``num_qubits - k - 2`` memory cells, with ``k`` chosen so the
+    address space covers the memory cells.
+    """
+    if num_qubits < 5:
+        raise ValueError("the QRAM benchmark needs at least five qubits")
+    address_bits = 1
+    while (1 << (address_bits + 1)) <= num_qubits - (address_bits + 1) - 2:
+        address_bits += 1
+    num_cells = num_qubits - address_bits - 2
+    circuit = QuantumCircuit(num_qubits, name=f"qram-{num_qubits}")
+    address = list(range(address_bits))
+    fetch = address_bits
+    bus = address_bits + 1
+    memory = list(range(address_bits + 2, num_qubits))
+
+    # Put the address register into superposition (a query over all cells).
+    for qubit in address:
+        circuit.h(qubit)
+
+    for cell_index, cell in enumerate(memory[:num_cells]):
+        # Select the address pattern of this cell.
+        for bit, qubit in enumerate(address):
+            if not (cell_index >> bit) & 1:
+                circuit.x(qubit)
+        # Accumulate the address match into the fetch ancilla: the first two
+        # address bits seed it, the remaining bits refine it one at a time.
+        if address_bits == 1:
+            circuit.cx(address[0], fetch)
+        else:
+            circuit.ccx(address[0], address[1], fetch)
+            for qubit in address[2:]:
+                circuit.ccx(qubit, fetch, cell)
+                circuit.cx(cell, fetch)
+                circuit.ccx(qubit, fetch, cell)
+        # Copy the memory value onto the bus, conditioned on the fetch bit.
+        circuit.ccx(fetch, cell, bus)
+        # Uncompute the fetch ancilla and the address selection.
+        if address_bits == 1:
+            circuit.cx(address[0], fetch)
+        else:
+            for qubit in reversed(address[2:]):
+                circuit.ccx(qubit, fetch, cell)
+                circuit.cx(cell, fetch)
+                circuit.ccx(qubit, fetch, cell)
+            circuit.ccx(address[0], address[1], fetch)
+        for bit, qubit in enumerate(address):
+            if not (cell_index >> bit) & 1:
+                circuit.x(qubit)
+    return circuit

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import Device, grid_topology, linear_topology
+from repro.circuits import QuantumCircuit
+
+
+@pytest.fixture
+def grid_device() -> Device:
+    """A 2x3 grid device (6 units, up to 12 logical qubits)."""
+    return Device(topology=grid_topology(2, 3))
+
+
+@pytest.fixture
+def line_device() -> Device:
+    """A 4-unit linear device."""
+    return Device(topology=linear_topology(4))
+
+
+@pytest.fixture
+def bell_circuit() -> QuantumCircuit:
+    """Two-qubit Bell-pair preparation."""
+    circuit = QuantumCircuit(2, "bell")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+@pytest.fixture
+def ghz_circuit() -> QuantumCircuit:
+    """Five-qubit GHZ preparation."""
+    circuit = QuantumCircuit(5, "ghz")
+    circuit.h(0)
+    for qubit in range(4):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+@pytest.fixture
+def layered_circuit() -> QuantumCircuit:
+    """A circuit with a known moment structure used by depth/weight tests."""
+    circuit = QuantumCircuit(4, "layered")
+    circuit.h(0)
+    circuit.h(1)
+    circuit.cx(0, 1)
+    circuit.cx(2, 3)
+    circuit.cx(1, 2)
+    circuit.x(3)
+    return circuit
+
+
+def make_random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: int = 0,
+    include_swaps: bool = True,
+) -> QuantumCircuit:
+    """Random 1q/2q circuit generator used by several test modules."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, f"random-{num_qubits}-{seed}")
+    single_gates = ["x", "h", "z", "s", "t"]
+    for _ in range(num_gates):
+        choice = rng.random()
+        if choice < 0.4:
+            circuit.add(str(rng.choice(single_gates)), int(rng.integers(num_qubits)))
+        elif choice < 0.9 or not include_swaps:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.swap(int(a), int(b))
+    return circuit
+
+
+@pytest.fixture
+def random_circuit_factory():
+    """Factory fixture wrapping :func:`make_random_circuit`."""
+    return make_random_circuit

@@ -1,0 +1,52 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.evaluation import (
+    internal_gate_ablation,
+    merging_ablation,
+    uniform_routing_ablation,
+)
+
+
+class TestMergingAblation:
+    def test_merging_never_increases_ops(self):
+        result = merging_ablation(benchmark="qaoa_torus", num_qubits=12)
+        assert result.baseline.num_ops <= result.ablated.num_ops
+        # Merging only helps when at least one pair of single-qubit gates was
+        # actually combined.
+        if result.baseline.num_ops < result.ablated.num_ops:
+            assert result.baseline.gate_eps >= result.ablated.gate_eps
+
+    def test_reports_carry_metadata(self):
+        result = merging_ablation(benchmark="bv", num_qubits=8)
+        assert result.benchmark == "bv"
+        assert result.strategy == "eqm"
+        assert result.baseline.strategy_name == "eqm"
+
+
+class TestInternalGateAblation:
+    def test_removing_internal_advantage_hurts_gate_eps(self):
+        result = internal_gate_ablation(benchmark="cuccaro", num_qubits=12, strategy="rb")
+        # Internal CX gates drop from 99.9% to 99% success, so the compressed
+        # circuit's gate EPS must fall.
+        assert result.ablated.gate_eps < result.baseline.gate_eps
+        assert result.gate_eps_ratio < 1.0
+
+    def test_removing_internal_advantage_slows_the_circuit(self):
+        result = internal_gate_ablation(benchmark="cuccaro", num_qubits=12, strategy="rb")
+        assert result.makespan_ratio >= 1.0
+
+
+class TestUniformRoutingAblation:
+    def test_runs_and_reports_both_sides(self):
+        result = uniform_routing_ablation(benchmark="qaoa_random", num_qubits=12)
+        assert 0 < result.baseline.gate_eps <= 1
+        assert 0 < result.ablated.gate_eps <= 1
+        assert result.baseline.num_ops > 0
+        assert result.ablated.num_ops > 0
+
+    def test_ratios_are_finite(self):
+        result = uniform_routing_ablation(benchmark="qaoa_random", num_qubits=10)
+        assert result.gate_eps_ratio != float("inf")
+        assert result.makespan_ratio != float("inf")

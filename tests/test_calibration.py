@@ -1,0 +1,69 @@
+"""Tests for deriving duration tables from pulse results."""
+
+import numpy as np
+import pytest
+
+from repro.pulses import GateDurationTable, PulseResult, durations_from_pulse_results
+from repro.pulses.calibration import calibrate_gate
+
+
+def _result(gate, duration, fidelity):
+    return PulseResult(gate_name=gate, duration_ns=duration, fidelity=fidelity,
+                       amplitudes=np.zeros((4, 1)))
+
+
+class TestDurationsFromResults:
+    def test_overrides_only_listed_gates(self):
+        table = durations_from_pulse_results([_result("cx2", 200.0, 0.985)])
+        assert table.duration("cx2") == pytest.approx(200.0)
+        assert table.fidelity("cx2") == pytest.approx(0.985)
+        # Everything else keeps the Table 1 defaults.
+        assert table.duration("swap2") == pytest.approx(504.0)
+        assert table.fidelity("swap_in") == pytest.approx(0.999)
+
+    def test_durations_only_mode(self):
+        table = durations_from_pulse_results(
+            [_result("cx2", 200.0, 0.5)], use_fidelities=False
+        )
+        assert table.duration("cx2") == pytest.approx(200.0)
+        assert table.fidelity("cx2") == pytest.approx(0.99)
+
+    def test_base_table_respected(self):
+        base = GateDurationTable().with_overrides(durations_ns={"x": 50.0})
+        table = durations_from_pulse_results([_result("cx2", 300.0, 0.99)], base_table=base)
+        assert table.duration("x") == pytest.approx(50.0)
+        assert table.duration("cx2") == pytest.approx(300.0)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(KeyError):
+            durations_from_pulse_results([_result("hyperdrive", 10.0, 0.9)])
+
+    def test_compiler_accepts_calibrated_table(self):
+        from repro.arch import Device, grid_topology
+        from repro.compiler import QompressCompiler
+        from repro.compression import QubitOnly
+        from repro.workloads import bernstein_vazirani
+
+        table = durations_from_pulse_results([_result("cx2", 100.0, 0.995)])
+        device = Device(topology=grid_topology(2, 3), durations=table)
+        compiled = QompressCompiler(device, QubitOnly()).compile(
+            bernstein_vazirani(6, secret=0b10101)
+        )
+        cx_ops = [op for op in compiled.ops if op.gate == "cx2"]
+        assert cx_ops
+        assert all(op.duration_ns == pytest.approx(100.0) for op in cx_ops)
+
+
+class TestCalibrateGate:
+    def test_single_qubit_calibration_runs(self):
+        result = calibrate_gate(
+            "x", segments=6, max_iterations=30, start_ns=8.0, step_ns=8.0,
+            max_duration_ns=24.0,
+        )
+        assert result.gate_name == "x"
+        assert 8.0 <= result.duration_ns <= 24.0
+        assert 0.0 < result.fidelity <= 1.0
+
+    def test_calibration_rejects_unknown_gate(self):
+        with pytest.raises(KeyError):
+            calibrate_gate("nonexistent")

@@ -1,0 +1,125 @@
+"""Tests for the QuantumCircuit container."""
+
+import pytest
+
+from repro.circuits import Gate, QuantumCircuit
+
+
+class TestBuilder:
+    def test_empty_circuit(self):
+        circuit = QuantumCircuit(3)
+        assert circuit.num_qubits == 3
+        assert len(circuit) == 0
+        assert circuit.depth() == 0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_builder_methods_chain(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).rz(0.5, 1).measure_all()
+        names = [gate.name for gate in circuit]
+        assert names == ["h", "cx", "rz", "measure", "measure"]
+
+    def test_out_of_range_qubit_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError, match="only has 2 qubits"):
+            circuit.x(2)
+
+    def test_append_prebuilt_gate(self):
+        circuit = QuantumCircuit(2)
+        circuit.append(Gate("cx", (0, 1)))
+        assert circuit[0].name == "cx"
+
+    def test_barrier_defaults_to_all_qubits(self):
+        circuit = QuantumCircuit(3).barrier()
+        assert circuit[0].qubits == (0, 1, 2)
+
+    def test_iteration_and_indexing(self, bell_circuit):
+        assert [g.name for g in bell_circuit] == ["h", "cx"]
+        assert bell_circuit[1].qubits == (0, 1)
+
+    def test_equality(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).h(0).cx(0, 1)
+        c = QuantumCircuit(2).h(0)
+        assert a == b
+        assert a != c
+
+
+class TestStructuralQueries:
+    def test_count_ops(self, ghz_circuit):
+        counts = ghz_circuit.count_ops()
+        assert counts["h"] == 1
+        assert counts["cx"] == 4
+
+    def test_num_two_qubit_gates(self, ghz_circuit):
+        assert ghz_circuit.num_two_qubit_gates() == 4
+
+    def test_active_qubits(self):
+        circuit = QuantumCircuit(5).x(0).cx(1, 3)
+        assert circuit.active_qubits() == {0, 1, 3}
+
+    def test_interaction_pairs(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(0, 1).cx(1, 2)
+        pairs = circuit.interaction_pairs()
+        assert pairs[(0, 1)] == 2
+        assert pairs[(1, 2)] == 1
+        assert (0, 2) not in pairs
+
+    def test_interaction_pairs_ignore_meta(self):
+        circuit = QuantumCircuit(3).barrier().cx(0, 2)
+        assert set(circuit.interaction_pairs()) == {(0, 2)}
+
+    def test_moments_pack_disjoint_gates(self, layered_circuit):
+        moments = layered_circuit.moments()
+        # h(0), h(1) and the disjoint cx(2,3) all fit in the first moment;
+        # cx(0,1) and x(3) wait for their operands to become free.
+        assert set(moments[0]) == {0, 1, 3}
+        assert set(moments[1]) == {2, 5}
+        assert set(moments[2]) == {4}
+
+    def test_depth(self, layered_circuit):
+        assert layered_circuit.depth() == 3
+
+    def test_gate_timesteps_start_at_one(self, layered_circuit):
+        steps = layered_circuit.gate_timesteps()
+        assert min(steps.values()) == 1
+        assert steps[0] == 1
+        assert steps[4] == 3  # cx(1, 2) waits for both preceding cx layers
+
+    def test_depth_of_serial_chain(self):
+        circuit = QuantumCircuit(2)
+        for _ in range(7):
+            circuit.cx(0, 1)
+        assert circuit.depth() == 7
+
+
+class TestTransformations:
+    def test_copy_is_independent(self, bell_circuit):
+        clone = bell_circuit.copy()
+        clone.x(0)
+        assert len(clone) == len(bell_circuit) + 1
+
+    def test_remapped(self, bell_circuit):
+        remapped = bell_circuit.remapped({0: 1, 1: 0})
+        assert remapped[1].qubits == (1, 0)
+
+    def test_remapped_onto_larger_register(self, bell_circuit):
+        remapped = bell_circuit.remapped({0: 3, 1: 4}, num_qubits=5)
+        assert remapped.num_qubits == 5
+        assert remapped[1].qubits == (3, 4)
+
+    def test_compose(self, bell_circuit):
+        tail = QuantumCircuit(2).x(1)
+        combined = bell_circuit.compose(tail)
+        assert [g.name for g in combined] == ["h", "cx", "x"]
+
+    def test_compose_larger_rejected(self, bell_circuit):
+        with pytest.raises(ValueError):
+            bell_circuit.compose(QuantumCircuit(3).x(2))
+
+    def test_without_meta(self):
+        circuit = QuantumCircuit(2).h(0).measure(0).barrier().cx(0, 1)
+        stripped = circuit.without_meta()
+        assert [g.name for g in stripped] == ["h", "cx"]

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_compile_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["compile", "--benchmark", "cuccaro", "--qubits", "10", "--strategy", "rb"]
+        )
+        assert args.command == "compile"
+        assert args.benchmark == "cuccaro"
+        assert args.qubits == 10
+        assert args.strategy == "rb"
+        assert args.device == "grid"
+
+    def test_unknown_benchmark_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["compile", "--benchmark", "nope", "--qubits", "10"])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.benchmarks == ["cuccaro", "cnu"]
+        assert args.strategies == ["qubit_only", "eqm", "rb"]
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "cx2" in output
+        assert "251" in output
+        assert "swap4" in output
+
+    def test_compile_reports_eps(self, capsys):
+        code = main(["compile", "--benchmark", "bv", "--qubits", "8",
+                     "--strategy", "eqm", "--show-gates"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "gate EPS" in output
+        assert "total EPS" in output
+        assert "gate type" in output
+
+    def test_sweep_writes_csv(self, capsys, tmp_path):
+        target = tmp_path / "sweep.csv"
+        code = main([
+            "sweep", "--benchmarks", "bv", "--sizes", "6",
+            "--strategies", "qubit_only", "eqm", "--output", str(target),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "qubit_only" in output
+        assert target.exists()
+        lines = target.read_text().splitlines()
+        assert lines[0].startswith("benchmark")
+        assert len(lines) == 3  # header + two strategies
+
+    def test_figure_fig4(self, capsys, tmp_path):
+        target = tmp_path / "fig4.csv"
+        code = main(["figure", "--name", "fig4", "--output", str(target)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "qubit_only" in output
+        assert target.exists()
+
+    def test_figure_fig3(self, capsys):
+        assert main(["figure", "--name", "fig3"]) == 0
+        output = capsys.readouterr().out
+        assert "cx0q" in output

@@ -1,0 +1,229 @@
+"""Tests for the compression strategies (Section 5) and baselines (Section 6.2)."""
+
+import pytest
+
+from repro.arch import Device, grid_topology
+from repro.circuits import QuantumCircuit, decompose_to_basis
+from repro.compression import (
+    AverageWeightPerEdge,
+    ExhaustiveCompression,
+    ExtendedQubitMapping,
+    FullQuquart,
+    ProgressivePairing,
+    QubitOnly,
+    RingBased,
+    circuit_interaction_graph,
+    get_strategy,
+)
+from repro.compression.base import greedy_max_weight_pairing, simultaneity_counts
+from repro.workloads import bernstein_vazirani, cuccaro_adder, generalized_toffoli
+from tests.conftest import make_random_circuit
+
+
+def _device_for(circuit):
+    return Device.grid_for_circuit(circuit.num_qubits)
+
+
+def _assert_valid_pairs(plan, circuit):
+    seen = set()
+    for a, b in plan.pairs:
+        assert a != b
+        assert 0 <= a < circuit.num_qubits
+        assert 0 <= b < circuit.num_qubits
+        assert a not in seen and b not in seen
+        seen.update((a, b))
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,cls", [
+        ("qubit_only", QubitOnly), ("fq", FullQuquart), ("eqm", ExtendedQubitMapping),
+        ("rb", RingBased), ("awe", AverageWeightPerEdge), ("pp", ProgressivePairing),
+        ("ec", ExhaustiveCompression),
+    ])
+    def test_lookup_by_name(self, name, cls):
+        assert isinstance(get_strategy(name), cls)
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(get_strategy("EQM"), ExtendedQubitMapping)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_strategy("magic")
+
+
+class TestBaselines:
+    def test_qubit_only_plan(self):
+        circuit = make_random_circuit(6, 15, seed=0)
+        plan = QubitOnly().plan(circuit, _device_for(circuit))
+        assert plan.qubit_only
+        assert not plan.pairs
+
+    def test_fq_pairs_every_qubit(self):
+        circuit = make_random_circuit(8, 30, seed=1)
+        plan = FullQuquart().plan(circuit, _device_for(circuit))
+        assert plan.full_ququart
+        assert len(plan.paired_qubits) == 8
+        _assert_valid_pairs(plan, circuit)
+
+    def test_fq_pairs_odd_register(self):
+        circuit = make_random_circuit(7, 25, seed=2)
+        plan = FullQuquart().plan(circuit, _device_for(circuit))
+        assert len(plan.paired_qubits) == 6  # one qubit stays bare
+
+    def test_fq_handles_interaction_free_circuit(self):
+        circuit = QuantumCircuit(4).x(0).x(1).x(2).x(3)
+        plan = FullQuquart().plan(circuit, _device_for(circuit))
+        assert len(plan.pairs) == 2
+
+
+class TestEQM:
+    def test_plan_requests_free_pairing_only(self):
+        circuit = make_random_circuit(6, 15, seed=3)
+        plan = ExtendedQubitMapping().plan(circuit, _device_for(circuit))
+        assert plan.allow_free_pairing
+        assert not plan.pairs
+        assert not plan.qubit_only
+
+
+class TestRingBased:
+    def test_no_pairs_for_bernstein_vazirani(self):
+        # BV's interaction graph is a star: no cycles, so RB must not compress.
+        circuit = decompose_to_basis(bernstein_vazirani(10, seed=1))
+        plan = RingBased().plan(circuit, _device_for(circuit))
+        assert plan.pairs == ()
+
+    def test_pairs_found_in_cuccaro_triangles(self):
+        circuit = decompose_to_basis(cuccaro_adder(10))
+        plan = RingBased().plan(circuit, _device_for(circuit))
+        assert len(plan.pairs) >= 2
+        _assert_valid_pairs(plan, circuit)
+
+    def test_pairs_found_in_cnu(self):
+        circuit = decompose_to_basis(generalized_toffoli(9))
+        plan = RingBased().plan(circuit, _device_for(circuit))
+        assert len(plan.pairs) >= 1
+        _assert_valid_pairs(plan, circuit)
+
+    def test_max_pairs_respected(self):
+        circuit = decompose_to_basis(cuccaro_adder(12))
+        plan = RingBased(max_pairs=1).plan(circuit, _device_for(circuit))
+        assert len(plan.pairs) <= 1
+
+    def test_paired_qubits_share_a_cycle(self):
+        circuit = decompose_to_basis(cuccaro_adder(8))
+        graph = circuit_interaction_graph(circuit)
+        plan = RingBased().plan(circuit, _device_for(circuit))
+        for a, b in plan.pairs:
+            # Pair members are at distance at most 2 in the interaction graph
+            # (they share a cycle, usually a triangle).
+            import networkx as nx
+
+            assert nx.shortest_path_length(graph, a, b) <= 2
+
+
+class TestAWE:
+    def test_pairs_are_valid(self):
+        circuit = make_random_circuit(8, 30, seed=4)
+        plan = AverageWeightPerEdge().plan(circuit, _device_for(circuit))
+        _assert_valid_pairs(plan, circuit)
+
+    def test_awe_compresses_shared_neighbour_structure(self):
+        # Two qubits interacting with the same partners raise the average
+        # weight per edge when merged.
+        circuit = QuantumCircuit(6)
+        for target in (2, 3, 4, 5):
+            circuit.cx(0, target)
+            circuit.cx(1, target)
+        plan = AverageWeightPerEdge().plan(circuit, _device_for(circuit))
+        assert (0, 1) in plan.pairs
+
+    def test_no_pairs_when_nothing_improves(self):
+        # A single isolated interaction cannot be improved by merging others.
+        circuit = QuantumCircuit(4).cx(0, 1)
+        plan = AverageWeightPerEdge().plan(circuit, _device_for(circuit))
+        assert all(set(pair) != {2, 3} for pair in plan.pairs)
+
+    def test_max_pairs_respected(self):
+        circuit = make_random_circuit(10, 40, seed=5)
+        plan = AverageWeightPerEdge(max_pairs=2).plan(circuit, _device_for(circuit))
+        assert len(plan.pairs) <= 2
+
+
+class TestProgressivePairing:
+    def test_pairs_are_valid(self):
+        circuit = decompose_to_basis(cuccaro_adder(10))
+        plan = ProgressivePairing().plan(circuit, _device_for(circuit))
+        _assert_valid_pairs(plan, circuit)
+
+    def test_interaction_free_circuit_gets_no_pairs(self):
+        circuit = QuantumCircuit(5).x(0).h(1).z(2)
+        plan = ProgressivePairing().plan(circuit, _device_for(circuit))
+        assert plan.pairs == ()
+
+    def test_max_pairs_respected(self):
+        circuit = decompose_to_basis(cuccaro_adder(12))
+        plan = ProgressivePairing(max_pairs=1).plan(circuit, _device_for(circuit))
+        assert len(plan.pairs) <= 1
+
+
+class TestExhaustive:
+    def test_pairs_improve_gate_eps(self):
+        from repro.compiler import QompressCompiler
+        from repro.metrics import evaluate_eps
+
+        circuit = decompose_to_basis(generalized_toffoli(7))
+        device = _device_for(circuit)
+        strategy = ExhaustiveCompression(max_pairs=2, max_evaluations=120)
+        plan = strategy.plan(circuit, device)
+        _assert_valid_pairs(plan, circuit)
+        if plan.pairs:
+            baseline = evaluate_eps(QompressCompiler(device, QubitOnly()).compile(circuit))
+            compressed = evaluate_eps(
+                QompressCompiler(device, strategy).compile(circuit)
+            )
+            assert compressed.gate_eps >= baseline.gate_eps
+
+    def test_selection_modes(self):
+        circuit = decompose_to_basis(cuccaro_adder(8))
+        device = _device_for(circuit)
+        critical = ExhaustiveCompression(selection="critical", max_pairs=1,
+                                         max_evaluations=60).plan(circuit, device)
+        unordered = ExhaustiveCompression(selection="any", max_pairs=1,
+                                          max_evaluations=60).plan(circuit, device)
+        _assert_valid_pairs(critical, circuit)
+        _assert_valid_pairs(unordered, circuit)
+
+    def test_invalid_selection_rejected(self):
+        with pytest.raises(ValueError):
+            ExhaustiveCompression(selection="random")
+
+    def test_evaluation_budget_respected(self):
+        circuit = decompose_to_basis(cuccaro_adder(8))
+        strategy = ExhaustiveCompression(max_evaluations=3)
+        plan = strategy.plan(circuit, _device_for(circuit))
+        _assert_valid_pairs(plan, circuit)
+
+
+class TestSharedHelpers:
+    def test_interaction_graph_includes_idle_qubits(self):
+        circuit = QuantumCircuit(5).cx(0, 1)
+        graph = circuit_interaction_graph(circuit)
+        assert set(graph.nodes) == {0, 1, 2, 3, 4}
+        assert graph.edges[0, 1]["count"] == 1
+
+    def test_greedy_pairing_prefers_heavy_edges(self):
+        circuit = QuantumCircuit(4)
+        for _ in range(5):
+            circuit.cx(0, 1)
+        circuit.cx(1, 2).cx(2, 3)
+        graph = circuit_interaction_graph(circuit)
+        pairs = greedy_max_weight_pairing(graph)
+        assert (0, 1) in pairs
+
+    def test_simultaneity_counts(self):
+        circuit = QuantumCircuit(4).cx(0, 1).cx(2, 3)
+        counts = simultaneity_counts(circuit)
+        # Gates in the same moment make their operands simultaneous.
+        assert counts[(0, 2)] == 1
+        assert counts[(1, 3)] == 1
+        assert (0, 1) not in counts

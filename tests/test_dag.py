@@ -1,0 +1,77 @@
+"""Tests for the circuit dependency DAG."""
+
+from repro.circuits import CircuitDAG, QuantumCircuit
+
+
+class TestDependencies:
+    def test_serial_chain_dependencies(self):
+        circuit = QuantumCircuit(1).x(0).h(0).z(0)
+        dag = CircuitDAG(circuit)
+        assert dag.successors(0) == {1}
+        assert dag.successors(1) == {2}
+        assert dag.predecessors(2) == {1}
+
+    def test_parallel_gates_have_no_edges(self):
+        circuit = QuantumCircuit(2).x(0).x(1)
+        dag = CircuitDAG(circuit)
+        assert dag.successors(0) == set()
+        assert dag.predecessors(1) == set()
+
+    def test_two_qubit_gate_joins_chains(self):
+        circuit = QuantumCircuit(2).x(0).x(1).cx(0, 1).h(1)
+        dag = CircuitDAG(circuit)
+        assert dag.predecessors(2) == {0, 1}
+        assert dag.successors(2) == {3}
+
+    def test_front_layer(self):
+        circuit = QuantumCircuit(3).x(0).x(1).cx(0, 1).x(2)
+        dag = CircuitDAG(circuit)
+        assert set(dag.front_layer()) == {0, 1, 3}
+
+    def test_topological_order_respects_dependencies(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(1, 2).cx(0, 2).h(2)
+        dag = CircuitDAG(circuit)
+        order = dag.topological_order()
+        position = {node: index for index, node in enumerate(order)}
+        for node in range(len(circuit)):
+            for succ in dag.successors(node):
+                assert position[node] < position[succ]
+
+
+class TestCriticalPath:
+    def test_unit_weight_critical_path_length(self):
+        circuit = QuantumCircuit(3)
+        for _ in range(4):
+            circuit.cx(0, 1)
+        circuit.x(2)
+        dag = CircuitDAG(circuit)
+        assert dag.critical_path_length() == 4
+
+    def test_weighted_critical_path(self):
+        circuit = QuantumCircuit(2).x(0).cx(0, 1).x(1)
+        dag = CircuitDAG(circuit)
+        weight = lambda gate: 10.0 if gate.name == "cx" else 1.0
+        assert dag.critical_path_length(weight) == 12.0
+
+    def test_critical_path_nodes_form_a_chain(self):
+        circuit = QuantumCircuit(4).cx(0, 1).cx(1, 2).cx(2, 3).x(0)
+        dag = CircuitDAG(circuit)
+        path = dag.critical_path()
+        assert path == [0, 1, 2]
+
+    def test_critical_path_qubits(self):
+        circuit = QuantumCircuit(4).cx(0, 1).cx(1, 2).cx(2, 3).x(0)
+        dag = CircuitDAG(circuit)
+        assert dag.critical_path_qubits() == {0, 1, 2, 3}
+
+    def test_empty_circuit(self):
+        dag = CircuitDAG(QuantumCircuit(2))
+        assert dag.critical_path_length() == 0.0
+        assert dag.critical_path() == []
+
+    def test_longest_path_to_and_from(self):
+        circuit = QuantumCircuit(2).x(0).cx(0, 1).h(1)
+        dag = CircuitDAG(circuit)
+        to_node, from_node = dag.longest_path_lengths()
+        assert to_node[2] == 3.0
+        assert from_node[0] == 3.0

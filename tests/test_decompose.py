@@ -1,0 +1,70 @@
+"""Tests for the Toffoli / Fredkin / rzz decomposition pass."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, decompose_to_basis
+from repro.simulation import simulate_logical_circuit
+
+
+def _states_equivalent(a: np.ndarray, b: np.ndarray) -> bool:
+    return abs(np.vdot(a, b)) ** 2 > 1 - 1e-9
+
+
+class TestDecomposition:
+    def test_only_basis_gates_remain(self):
+        circuit = QuantumCircuit(4).ccx(0, 1, 2).cswap(0, 2, 3).rzz(0.3, 1, 2)
+        lowered = decompose_to_basis(circuit)
+        assert all(gate.num_qubits <= 2 for gate in lowered)
+        assert all(gate.name not in ("ccx", "cswap", "rzz") for gate in lowered)
+
+    def test_plain_gates_copied_verbatim(self, bell_circuit):
+        lowered = decompose_to_basis(bell_circuit)
+        assert lowered == bell_circuit
+
+    def test_decomposition_is_idempotent(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2)
+        once = decompose_to_basis(circuit)
+        twice = decompose_to_basis(once)
+        assert once == twice
+
+    @pytest.mark.parametrize("bits", [(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0), (1, 1, 1)])
+    def test_toffoli_truth_table(self, bits):
+        prep = QuantumCircuit(3)
+        for index, bit in enumerate(bits):
+            if bit:
+                prep.x(index)
+        prep.ccx(0, 1, 2)
+        expected = simulate_logical_circuit(prep)
+        lowered = decompose_to_basis(prep)
+        actual = simulate_logical_circuit(lowered)
+        assert _states_equivalent(expected, actual)
+
+    @pytest.mark.parametrize("bits", [(0, 1, 0), (1, 1, 0), (1, 0, 1)])
+    def test_fredkin_truth_table(self, bits):
+        prep = QuantumCircuit(3)
+        for index, bit in enumerate(bits):
+            if bit:
+                prep.x(index)
+        prep.cswap(0, 1, 2)
+        expected = simulate_logical_circuit(prep)
+        actual = simulate_logical_circuit(decompose_to_basis(prep))
+        assert _states_equivalent(expected, actual)
+
+    def test_toffoli_on_superposition(self):
+        circuit = QuantumCircuit(3).h(0).h(1).ccx(0, 1, 2)
+        expected = simulate_logical_circuit(circuit)
+        actual = simulate_logical_circuit(decompose_to_basis(circuit))
+        assert _states_equivalent(expected, actual)
+
+    def test_rzz_equivalence(self):
+        circuit = QuantumCircuit(2).h(0).h(1).rzz(0.7, 0, 1)
+        expected = simulate_logical_circuit(circuit)
+        actual = simulate_logical_circuit(decompose_to_basis(circuit))
+        assert _states_equivalent(expected, actual)
+
+    def test_gate_counts_of_toffoli(self):
+        lowered = decompose_to_basis(QuantumCircuit(3).ccx(0, 1, 2))
+        counts = lowered.count_ops()
+        assert counts["cx"] == 6
+        assert counts["h"] == 2

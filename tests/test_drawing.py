@@ -1,0 +1,74 @@
+"""Tests for the ASCII circuit and timeline renderers."""
+
+import pytest
+
+from repro.arch import Device, grid_topology
+from repro.circuits import QuantumCircuit
+from repro.circuits.drawing import draw_circuit, draw_compiled_timeline
+from repro.compiler import QompressCompiler
+from repro.compression import get_strategy
+from repro.workloads import cuccaro_adder
+
+
+class TestDrawCircuit:
+    def test_one_row_per_qubit(self, ghz_circuit):
+        text = draw_circuit(ghz_circuit)
+        lines = text.splitlines()
+        assert len(lines) == ghz_circuit.num_qubits
+        assert lines[0].startswith("q0:")
+
+    def test_controlled_gate_symbols(self, bell_circuit):
+        text = draw_circuit(bell_circuit)
+        lines = text.splitlines()
+        assert "H" in lines[0]
+        assert "*" in lines[0]
+        assert "X" in lines[1]
+
+    def test_swap_and_barrier_symbols(self):
+        circuit = QuantumCircuit(2).swap(0, 1).barrier().measure(0)
+        text = draw_circuit(circuit)
+        assert text.count("x") >= 2
+        assert "|" in text
+        assert "M" in text
+
+    def test_toffoli_rendering(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2)
+        lines = draw_circuit(circuit).splitlines()
+        assert "*" in lines[0]
+        assert "*" in lines[1]
+        assert "X" in lines[2]
+
+    def test_truncation_of_long_circuits(self):
+        circuit = QuantumCircuit(2)
+        for _ in range(200):
+            circuit.cx(0, 1)
+        text = draw_circuit(circuit, max_width=60)
+        for line in text.splitlines():
+            assert len(line) <= 70
+            assert line.endswith("...")
+
+
+class TestDrawTimeline:
+    @pytest.fixture
+    def compiled(self):
+        device = Device(topology=grid_topology(2, 3))
+        return QompressCompiler(device, get_strategy("eqm")).compile(cuccaro_adder(10))
+
+    def test_one_row_per_unit(self, compiled):
+        text = draw_compiled_timeline(compiled)
+        lines = text.splitlines()
+        assert len(lines) == compiled.device.num_units
+
+    def test_ququart_units_labelled(self, compiled):
+        text = draw_compiled_timeline(compiled)
+        assert "[Q4]" in text
+        assert any(symbol in text for symbol in ("C", "S", "1"))
+
+    def test_bucket_validation(self, compiled):
+        with pytest.raises(ValueError):
+            draw_compiled_timeline(compiled, bucket_ns=0.0)
+
+    def test_width_limit(self, compiled):
+        text = draw_compiled_timeline(compiled, bucket_ns=10.0, max_width=50)
+        for line in text.splitlines():
+            assert len(line) <= 60

@@ -1,0 +1,95 @@
+"""Tests for the GateDurationTable model."""
+
+import pytest
+
+from repro.gates import PHYSICAL_GATES, GateStyle
+from repro.pulses import (
+    DEFAULT_SINGLE_QUDIT_FIDELITY,
+    DEFAULT_TWO_QUDIT_FIDELITY,
+    GateDurationTable,
+)
+
+
+class TestDefaults:
+    def test_defaults_cover_all_gates(self):
+        table = GateDurationTable()
+        assert set(table.known_gates()) == set(PHYSICAL_GATES)
+
+    def test_default_fidelity_classes(self):
+        table = GateDurationTable()
+        assert table.fidelity("x") == DEFAULT_SINGLE_QUDIT_FIDELITY
+        assert table.fidelity("swap_in") == DEFAULT_SINGLE_QUDIT_FIDELITY
+        assert table.fidelity("cx2") == DEFAULT_TWO_QUDIT_FIDELITY
+        assert table.fidelity("cx0q") == DEFAULT_TWO_QUDIT_FIDELITY
+        assert table.fidelity("measure") == 1.0
+
+    def test_duration_lookup(self):
+        assert GateDurationTable().duration("cx2") == pytest.approx(251.0)
+
+    def test_unknown_gate_raises(self):
+        table = GateDurationTable()
+        with pytest.raises(KeyError):
+            table.duration("warp_drive")
+        with pytest.raises(KeyError):
+            table.fidelity("warp_drive")
+
+    def test_style_lookup(self):
+        assert GateDurationTable().style("cx00") is GateStyle.QUQUART_QUQUART_CX
+
+
+class TestOverrides:
+    def test_with_overrides_does_not_mutate(self):
+        base = GateDurationTable()
+        derived = base.with_overrides(durations_ns={"cx2": 100.0}, fidelities={"cx2": 0.95})
+        assert base.duration("cx2") == pytest.approx(251.0)
+        assert derived.duration("cx2") == pytest.approx(100.0)
+        assert derived.fidelity("cx2") == pytest.approx(0.95)
+
+    def test_invalid_override_values(self):
+        table = GateDurationTable()
+        with pytest.raises(ValueError):
+            table.with_overrides(durations_ns={"cx2": -1.0})
+        with pytest.raises(ValueError):
+            table.with_overrides(fidelities={"cx2": 1.5})
+
+    def test_copy_is_deep(self):
+        base = GateDurationTable()
+        clone = base.copy()
+        clone.durations_ns["cx2"] = 1.0
+        assert base.duration("cx2") == pytest.approx(251.0)
+
+
+class TestScaling:
+    def test_qubit_error_scaling_only_touches_bare_qubit_gates(self):
+        table = GateDurationTable().with_qubit_error_scaled(0.1)
+        assert table.fidelity("cx2") == pytest.approx(1.0 - 0.01 * 0.1)
+        assert table.fidelity("x") == pytest.approx(1.0 - 0.001 * 0.1)
+        # Ququart-touching gates are unchanged.
+        assert table.fidelity("cx0q") == pytest.approx(DEFAULT_TWO_QUDIT_FIDELITY)
+        assert table.fidelity("cx0_in") == pytest.approx(DEFAULT_SINGLE_QUDIT_FIDELITY)
+
+    def test_all_error_scaling(self):
+        table = GateDurationTable().with_all_error_scaled(2.0)
+        assert table.fidelity("cx2") == pytest.approx(0.98)
+        assert table.fidelity("cx00") == pytest.approx(0.98)
+
+    def test_error_scale_clamped_to_valid_probability(self):
+        table = GateDurationTable().with_all_error_scaled(1000.0)
+        assert 0.0 <= table.fidelity("cx2") <= 1.0
+
+    def test_negative_error_scale_rejected(self):
+        with pytest.raises(ValueError):
+            GateDurationTable().with_qubit_error_scaled(-1.0)
+
+    def test_duration_scaling(self):
+        table = GateDurationTable().with_duration_scaled(2.0)
+        assert table.duration("cx2") == pytest.approx(502.0)
+
+    def test_duration_scaling_only_ququart(self):
+        table = GateDurationTable().with_duration_scaled(2.0, only_ququart=True)
+        assert table.duration("cx2") == pytest.approx(251.0)
+        assert table.duration("cx0q") == pytest.approx(1120.0)
+
+    def test_invalid_duration_scale(self):
+        with pytest.raises(ValueError):
+            GateDurationTable().with_duration_scaled(0.0)

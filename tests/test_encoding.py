@@ -1,0 +1,108 @@
+"""Tests for encoding semantics, logical simulation and Figure 3 traces."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.simulation import (
+    MixedRadixState,
+    bits_for_encoded_level,
+    cx_state_evolution,
+    encoded_level_for_bits,
+    logical_state_of_units,
+    simulate_logical_circuit,
+)
+
+
+class TestEncodingMaps:
+    @pytest.mark.parametrize("q0,q1,level", [(0, 0, 0), (0, 1, 1), (1, 0, 2), (1, 1, 3)])
+    def test_encoding_matches_eq2(self, q0, q1, level):
+        assert encoded_level_for_bits(q0, q1) == level
+        assert bits_for_encoded_level(level) == (q0, q1)
+
+    def test_roundtrip(self):
+        for level in range(4):
+            assert encoded_level_for_bits(*bits_for_encoded_level(level)) == level
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            encoded_level_for_bits(2, 0)
+        with pytest.raises(ValueError):
+            bits_for_encoded_level(4)
+
+
+class TestLogicalReadout:
+    def test_read_bare_and_encoded_qubits(self):
+        state = MixedRadixState.from_levels((4, 2), (2, 1))
+        values = logical_state_of_units(
+            state, {(0, 0): 0, (0, 1): 1, (1, 0): 2}
+        )
+        assert values == {0: 1, 1: 0, 2: 1}
+
+    def test_superposition_rejected(self):
+        from repro.pulses import qubit_gate
+
+        state = MixedRadixState((2,))
+        state.apply(qubit_gate("h"), (0,))
+        with pytest.raises(ValueError, match="basis state"):
+            logical_state_of_units(state, {(0, 0): 0})
+
+    def test_bare_qubit_slot_must_be_zero(self):
+        state = MixedRadixState((2,))
+        with pytest.raises(ValueError):
+            logical_state_of_units(state, {(0, 1): 0})
+
+
+class TestLogicalSimulation:
+    def test_ghz_state(self, ghz_circuit):
+        vector = simulate_logical_circuit(ghz_circuit)
+        probabilities = np.abs(vector) ** 2
+        assert probabilities[0] == pytest.approx(0.5)
+        assert probabilities[-1] == pytest.approx(0.5)
+
+    def test_initial_bits(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        vector = simulate_logical_circuit(circuit, initial_bits=(1, 0))
+        assert np.argmax(np.abs(vector)) == 0b11
+
+    def test_meta_gates_ignored(self):
+        circuit = QuantumCircuit(1).x(0).measure(0).barrier()
+        vector = simulate_logical_circuit(circuit)
+        assert np.argmax(np.abs(vector)) == 1
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            simulate_logical_circuit(QuantumCircuit(15))
+
+
+class TestFigure3Traces:
+    def test_cx2_flips_target_when_control_set(self):
+        trace = cx_state_evolution("cx2", (1, 0), steps=21)
+        populations = trace["populations"]
+        labels = trace["labels"]
+        # Starts in |10>, ends in |11>.
+        assert populations[0, labels.index((1, 0))] == pytest.approx(1.0)
+        assert populations[-1, labels.index((1, 1))] == pytest.approx(1.0, abs=1e-6)
+
+    def test_cx0q_flips_bare_target_for_encoded_11(self):
+        trace = cx_state_evolution("cx0q", (3, 0), steps=21)
+        labels = trace["labels"]
+        populations = trace["populations"]
+        assert populations[0, labels.index((3, 0))] == pytest.approx(1.0)
+        assert populations[-1, labels.index((3, 1))] == pytest.approx(1.0, abs=1e-6)
+
+    def test_population_is_conserved_along_the_trace(self):
+        trace = cx_state_evolution("cx0q", (3, 0), steps=15)
+        sums = trace["populations"].sum(axis=1)
+        assert np.allclose(sums, 1.0, atol=1e-8)
+
+    def test_encoded_gate_acts_on_larger_space(self):
+        # The paper's point in Figure 3: CX0q involves twice as many logical
+        # basis states as CX2.
+        small = cx_state_evolution("cx2", (1, 0), steps=5)
+        large = cx_state_evolution("cx0q", (3, 0), steps=5)
+        assert large["populations"].shape[1] == 2 * small["populations"].shape[1]
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            cx_state_evolution("cx2", (1, 0), steps=1)

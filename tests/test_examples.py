@@ -1,0 +1,61 @@
+"""Smoke tests that keep the shipped examples runnable."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {"quickstart.py", "adder_compression.py", "qaoa_topologies.py",
+                "t1_crossover.py", "pulse_gates.py"} <= names
+
+    def test_quickstart_runs(self, capsys):
+        module = _load_example("quickstart")
+        module.main()
+        output = capsys.readouterr().out
+        assert "gate EPS" in output
+        assert "qubit_only" in output
+        assert "eqm" in output
+
+    def test_adder_example_compare_runs(self, capsys):
+        module = _load_example("adder_compression")
+        module.compare_strategies(num_qubits=10)
+        output = capsys.readouterr().out
+        assert "Cuccaro adder" in output
+        assert "rb" in output
+
+    def test_adder_example_verification_runs(self, capsys):
+        module = _load_example("adder_compression")
+        module.verify_small_adder()
+        output = capsys.readouterr().out
+        assert "correctly" in output
+
+    @pytest.mark.parametrize("name,symbol", [
+        ("qaoa_topologies", "main"),
+        ("t1_crossover", "main"),
+        ("pulse_gates", "show_table1"),
+    ])
+    def test_other_examples_importable(self, name, symbol):
+        module = _load_example(name)
+        assert callable(getattr(module, symbol))
+
+    def test_pulse_example_table_section(self, capsys):
+        module = _load_example("pulse_gates")
+        module.show_table1()
+        output = capsys.readouterr().out
+        assert "cx2" in output

@@ -1,0 +1,75 @@
+"""Tests for the physical gate library (Table 1) and its classification."""
+
+import pytest
+
+from repro.gates import PHYSICAL_GATES, GateStyle, gate_spec
+
+#: The durations published in Table 1 of the paper, in nanoseconds.
+TABLE1_DURATIONS = {
+    "x": 35, "x0": 87, "x1": 66, "x01": 86,
+    "cx0_in": 83, "cx1_in": 84, "swap_in": 78, "enc": 608,
+    "cx2": 251, "swap2": 504,
+    "cx0q": 560, "cx1q": 632, "cxq0": 880, "cxq1": 812,
+    "swapq0": 680, "swapq1": 792,
+    "cx00": 544, "cx01": 544, "cx10": 700, "cx11": 700,
+    "swap00": 916, "swap01": 892, "swap11": 964, "swap4": 1184,
+}
+
+
+class TestTable1:
+    @pytest.mark.parametrize("name,duration", sorted(TABLE1_DURATIONS.items()))
+    def test_duration_matches_paper(self, name, duration):
+        assert gate_spec(name).duration_ns == pytest.approx(duration)
+
+    def test_every_table1_gate_registered(self):
+        assert set(TABLE1_DURATIONS) <= set(PHYSICAL_GATES)
+
+    def test_internal_gates_faster_than_qubit_qubit(self):
+        assert gate_spec("cx0_in").duration_ns < gate_spec("cx2").duration_ns
+        assert gate_spec("swap_in").duration_ns < gate_spec("swap2").duration_ns
+
+    def test_qubit_ququart_swap_faster_than_ququart_ququart(self):
+        # The paper highlights this relationship explicitly (Section 3.4).
+        assert gate_spec("swapq0").duration_ns < gate_spec("swap00").duration_ns
+        assert gate_spec("swapq1").duration_ns < gate_spec("swap11").duration_ns
+
+    def test_full_swap_is_slowest_swap(self):
+        swap_durations = [
+            spec.duration_ns for spec in PHYSICAL_GATES.values()
+            if spec.style.is_swap_like
+        ]
+        assert gate_spec("swap4").duration_ns == max(swap_durations)
+
+
+class TestClassification:
+    def test_single_qudit_gates_have_one_unit(self):
+        for spec in PHYSICAL_GATES.values():
+            if spec.style.is_single_qudit:
+                assert spec.num_units == 1
+            else:
+                assert spec.num_units == 2
+
+    def test_swap_like_styles(self):
+        assert gate_spec("swap2").style.is_swap_like
+        assert gate_spec("swap_in").style.is_swap_like
+        assert not gate_spec("cx2").style.is_swap_like
+
+    def test_cx_like_styles(self):
+        assert gate_spec("cx0q").style.is_cx_like
+        assert gate_spec("cx00").style.is_cx_like
+        assert not gate_spec("swap4").style.is_cx_like
+
+    def test_touches_ququart(self):
+        assert not GateStyle.QUBIT_QUBIT_CX.touches_ququart
+        assert not GateStyle.SINGLE_QUBIT.touches_ququart
+        assert GateStyle.QUBIT_QUQUART_CX.touches_ququart
+        assert GateStyle.INTERNAL_CX.touches_ququart
+        assert GateStyle.ENCODE.touches_ququart
+
+    def test_unknown_gate_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown physical gate"):
+            gate_spec("nonexistent")
+
+    def test_communication_means_swap_like(self):
+        for style in GateStyle:
+            assert style.is_communication == style.is_swap_like

@@ -1,0 +1,94 @@
+"""Tests for the logical Gate container."""
+
+import pytest
+
+from repro.circuits import Gate
+from repro.circuits.gates import META_GATES, SINGLE_QUBIT_GATES, TWO_QUBIT_GATES
+
+
+class TestGateConstruction:
+    def test_single_qubit_gate(self):
+        gate = Gate("x", (3,))
+        assert gate.num_qubits == 1
+        assert gate.is_single_qubit
+        assert not gate.is_two_qubit
+        assert not gate.is_meta
+
+    def test_two_qubit_gate(self):
+        gate = Gate("cx", (0, 1))
+        assert gate.num_qubits == 2
+        assert gate.is_two_qubit
+        assert gate.is_multi_qubit
+
+    def test_three_qubit_gate(self):
+        gate = Gate("ccx", (0, 1, 2))
+        assert gate.num_qubits == 3
+        assert gate.is_multi_qubit
+        assert not gate.is_two_qubit
+
+    def test_parameterised_gate(self):
+        gate = Gate("rz", (0,), (0.25,))
+        assert gate.params == (0.25,)
+
+    def test_qubits_coerced_to_tuple(self):
+        gate = Gate("cx", [1, 2])
+        assert gate.qubits == (1, 2)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown gate"):
+            Gate("foo", (0,))
+
+    def test_duplicate_operands_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Gate("cx", (1, 1))
+
+    def test_negative_qubit_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Gate("x", (-1,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="expects 2 qubit"):
+            Gate("cx", (0,))
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(ValueError, match="parameter"):
+            Gate("rz", (0,))
+
+    def test_extra_params_rejected(self):
+        with pytest.raises(ValueError, match="parameter"):
+            Gate("x", (0,), (0.5,))
+
+    def test_measure_is_meta(self):
+        assert Gate("measure", (0,)).is_meta
+
+    def test_barrier_accepts_any_arity(self):
+        gate = Gate("barrier", (0, 1, 2, 3))
+        assert gate.num_qubits == 4
+        assert gate.is_meta
+
+
+class TestGateRemapping:
+    def test_remapped_changes_indices(self):
+        gate = Gate("cx", (0, 1))
+        remapped = gate.remapped({0: 5, 1: 2})
+        assert remapped.qubits == (5, 2)
+        assert remapped.name == "cx"
+
+    def test_remapped_preserves_params(self):
+        gate = Gate("rz", (1,), (1.5,))
+        assert gate.remapped({1: 0}).params == (1.5,)
+
+    def test_gates_hashable_and_equal(self):
+        assert Gate("x", (0,)) == Gate("x", (0,))
+        assert len({Gate("x", (0,)), Gate("x", (0,))}) == 1
+
+
+class TestGateNameSets:
+    def test_sets_are_disjoint(self):
+        assert not (SINGLE_QUBIT_GATES & TWO_QUBIT_GATES)
+        assert not (SINGLE_QUBIT_GATES & META_GATES)
+
+    def test_common_gates_present(self):
+        assert "h" in SINGLE_QUBIT_GATES
+        assert "cx" in TWO_QUBIT_GATES
+        assert "swap" in TWO_QUBIT_GATES

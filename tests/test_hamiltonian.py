@@ -1,0 +1,100 @@
+"""Tests for the two-transmon Hamiltonian model."""
+
+import numpy as np
+import pytest
+
+from repro.pulses import TransmonParams, TransmonSystem
+from repro.pulses.hamiltonian import lowering_operator, number_operator
+
+
+class TestOperators:
+    def test_lowering_operator_shape_and_action(self):
+        a = lowering_operator(3)
+        assert a.shape == (3, 3)
+        # a|1> = |0>, a|2> = sqrt(2)|1>
+        assert a[0, 1] == pytest.approx(1.0)
+        assert a[1, 2] == pytest.approx(np.sqrt(2.0))
+
+    def test_number_operator(self):
+        n = number_operator(4)
+        assert np.allclose(np.diag(n), [0, 1, 2, 3])
+
+    def test_lowering_requires_two_levels(self):
+        with pytest.raises(ValueError):
+            lowering_operator(1)
+
+
+class TestTransmonSystem:
+    def test_dimension_accounts_for_guards(self):
+        system = TransmonSystem(num_transmons=2, logical_levels=4, guard_levels=1)
+        assert system.total_levels == (5, 5)
+        assert system.dimension == 25
+
+    def test_single_transmon_dimension(self):
+        system = TransmonSystem(num_transmons=1, logical_levels=2, guard_levels=1)
+        assert system.dimension == 3
+        assert len(system.controls) == 1
+
+    def test_mixed_logical_levels(self):
+        system = TransmonSystem(num_transmons=2, logical_levels=(4, 2), guard_levels=0)
+        assert system.total_levels == (4, 2)
+        assert len(system.logical_indices()) == 8
+
+    def test_drift_is_hermitian(self):
+        system = TransmonSystem(num_transmons=2, logical_levels=2, guard_levels=1)
+        drift = system.drift
+        assert np.allclose(drift, drift.conj().T)
+
+    def test_controls_are_hermitian(self):
+        system = TransmonSystem(num_transmons=2, logical_levels=2, guard_levels=1)
+        for control in system.controls:
+            assert np.allclose(control, control.conj().T)
+
+    def test_hamiltonian_combines_drive(self):
+        system = TransmonSystem(num_transmons=1, logical_levels=2, guard_levels=0)
+        h0 = system.hamiltonian(np.array([0.0]))
+        h1 = system.hamiltonian(np.array([0.02]))
+        assert np.allclose(h0, system.drift)
+        assert not np.allclose(h0, h1)
+
+    def test_hamiltonian_rejects_wrong_drive_shape(self):
+        system = TransmonSystem(num_transmons=2, logical_levels=2)
+        with pytest.raises(ValueError):
+            system.hamiltonian(np.array([0.01]))
+
+    def test_logical_indices_exclude_guard_states(self):
+        system = TransmonSystem(num_transmons=1, logical_levels=2, guard_levels=2)
+        assert system.logical_indices() == [0, 1]
+
+    def test_logical_projector_is_isometry(self):
+        system = TransmonSystem(num_transmons=2, logical_levels=(2, 2), guard_levels=1)
+        projector = system.projector_logical()
+        assert projector.shape == (9, 4)
+        assert np.allclose(projector.T @ projector, np.eye(4))
+
+    def test_basis_labels_roundtrip(self):
+        system = TransmonSystem(num_transmons=2, logical_levels=(4, 2), guard_levels=1)
+        for index in range(system.dimension):
+            labels = system.basis_labels(index)
+            flat = 0
+            for label, levels in zip(labels, system.total_levels):
+                flat = flat * levels + label
+            assert flat == index
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            TransmonSystem(num_transmons=3)
+        with pytest.raises(ValueError):
+            TransmonSystem(num_transmons=2, logical_levels=(2,))
+        with pytest.raises(ValueError):
+            TransmonSystem(num_transmons=1, logical_levels=1)
+        with pytest.raises(ValueError):
+            TransmonSystem(guard_levels=-1)
+
+    def test_default_parameters_match_paper(self):
+        params = TransmonParams()
+        assert params.omega1_ghz == pytest.approx(4.914)
+        assert params.omega2_ghz == pytest.approx(5.114)
+        assert params.anharmonicity_ghz == pytest.approx(-0.330)
+        assert params.coupling_ghz == pytest.approx(0.0038)
+        assert params.max_drive_ghz == pytest.approx(0.045)

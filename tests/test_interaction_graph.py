@@ -1,0 +1,56 @@
+"""Tests for the expanded ququart slot graph (Section 4.1)."""
+
+import pytest
+
+from repro.arch import expanded_slot_graph, grid_topology, linear_topology, slot_neighbors
+
+
+class TestExpandedGraph:
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (2, 3), (3, 3)])
+    def test_node_and_edge_counts_match_paper_formula(self, rows, cols):
+        topology = grid_topology(rows, cols)
+        graph = expanded_slot_graph(topology)
+        V = topology.num_units
+        E = topology.num_links
+        # Section 4.1: 2V nodes and 4E + V edges.
+        assert graph.number_of_nodes() == 2 * V
+        assert graph.number_of_edges() == 4 * E + V
+
+    def test_internal_edges_flagged(self):
+        graph = expanded_slot_graph(linear_topology(3))
+        assert graph.edges[(0, 0), (0, 1)]["internal"] is True
+        assert graph.edges[(0, 0), (1, 0)]["internal"] is False
+
+    def test_each_slot_connects_to_both_neighbour_slots(self):
+        graph = expanded_slot_graph(linear_topology(2))
+        neighbors = set(graph.neighbors((0, 0)))
+        assert neighbors == {(0, 1), (1, 0), (1, 1)}
+
+    def test_connectivity_count_matches_paper_statement(self):
+        # "if a ququart was connected to n other ququarts, each encoded qubit
+        # is connected to 2n + 1 other encoded qubits"
+        topology = grid_topology(3, 3)
+        graph = expanded_slot_graph(topology)
+        for unit in range(topology.num_units):
+            n = len(topology.neighbors(unit))
+            assert graph.degree((unit, 0)) == 2 * n + 1
+            assert graph.degree((unit, 1)) == 2 * n + 1
+
+
+class TestSlotNeighbors:
+    def test_includes_partner_slot_and_adjacent_units(self):
+        topology = linear_topology(3)
+        neighbors = slot_neighbors(topology, (1, 0))
+        assert (1, 1) in neighbors
+        assert (0, 0) in neighbors and (0, 1) in neighbors
+        assert (2, 0) in neighbors and (2, 1) in neighbors
+
+    def test_qubit_only_mode_excludes_secondary_slots(self):
+        topology = linear_topology(3)
+        neighbors = slot_neighbors(topology, (1, 0), include_secondary=False)
+        assert all(slot[1] == 0 for slot in neighbors)
+        assert (0, 0) in neighbors and (2, 0) in neighbors
+
+    def test_invalid_slot_position(self):
+        with pytest.raises(ValueError):
+            slot_neighbors(linear_topology(2), (0, 2))

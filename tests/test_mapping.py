@@ -1,0 +1,112 @@
+"""Tests for the initial mapping pass."""
+
+import pytest
+
+from repro.arch import Device, grid_topology, linear_topology
+from repro.circuits import QuantumCircuit
+from repro.compiler import initial_mapping
+from repro.compiler.mapping import MappingError
+from tests.conftest import make_random_circuit
+
+
+def _assert_valid_placement(placement, device, circuit):
+    assert set(placement) == set(range(circuit.num_qubits))
+    slots = list(placement.values())
+    assert len(set(slots)) == len(slots), "two qubits share a slot"
+    for unit, slot in slots:
+        assert 0 <= unit < device.num_units
+        assert slot in (0, 1)
+
+
+class TestQubitOnlyMapping:
+    def test_every_qubit_gets_a_primary_slot(self, grid_device):
+        circuit = make_random_circuit(6, 20, seed=1)
+        placement, ququarts = initial_mapping(circuit, grid_device, qubit_only=True)
+        _assert_valid_placement(placement, grid_device, circuit)
+        assert all(slot == 0 for _unit, slot in placement.values())
+        assert ququarts == frozenset()
+
+    def test_capacity_error_when_circuit_too_large(self, line_device):
+        circuit = make_random_circuit(5, 10, seed=2)
+        with pytest.raises(MappingError, match="only supports"):
+            initial_mapping(circuit, line_device, qubit_only=True)
+
+    def test_qubit_only_conflicts_with_pairing(self, grid_device):
+        circuit = make_random_circuit(4, 5, seed=0)
+        with pytest.raises(ValueError):
+            initial_mapping(circuit, grid_device, qubit_only=True, allow_free_pairing=True)
+
+    def test_interacting_qubits_placed_close(self, grid_device):
+        circuit = QuantumCircuit(6)
+        for _ in range(5):
+            circuit.cx(0, 1)
+        circuit.cx(2, 3).cx(4, 5)
+        placement, _ = initial_mapping(circuit, grid_device, qubit_only=True)
+        distance = grid_device.topology.shortest_path_length(
+            placement[0][0], placement[1][0]
+        )
+        assert distance == 1
+
+
+class TestFreePairing:
+    def test_free_pairing_doubles_capacity(self, line_device):
+        circuit = make_random_circuit(7, 20, seed=3)
+        placement, ququarts = initial_mapping(circuit, line_device, allow_free_pairing=True)
+        _assert_valid_placement(placement, line_device, circuit)
+        assert len(ququarts) >= 3  # 7 qubits on 4 units needs at least 3 pairs
+
+    def test_heavily_interacting_pair_shares_a_unit(self, grid_device):
+        circuit = QuantumCircuit(6)
+        for _ in range(10):
+            circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        placement, ququarts = initial_mapping(circuit, grid_device, allow_free_pairing=True)
+        assert placement[0][0] == placement[1][0]
+        assert placement[0][0] in ququarts
+
+    def test_ququart_units_have_both_slots_occupied(self, grid_device):
+        circuit = make_random_circuit(9, 30, seed=4)
+        placement, ququarts = initial_mapping(circuit, grid_device, allow_free_pairing=True)
+        occupied = {}
+        for qubit, (unit, slot) in placement.items():
+            occupied.setdefault(unit, set()).add(slot)
+        for unit in ququarts:
+            assert occupied[unit] == {0, 1}
+
+
+class TestForcedPairs:
+    def test_forced_pairs_are_co_located(self, grid_device):
+        circuit = make_random_circuit(8, 25, seed=5)
+        pairs = ((0, 4), (2, 6))
+        placement, ququarts = initial_mapping(circuit, grid_device, forced_pairs=pairs)
+        for a, b in pairs:
+            assert placement[a][0] == placement[b][0]
+            assert placement[a][0] in ququarts
+        # No additional pairs are created without free pairing.
+        assert len(ququarts) == len(pairs)
+
+    def test_invalid_pair_rejected(self, grid_device):
+        circuit = make_random_circuit(4, 10, seed=6)
+        with pytest.raises(ValueError):
+            initial_mapping(circuit, grid_device, forced_pairs=((1, 1),))
+        with pytest.raises(ValueError):
+            initial_mapping(circuit, grid_device, forced_pairs=((0, 1), (1, 2)))
+
+    def test_forced_pairs_combined_with_free_pairing(self, line_device):
+        circuit = make_random_circuit(8, 25, seed=7)
+        pairs = ((0, 1),)
+        placement, ququarts = initial_mapping(
+            circuit, line_device, forced_pairs=pairs, allow_free_pairing=True
+        )
+        assert placement[0][0] == placement[1][0]
+        _assert_valid_placement(placement, line_device, circuit)
+
+
+class TestSeedPlacement:
+    def test_most_connected_qubit_goes_to_center(self):
+        device = Device(topology=linear_topology(5))
+        circuit = QuantumCircuit(5)
+        for other in (1, 2, 3, 4):
+            circuit.cx(0, other)
+        placement, _ = initial_mapping(circuit, device, qubit_only=True)
+        assert placement[0][0] == device.topology.center_unit()

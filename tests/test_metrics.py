@@ -1,0 +1,141 @@
+"""Tests for the EPS metrics and gate-type histograms."""
+
+import math
+
+import pytest
+
+from repro.arch import Device, grid_topology
+from repro.compiler import QompressCompiler
+from repro.compiler.result import CompiledCircuit, PhysicalOp
+from repro.compression import QubitOnly, get_strategy
+from repro.gates import GateStyle
+from repro.metrics import (
+    EPSReport,
+    FIGURE8_CATEGORIES,
+    coherence_eps,
+    evaluate_eps,
+    gate_eps,
+    grouped_histogram,
+    total_eps,
+)
+from tests.conftest import make_random_circuit
+
+
+def _tiny_compiled(ops, ququart_units=frozenset(), makespan_placement=None):
+    device = Device(topology=grid_topology(2, 2))
+    placement = makespan_placement or {0: (0, 0), 1: (1, 0)}
+    return CompiledCircuit(
+        circuit_name="tiny",
+        device=device,
+        strategy_name="manual",
+        ops=ops,
+        initial_placement=placement,
+        final_placement=dict(placement),
+        ququart_units=frozenset(ququart_units),
+        compressed_pairs=(),
+        num_logical_qubits=len(placement),
+    )
+
+
+class TestGateEPS:
+    def test_product_of_fidelities(self):
+        ops = [
+            PhysicalOp("cx2", (0, 1), fidelity=0.99, duration_ns=251.0, start_ns=0.0),
+            PhysicalOp("x", (0,), fidelity=0.999, duration_ns=35.0, start_ns=251.0),
+        ]
+        compiled = _tiny_compiled(ops)
+        assert gate_eps(compiled) == pytest.approx(0.99 * 0.999)
+
+    def test_zero_fidelity_short_circuits(self):
+        ops = [PhysicalOp("cx2", (0, 1), fidelity=0.0, duration_ns=251.0, start_ns=0.0)]
+        assert gate_eps(_tiny_compiled(ops)) == 0.0
+
+    def test_empty_circuit_has_unity_eps(self):
+        compiled = _tiny_compiled([])
+        assert gate_eps(compiled) == pytest.approx(1.0)
+        assert coherence_eps(compiled) == pytest.approx(1.0)
+
+
+class TestCoherenceEPS:
+    def test_qubit_only_formula(self):
+        duration = 10_000.0
+        ops = [PhysicalOp("cx2", (0, 1), fidelity=0.99, duration_ns=duration, start_ns=0.0)]
+        compiled = _tiny_compiled(ops)
+        t1 = compiled.device.qubit_t1_ns
+        expected = math.exp(-duration / t1) ** 2  # two logical qubits
+        assert coherence_eps(compiled) == pytest.approx(expected)
+
+    def test_ququart_residency_uses_shorter_t1(self):
+        duration = 10_000.0
+        ops = [PhysicalOp("cx0q", (0, 1), fidelity=0.99, duration_ns=duration, start_ns=0.0)]
+        placement = {0: (0, 0), 1: (0, 1), 2: (1, 0)}
+        compiled = _tiny_compiled(ops, ququart_units={0}, makespan_placement=placement)
+        device = compiled.device
+        expected = math.exp(
+            -2 * duration / device.ququart_t1_ns - duration / device.qubit_t1_ns
+        )
+        assert coherence_eps(compiled) == pytest.approx(expected)
+
+    def test_total_eps_is_product(self):
+        ops = [PhysicalOp("cx2", (0, 1), fidelity=0.99, duration_ns=5000.0, start_ns=0.0)]
+        compiled = _tiny_compiled(ops)
+        assert total_eps(compiled) == pytest.approx(
+            gate_eps(compiled) * coherence_eps(compiled)
+        )
+
+    def test_mode_times_sum_to_makespan(self, grid_device):
+        circuit = make_random_circuit(8, 30, seed=9)
+        compiled = QompressCompiler(grid_device, get_strategy("eqm")).compile(circuit)
+        makespan = compiled.makespan_ns
+        for qubit_time, ququart_time in compiled.qubit_mode_times().values():
+            assert qubit_time + ququart_time == pytest.approx(makespan, rel=1e-9)
+
+
+class TestReports:
+    def test_evaluate_eps_fields(self, grid_device):
+        circuit = make_random_circuit(6, 20, seed=10)
+        compiled = QompressCompiler(grid_device, QubitOnly()).compile(circuit)
+        report = evaluate_eps(compiled)
+        assert isinstance(report, EPSReport)
+        assert 0 < report.gate_eps <= 1
+        assert 0 < report.coherence_eps <= 1
+        assert report.total_eps == pytest.approx(report.gate_eps * report.coherence_eps)
+        assert report.makespan_ns == pytest.approx(compiled.makespan_ns)
+        assert report.num_ops == compiled.num_ops
+
+    def test_improvement_over(self):
+        base = EPSReport("c", "qubit_only", "d", 0.5, 0.8, 0.4, 1000.0, 10, 2, 0)
+        better = EPSReport("c", "eqm", "d", 0.75, 0.4, 0.3, 2000.0, 8, 1, 3)
+        ratios = better.improvement_over(base)
+        assert ratios["gate_eps"] == pytest.approx(1.5)
+        assert ratios["coherence_eps"] == pytest.approx(0.5)
+        assert ratios["makespan"] == pytest.approx(0.5)
+
+    def test_improvement_over_zero_baseline(self):
+        base = EPSReport("c", "qubit_only", "d", 0.0, 0.8, 0.0, 1000.0, 10, 2, 0)
+        better = EPSReport("c", "eqm", "d", 0.5, 0.4, 0.2, 2000.0, 8, 1, 3)
+        assert better.improvement_over(base)["gate_eps"] == float("inf")
+
+
+class TestHistograms:
+    def test_grouped_histogram_covers_all_ops(self, grid_device):
+        circuit = make_random_circuit(8, 40, seed=11)
+        compiled = QompressCompiler(grid_device, get_strategy("eqm")).compile(circuit)
+        grouped = grouped_histogram(compiled)
+        categorised = sum(grouped.values())
+        uncategorised = compiled.style_counts().get(GateStyle.MEASUREMENT, 0)
+        assert categorised + uncategorised == compiled.num_ops
+
+    def test_category_labels_are_stable(self):
+        labels = [label for label, _styles in FIGURE8_CATEGORIES]
+        assert "internal CX" in labels
+        assert "qubit-qubit CX" in labels
+        assert "encode/decode" in labels
+
+    def test_qubit_only_histogram_has_no_ququart_entries(self, grid_device):
+        circuit = make_random_circuit(6, 25, seed=12)
+        compiled = QompressCompiler(grid_device, QubitOnly()).compile(circuit)
+        grouped = grouped_histogram(compiled)
+        assert grouped["internal CX"] == 0
+        assert grouped["ququart-ququart CX"] == 0
+        assert grouped["qubit-qubit CX"] > 0

@@ -1,0 +1,129 @@
+"""Tests for the QompressCompiler pipeline."""
+
+import pytest
+
+from repro.arch import Device, grid_topology, linear_topology
+from repro.circuits import QuantumCircuit
+from repro.compiler import QompressCompiler
+from repro.compiler.plan import CompressionPlan
+from repro.compression import FullQuquart, QubitOnly, get_strategy
+from repro.gates import GateStyle
+from tests.conftest import make_random_circuit
+
+
+class TestCompile:
+    def test_default_strategy_is_eqm_like(self, grid_device, ghz_circuit):
+        compiled = QompressCompiler(grid_device).compile(ghz_circuit)
+        assert compiled.strategy_name == "eqm"
+        assert compiled.num_logical_qubits == 5
+
+    def test_qubit_only_uses_no_ququarts(self, grid_device):
+        circuit = make_random_circuit(6, 20, seed=1)
+        compiled = QompressCompiler(grid_device, QubitOnly()).compile(circuit)
+        assert compiled.ququart_units == frozenset()
+        assert compiled.compressed_pairs == ()
+        styles = set(compiled.style_counts())
+        assert all(not style.touches_ququart for style in styles)
+
+    def test_all_ops_scheduled(self, grid_device):
+        circuit = make_random_circuit(8, 30, seed=2)
+        compiled = QompressCompiler(grid_device, get_strategy("eqm")).compile(circuit)
+        assert all(op.start_ns >= 0.0 for op in compiled.ops)
+        assert compiled.makespan_ns > 0.0
+
+    def test_compressed_pairs_reported(self, line_device):
+        # 7 qubits on 4 units force the EQM mapper to create pairs.
+        circuit = make_random_circuit(7, 25, seed=3)
+        compiled = QompressCompiler(line_device, get_strategy("eqm")).compile(circuit)
+        assert len(compiled.compressed_pairs) >= 3
+        assert len(compiled.ququart_units) == len(compiled.compressed_pairs)
+
+    def test_toffoli_circuits_are_lowered(self, grid_device):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2)
+        compiled = QompressCompiler(grid_device, QubitOnly()).compile(circuit)
+        assert compiled.num_ops > 1
+        assert compiled.lowered_circuit is not None
+        assert all(gate.num_qubits <= 2 for gate in compiled.lowered_circuit)
+
+    def test_compile_with_explicit_plan(self, grid_device):
+        circuit = make_random_circuit(6, 20, seed=4)
+        compiler = QompressCompiler(grid_device)
+        plan = CompressionPlan(pairs=((0, 1), (2, 3)))
+        compiled = compiler.compile_with_plan(circuit, plan, strategy_name="manual")
+        assert compiled.strategy_name == "manual"
+        assert (0, 1) in compiled.compressed_pairs
+        assert (2, 3) in compiled.compressed_pairs
+
+    def test_capacity_doubles_with_compression(self):
+        device = Device(topology=linear_topology(3))
+        circuit = make_random_circuit(6, 15, seed=5)
+        compiled = QompressCompiler(device, get_strategy("eqm")).compile(circuit)
+        assert compiled.num_logical_qubits == 6
+        assert len(compiled.ququart_units) == 3
+
+    def test_summary_keys(self, grid_device, ghz_circuit):
+        compiled = QompressCompiler(grid_device).compile(ghz_circuit)
+        summary = compiled.summary()
+        for key in ("circuit", "strategy", "ops", "makespan_ns", "internal_cx"):
+            assert key in summary
+
+
+class TestCompressionPlanValidation:
+    def test_duplicate_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionPlan(pairs=((0, 1), (1, 2)))
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionPlan(pairs=((2, 2),))
+
+    def test_qubit_only_excludes_pairing(self):
+        with pytest.raises(ValueError):
+            CompressionPlan(qubit_only=True, allow_free_pairing=True)
+
+    def test_paired_qubits_property(self):
+        plan = CompressionPlan(pairs=((0, 3), (1, 2)))
+        assert plan.paired_qubits == {0, 1, 2, 3}
+
+
+class TestFullQuquartBaseline:
+    def test_fq_emits_encode_ops(self, grid_device):
+        circuit = make_random_circuit(6, 20, seed=6)
+        compiled = QompressCompiler(grid_device, FullQuquart()).compile(circuit)
+        styles = compiled.style_counts()
+        assert styles[GateStyle.ENCODE] >= 3  # one per pair at minimum
+
+    def test_fq_external_ops_decode_and_reencode(self, grid_device):
+        # Force two pairs that must interact across ququart boundaries.
+        circuit = QuantumCircuit(4)
+        for _ in range(3):
+            circuit.cx(0, 1)
+            circuit.cx(2, 3)
+        circuit.cx(0, 2)
+        compiled = QompressCompiler(grid_device, FullQuquart()).compile(circuit)
+        styles = compiled.style_counts()
+        assert styles[GateStyle.DECODE] >= 2
+        # The external interaction itself runs as a bare-qubit CX.
+        assert styles[GateStyle.QUBIT_QUBIT_CX] >= 1
+
+    def test_fq_internal_ops_are_fast_internal_gates(self, grid_device):
+        circuit = QuantumCircuit(4)
+        for _ in range(4):
+            circuit.cx(0, 1)
+        compiled = QompressCompiler(grid_device, FullQuquart()).compile(circuit)
+        styles = compiled.style_counts()
+        assert styles[GateStyle.INTERNAL_CX] >= 4
+
+    def test_fq_requires_pairs(self, grid_device):
+        compiler = QompressCompiler(grid_device)
+        circuit = make_random_circuit(4, 10, seed=7)
+        with pytest.raises(ValueError, match="explicit pairing"):
+            compiler.compile_with_plan(
+                circuit, CompressionPlan(full_ququart=True), strategy_name="fq"
+            )
+
+    def test_fq_uses_more_ops_than_mixed_radix(self, grid_device):
+        circuit = make_random_circuit(8, 40, seed=8)
+        fq = QompressCompiler(grid_device, FullQuquart()).compile(circuit)
+        eqm = QompressCompiler(grid_device, get_strategy("eqm")).compile(circuit)
+        assert fq.num_ops > eqm.num_ops

@@ -1,0 +1,132 @@
+"""Property-based tests over the compiler's core invariants."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import Device, grid_topology, linear_topology
+from repro.circuits import QuantumCircuit
+from repro.compiler import CostModel, QompressCompiler, initial_mapping
+from repro.compression import get_strategy
+from repro.metrics import evaluate_eps
+from repro.simulation import assert_equivalent
+
+
+# ----------------------------------------------------------------------
+# circuit generation strategy
+# ----------------------------------------------------------------------
+@st.composite
+def small_circuits(draw, max_qubits=6, max_gates=24):
+    num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
+    num_gates = draw(st.integers(min_value=1, max_value=max_gates))
+    circuit = QuantumCircuit(num_qubits, "hypothesis")
+    for _ in range(num_gates):
+        kind = draw(st.sampled_from(["single", "cx", "swap"]))
+        if kind == "single":
+            name = draw(st.sampled_from(["x", "h", "z", "s", "t"]))
+            circuit.add(name, draw(st.integers(0, num_qubits - 1)))
+        else:
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 2))
+            if b >= a:
+                b += 1
+            if kind == "cx":
+                circuit.cx(a, b)
+            else:
+                circuit.swap(a, b)
+    return circuit
+
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestCompilerInvariants:
+    @given(circuit=small_circuits(), strategy=st.sampled_from(["qubit_only", "eqm", "rb"]))
+    @_SETTINGS
+    def test_compiled_circuits_are_equivalent_to_source(self, circuit, strategy):
+        device = Device(topology=grid_topology(2, 3))
+        compiler = QompressCompiler(device, get_strategy(strategy),
+                                    merge_single_qubit_gates=False)
+        compiled = compiler.compile(circuit)
+        assert_equivalent(compiled, circuit)
+
+    @given(circuit=small_circuits())
+    @_SETTINGS
+    def test_schedule_never_overlaps_units(self, circuit):
+        device = Device(topology=grid_topology(2, 3))
+        compiled = QompressCompiler(device, get_strategy("eqm")).compile(circuit)
+        busy: dict[int, list[tuple[float, float]]] = {}
+        for op in compiled.ops:
+            for unit in op.units:
+                busy.setdefault(unit, []).append((op.start_ns, op.end_ns))
+        for intervals in busy.values():
+            intervals.sort()
+            for (start_a, end_a), (start_b, _end_b) in zip(intervals, intervals[1:]):
+                assert start_b >= end_a - 1e-9
+
+    @given(circuit=small_circuits())
+    @_SETTINGS
+    def test_eps_metrics_are_probabilities(self, circuit):
+        device = Device(topology=grid_topology(2, 3))
+        compiled = QompressCompiler(device, get_strategy("eqm")).compile(circuit)
+        report = evaluate_eps(compiled)
+        assert 0.0 < report.gate_eps <= 1.0
+        assert 0.0 < report.coherence_eps <= 1.0
+        assert 0.0 < report.total_eps <= 1.0
+        assert report.total_eps == pytest.approx(report.gate_eps * report.coherence_eps)
+
+    @given(circuit=small_circuits())
+    @_SETTINGS
+    def test_gate_eps_equals_product_of_op_fidelities(self, circuit):
+        device = Device(topology=grid_topology(2, 3))
+        compiled = QompressCompiler(device, get_strategy("rb")).compile(circuit)
+        report = evaluate_eps(compiled)
+        product = math.prod(op.fidelity for op in compiled.ops)
+        assert report.gate_eps == pytest.approx(product, rel=1e-9)
+
+    @given(circuit=small_circuits(max_qubits=8), seed=st.integers(0, 100))
+    @_SETTINGS
+    def test_mapping_is_always_injective(self, circuit, seed):
+        device = Device(topology=grid_topology(2, 3))
+        placement, ququarts = initial_mapping(circuit, device, allow_free_pairing=True)
+        slots = list(placement.values())
+        assert len(set(slots)) == len(slots)
+        for unit in ququarts:
+            occupants = [q for q, (u, _s) in placement.items() if u == unit]
+            assert len(occupants) == 2
+
+
+class TestCostModelInvariants:
+    @given(
+        ququarts=st.sets(st.integers(0, 3), max_size=4),
+        source=st.tuples(st.integers(0, 3), st.integers(0, 1)),
+        destination=st.tuples(st.integers(0, 3), st.integers(0, 1)),
+    )
+    @_SETTINGS
+    def test_swap_distance_is_nonnegative_and_symmetric_in_reachability(
+        self, ququarts, source, destination
+    ):
+        device = Device(topology=linear_topology(4))
+        costs = CostModel(device, frozenset(ququarts))
+        if not (costs.is_enabled(source) and costs.is_enabled(destination)):
+            return
+        forward = costs.swap_distance(source, destination)
+        assert forward >= 0.0
+        backward = CostModel(device, frozenset(ququarts)).swap_distance(destination, source)
+        # SWAP costs are symmetric per link, so the best path cost is too.
+        assert forward == pytest.approx(backward, rel=1e-9)
+
+    @given(ququarts=st.sets(st.integers(0, 3), max_size=4))
+    @_SETTINGS
+    def test_op_success_probabilities_bounded(self, ququarts):
+        device = Device(topology=linear_topology(4))
+        costs = CostModel(device, frozenset(ququarts))
+        for gate in ("cx2", "swap2", "cx0q", "swap00", "swap4", "enc"):
+            success = costs.op_success(gate, (0, 1))
+            assert 0.0 < success < 1.0

@@ -1,0 +1,87 @@
+"""Tests for logical-to-physical gate resolution."""
+
+import pytest
+
+from repro.gates import UnitMode, resolve_cx, resolve_single_qubit, resolve_swap
+from repro.gates.resolution import resolve_internal_cx
+
+
+class TestSingleQubitResolution:
+    def test_bare_qubit(self):
+        assert resolve_single_qubit(UnitMode.QUBIT, 0) == "x"
+
+    def test_encoded_slots(self):
+        assert resolve_single_qubit(UnitMode.QUQUART, 0) == "x0"
+        assert resolve_single_qubit(UnitMode.QUQUART, 1) == "x1"
+
+    def test_combined(self):
+        assert resolve_single_qubit(UnitMode.QUQUART, 0, paired_with_simultaneous=True) == "x01"
+
+    def test_invalid_slot(self):
+        with pytest.raises(ValueError):
+            resolve_single_qubit(UnitMode.QUBIT, 2)
+
+
+class TestCXResolution:
+    def test_internal(self):
+        assert resolve_internal_cx(0) == "cx0_in"
+        assert resolve_internal_cx(1) == "cx1_in"
+        assert resolve_cx(UnitMode.QUQUART, 0, UnitMode.QUQUART, 1, same_unit=True) == "cx0_in"
+
+    def test_internal_requires_ququart(self):
+        with pytest.raises(ValueError):
+            resolve_cx(UnitMode.QUBIT, 0, UnitMode.QUBIT, 1, same_unit=True)
+
+    def test_internal_requires_distinct_slots(self):
+        with pytest.raises(ValueError):
+            resolve_cx(UnitMode.QUQUART, 0, UnitMode.QUQUART, 0, same_unit=True)
+
+    def test_qubit_qubit(self):
+        assert resolve_cx(UnitMode.QUBIT, 0, UnitMode.QUBIT, 0) == "cx2"
+
+    def test_ququart_controls_qubit(self):
+        assert resolve_cx(UnitMode.QUQUART, 0, UnitMode.QUBIT, 0) == "cx0q"
+        assert resolve_cx(UnitMode.QUQUART, 1, UnitMode.QUBIT, 0) == "cx1q"
+
+    def test_qubit_controls_ququart(self):
+        assert resolve_cx(UnitMode.QUBIT, 0, UnitMode.QUQUART, 0) == "cxq0"
+        assert resolve_cx(UnitMode.QUBIT, 0, UnitMode.QUQUART, 1) == "cxq1"
+
+    @pytest.mark.parametrize("control_slot,target_slot,expected", [
+        (0, 0, "cx00"), (0, 1, "cx01"), (1, 0, "cx10"), (1, 1, "cx11"),
+    ])
+    def test_ququart_ququart(self, control_slot, target_slot, expected):
+        assert resolve_cx(UnitMode.QUQUART, control_slot, UnitMode.QUQUART, target_slot) == expected
+
+    def test_invalid_slot(self):
+        with pytest.raises(ValueError):
+            resolve_cx(UnitMode.QUBIT, 3, UnitMode.QUBIT, 0)
+
+
+class TestSwapResolution:
+    def test_internal(self):
+        assert resolve_swap(UnitMode.QUQUART, 0, UnitMode.QUQUART, 1, same_unit=True) == "swap_in"
+
+    def test_qubit_qubit(self):
+        assert resolve_swap(UnitMode.QUBIT, 0, UnitMode.QUBIT, 0) == "swap2"
+
+    def test_qubit_ququart_orientation_independent(self):
+        assert resolve_swap(UnitMode.QUBIT, 0, UnitMode.QUQUART, 0) == "swapq0"
+        assert resolve_swap(UnitMode.QUQUART, 0, UnitMode.QUBIT, 0) == "swapq0"
+        assert resolve_swap(UnitMode.QUBIT, 0, UnitMode.QUQUART, 1) == "swapq1"
+        assert resolve_swap(UnitMode.QUQUART, 1, UnitMode.QUBIT, 0) == "swapq1"
+
+    def test_ququart_ququart_canonicalised(self):
+        # SWAP01 and SWAP10 are the same physical gate (Table 1 footnote).
+        assert resolve_swap(UnitMode.QUQUART, 0, UnitMode.QUQUART, 1) == "swap01"
+        assert resolve_swap(UnitMode.QUQUART, 1, UnitMode.QUQUART, 0) == "swap01"
+        assert resolve_swap(UnitMode.QUQUART, 0, UnitMode.QUQUART, 0) == "swap00"
+        assert resolve_swap(UnitMode.QUQUART, 1, UnitMode.QUQUART, 1) == "swap11"
+
+    def test_internal_requires_ququart_mode(self):
+        with pytest.raises(ValueError):
+            resolve_swap(UnitMode.QUBIT, 0, UnitMode.QUBIT, 0, same_unit=True)
+
+    def test_invalid_slot(self):
+        with pytest.raises(ValueError):
+            resolve_swap(UnitMode.QUBIT, 0, UnitMode.QUBIT, 5)

@@ -1,0 +1,104 @@
+"""Tests for op merging and scheduling."""
+
+import pytest
+
+from repro.compiler.result import PhysicalOp
+from repro.compiler.scheduling import makespan, merge_single_qubit_ops, schedule_ops
+
+
+def _op(gate, units, logical=(), duration=100.0):
+    return PhysicalOp(gate=gate, units=tuple(units), logical_qubits=tuple(logical),
+                      duration_ns=duration, fidelity=0.99)
+
+
+class TestMerging:
+    def test_x0_x1_on_same_unit_merge(self):
+        ops = [_op("x0", (0,), (1,), 87.0), _op("x1", (0,), (2,), 66.0)]
+        merged = merge_single_qubit_ops(ops)
+        assert len(merged) == 1
+        assert merged[0].gate == "x01"
+        assert set(merged[0].logical_qubits) == {1, 2}
+
+    def test_same_slot_gates_do_not_merge(self):
+        ops = [_op("x0", (0,), (1,)), _op("x0", (0,), (1,))]
+        merged = merge_single_qubit_ops(ops)
+        assert [op.gate for op in merged] == ["x0", "x0"]
+
+    def test_intervening_op_blocks_merge(self):
+        ops = [
+            _op("x0", (0,), (1,)),
+            _op("cx0q", (0, 1), (1, 3)),
+            _op("x1", (0,), (2,)),
+        ]
+        merged = merge_single_qubit_ops(ops)
+        assert [op.gate for op in merged] == ["x0", "cx0q", "x1"]
+
+    def test_bare_qubit_gates_never_merge(self):
+        ops = [_op("x", (0,), (1,)), _op("x", (0,), (1,))]
+        merged = merge_single_qubit_ops(ops)
+        assert [op.gate for op in merged] == ["x", "x"]
+
+    def test_merges_on_different_units_independent(self):
+        ops = [
+            _op("x0", (0,), (1,)),
+            _op("x0", (1,), (3,)),
+            _op("x1", (0,), (2,)),
+            _op("x1", (1,), (4,)),
+        ]
+        merged = merge_single_qubit_ops(ops)
+        assert [op.gate for op in merged] == ["x01", "x01"]
+
+
+class TestScheduling:
+    def test_disjoint_ops_run_in_parallel(self):
+        ops = [_op("cx2", (0, 1)), _op("cx2", (2, 3))]
+        scheduled = schedule_ops(ops, merge_singles=False)
+        assert scheduled[0].start_ns == 0.0
+        assert scheduled[1].start_ns == 0.0
+
+    def test_shared_unit_serialises(self):
+        ops = [_op("cx2", (0, 1), duration=251.0), _op("cx2", (1, 2), duration=251.0)]
+        scheduled = schedule_ops(ops, merge_singles=False)
+        assert scheduled[1].start_ns == pytest.approx(251.0)
+        assert makespan(scheduled) == pytest.approx(502.0)
+
+    def test_ququart_serialisation_effect(self):
+        # Two CX gates that touch different encoded qubits of the same
+        # ququart (unit 0) cannot run in parallel -- the core serialization
+        # cost the paper discusses.
+        ops = [_op("cx0q", (0, 1), duration=560.0), _op("cx1q", (0, 2), duration=632.0)]
+        scheduled = schedule_ops(ops, merge_singles=False)
+        assert scheduled[1].start_ns == pytest.approx(560.0)
+
+    def test_merged_ops_get_stamped_duration(self):
+        ops = [_op("x0", (0,), (1,), 87.0), _op("x1", (0,), (2,), 66.0)]
+        scheduled = schedule_ops(ops, combined_duration_ns=86.0, combined_fidelity=0.999)
+        assert scheduled[0].gate == "x01"
+        assert scheduled[0].duration_ns == pytest.approx(86.0)
+        assert scheduled[0].fidelity == pytest.approx(0.999)
+
+    def test_no_unit_runs_two_ops_at_once(self):
+        ops = [
+            _op("cx2", (0, 1), duration=251.0),
+            _op("swap2", (1, 2), duration=504.0),
+            _op("cx2", (0, 3), duration=251.0),
+            _op("cx2", (2, 3), duration=251.0),
+            _op("x", (0,), duration=35.0),
+        ]
+        scheduled = schedule_ops(ops, merge_singles=False)
+        intervals: dict[int, list[tuple[float, float]]] = {}
+        for op in scheduled:
+            for unit in op.units:
+                intervals.setdefault(unit, []).append((op.start_ns, op.end_ns))
+        for unit_intervals in intervals.values():
+            unit_intervals.sort()
+            for (start_a, end_a), (start_b, _end_b) in zip(unit_intervals, unit_intervals[1:]):
+                assert start_b >= end_a - 1e-9
+
+    def test_makespan_of_empty_schedule(self):
+        assert makespan([]) == 0.0
+
+    def test_end_time_property(self):
+        op = _op("cx2", (0, 1), duration=251.0)
+        schedule_ops([op], merge_singles=False)
+        assert op.end_ns == pytest.approx(op.start_ns + 251.0)

@@ -1,0 +1,131 @@
+"""Tests for the mixed-radix state-vector simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pulses import embed_operator, qubit_gate
+from repro.pulses.unitaries import CX_MATRIX
+from repro.simulation import MixedRadixState
+
+
+class TestConstruction:
+    def test_default_state_is_ground(self):
+        state = MixedRadixState((2, 4))
+        probabilities = state.probabilities()
+        assert probabilities[0] == pytest.approx(1.0)
+        assert probabilities[1:].sum() == pytest.approx(0.0)
+
+    def test_from_levels(self):
+        state = MixedRadixState.from_levels((2, 4), (1, 3))
+        labels, probability = state.dominant_basis_state()
+        assert labels == (1, 3)
+        assert probability == pytest.approx(1.0)
+
+    def test_from_levels_validates(self):
+        with pytest.raises(ValueError):
+            MixedRadixState.from_levels((2, 4), (2, 0))
+        with pytest.raises(ValueError):
+            MixedRadixState.from_levels((2, 4), (0,))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            MixedRadixState(())
+        with pytest.raises(ValueError):
+            MixedRadixState((2, 1))
+
+    def test_set_vector_requires_normalisation(self):
+        state = MixedRadixState((2, 2))
+        with pytest.raises(ValueError):
+            state.set_vector(np.array([1.0, 1.0, 0.0, 0.0]))
+        with pytest.raises(ValueError):
+            state.set_vector(np.zeros(3))
+
+
+class TestEvolution:
+    def test_x_on_single_unit(self):
+        state = MixedRadixState((2, 2))
+        state.apply(qubit_gate("x"), (1,))
+        assert state.dominant_basis_state()[0] == (0, 1)
+
+    def test_cx_across_units(self):
+        state = MixedRadixState.from_levels((2, 2), (1, 0))
+        state.apply(CX_MATRIX, (0, 1))
+        assert state.dominant_basis_state()[0] == (1, 1)
+
+    def test_cx_with_reversed_unit_order(self):
+        # Applying CX with units (1, 0) makes unit 1 the control.
+        state = MixedRadixState.from_levels((2, 2), (0, 1))
+        state.apply(CX_MATRIX, (1, 0))
+        assert state.dominant_basis_state()[0] == (1, 1)
+
+    def test_hadamard_creates_uniform_marginal(self):
+        state = MixedRadixState((2, 2))
+        state.apply(qubit_gate("h"), (0,))
+        populations = state.unit_populations(0)
+        assert populations == pytest.approx([0.5, 0.5])
+        assert state.unit_populations(1) == pytest.approx([1.0, 0.0])
+
+    def test_ququart_gate_on_mixed_register(self):
+        x0 = embed_operator(qubit_gate("x"), (4,), [(0, 0)])
+        state = MixedRadixState((4, 2))
+        state.apply(x0, (0,))
+        assert state.dominant_basis_state()[0] == (2, 0)
+
+    def test_apply_validates_targets(self):
+        state = MixedRadixState((2, 2, 2))
+        with pytest.raises(ValueError):
+            state.apply(CX_MATRIX, (0, 0))
+        with pytest.raises(ValueError):
+            state.apply(CX_MATRIX, (0, 5))
+        with pytest.raises(ValueError):
+            state.apply(CX_MATRIX, (0,))
+
+    def test_entangled_fidelity(self):
+        bell = MixedRadixState((2, 2))
+        bell.apply(qubit_gate("h"), (0,))
+        bell.apply(CX_MATRIX, (0, 1))
+        other = MixedRadixState((2, 2))
+        other.apply(qubit_gate("h"), (0,))
+        other.apply(CX_MATRIX, (0, 1))
+        assert bell.fidelity_with(other) == pytest.approx(1.0)
+        ground = MixedRadixState((2, 2))
+        assert bell.fidelity_with(ground) == pytest.approx(0.5)
+
+    def test_fidelity_requires_same_register(self):
+        with pytest.raises(ValueError):
+            MixedRadixState((2, 2)).fidelity_with(MixedRadixState((2, 4)))
+
+
+class TestProperties:
+    @given(
+        dims=st.lists(st.sampled_from([2, 4]), min_size=1, max_size=3),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_norm_preserved_by_random_single_unit_gates(self, dims, seed):
+        rng = np.random.default_rng(seed)
+        state = MixedRadixState(tuple(dims))
+        for _ in range(5):
+            unit = int(rng.integers(len(dims)))
+            gate = qubit_gate(str(rng.choice(["x", "h", "s", "t", "z"])))
+            slot = 0 if dims[unit] == 2 else int(rng.integers(2))
+            unitary = embed_operator(gate, (dims[unit],), [(0, slot)])
+            state.apply(unitary, (unit,))
+        assert np.sum(state.probabilities()) == pytest.approx(1.0)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_probabilities_sum_to_one_after_entangling(self, seed):
+        rng = np.random.default_rng(seed)
+        state = MixedRadixState((2, 4, 2))
+        for _ in range(6):
+            a, b = rng.choice(3, size=2, replace=False)
+            slot_a = 0 if state.dims[a] == 2 else int(rng.integers(2))
+            slot_b = 0 if state.dims[b] == 2 else int(rng.integers(2))
+            unitary = embed_operator(
+                CX_MATRIX, (state.dims[a], state.dims[b]), [(0, slot_a), (1, slot_b)]
+            )
+            state.apply(unitary, (int(a), int(b)))
+        assert np.sum(state.probabilities()) == pytest.approx(1.0)

@@ -1,0 +1,111 @@
+"""Tests for device topologies."""
+
+import networkx as nx
+import pytest
+
+from repro.arch import (
+    Topology,
+    grid_for_circuit,
+    grid_topology,
+    heavy_hex_topology,
+    linear_topology,
+    ring_topology,
+)
+
+
+class TestTopologyClass:
+    def test_validates_node_labels(self):
+        graph = nx.Graph()
+        graph.add_edge(1, 2)
+        with pytest.raises(ValueError, match="consecutive"):
+            Topology(graph)
+
+    def test_rejects_disconnected_graph(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1, 2])
+        graph.add_edge(0, 1)
+        with pytest.raises(ValueError, match="connected"):
+            Topology(graph)
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError):
+            Topology(nx.Graph())
+
+    def test_accessors(self):
+        topology = grid_topology(2, 2)
+        assert topology.num_units == 4
+        assert topology.num_links == 4
+        assert topology.are_adjacent(0, 1)
+        assert not topology.are_adjacent(0, 3)
+        assert topology.neighbors(0) == [1, 2]
+        assert topology.shortest_path_length(0, 3) == 2
+
+    def test_all_pairs_distances(self):
+        topology = linear_topology(4)
+        distances = topology.all_pairs_distances()
+        assert distances[0][3] == 3
+        assert distances[2][2] == 0
+
+    def test_center_unit_of_line(self):
+        assert linear_topology(5).center_unit() in (1, 2, 3)
+        assert linear_topology(3).center_unit() == 1
+
+
+class TestGrid:
+    def test_grid_shape(self):
+        topology = grid_topology(3, 4)
+        assert topology.num_units == 12
+        # Interior links: 3*3 horizontal + 2*4 vertical = 17.
+        assert topology.num_links == 17
+
+    def test_grid_degree_bounded_by_four(self):
+        topology = grid_topology(4, 4)
+        assert max(len(topology.neighbors(u)) for u in range(16)) <= 4
+
+    @pytest.mark.parametrize("n,expected_units", [(5, 6), (9, 9), (10, 12), (16, 16), (20, 20)])
+    def test_grid_for_circuit_is_just_large_enough(self, n, expected_units):
+        topology = grid_for_circuit(n)
+        assert topology.num_units == expected_units
+        assert topology.num_units >= n
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            grid_topology(0, 3)
+        with pytest.raises(ValueError):
+            grid_for_circuit(0)
+
+
+class TestRingAndLine:
+    def test_ring_default_matches_paper(self):
+        topology = ring_topology()
+        assert topology.num_units == 65
+        assert topology.num_links == 65
+        assert all(len(topology.neighbors(u)) == 2 for u in range(65))
+
+    def test_small_ring_rejected(self):
+        with pytest.raises(ValueError):
+            ring_topology(2)
+
+    def test_linear(self):
+        topology = linear_topology(6)
+        assert topology.num_links == 5
+        assert len(topology.neighbors(0)) == 1
+
+
+class TestHeavyHex:
+    def test_default_size_is_65_units(self):
+        topology = heavy_hex_topology()
+        assert topology.num_units == 65
+
+    def test_degree_at_most_three(self):
+        topology = heavy_hex_topology()
+        degrees = [len(topology.neighbors(u)) for u in range(topology.num_units)]
+        assert max(degrees) <= 3
+
+    def test_connected(self):
+        topology = heavy_hex_topology(rows=3, row_length=7)
+        assert nx.is_connected(topology.graph)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            heavy_hex_topology(rows=0)

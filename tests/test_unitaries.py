@@ -1,0 +1,201 @@
+"""Tests for the mixed-radix target unitaries and the encoding embedding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import PHYSICAL_GATES
+from repro.pulses import (
+    embed_operator,
+    encode_unitary,
+    internal_cx_unitary,
+    partial_cx_unitary,
+    partial_swap_unitary,
+    qubit_gate,
+    target_unitary,
+)
+from repro.pulses.unitaries import CX_MATRIX, SWAP_MATRIX, full_ququart_swap_unitary
+
+
+def _is_unitary(matrix: np.ndarray) -> bool:
+    return np.allclose(matrix.conj().T @ matrix, np.eye(matrix.shape[0]), atol=1e-9)
+
+
+class TestQubitGates:
+    @pytest.mark.parametrize("name", ["i", "x", "y", "z", "h", "s", "sdg", "t", "tdg"])
+    def test_fixed_gates_are_unitary(self, name):
+        assert _is_unitary(qubit_gate(name))
+
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz"])
+    def test_rotations_are_unitary(self, name):
+        assert _is_unitary(qubit_gate(name, (0.37,)))
+
+    def test_s_squared_is_z(self):
+        s = qubit_gate("s")
+        assert np.allclose(s @ s, qubit_gate("z"))
+
+    def test_t_squared_is_s(self):
+        t = qubit_gate("t")
+        assert np.allclose(t @ t, qubit_gate("s"))
+
+    def test_h_squared_is_identity(self):
+        h = qubit_gate("h")
+        assert np.allclose(h @ h, np.eye(2))
+
+    def test_cx_and_swap(self):
+        assert _is_unitary(qubit_gate("cx"))
+        assert np.allclose(qubit_gate("swap"), SWAP_MATRIX)
+
+    def test_ccx_truth_table(self):
+        ccx = qubit_gate("ccx")
+        state = np.zeros(8)
+        state[0b110] = 1.0
+        assert np.argmax(np.abs(ccx @ state)) == 0b111
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(ValueError):
+            qubit_gate("not_a_gate")
+
+
+class TestEmbedOperator:
+    def test_single_qubit_on_bare_unit(self):
+        x = qubit_gate("x")
+        assert np.allclose(embed_operator(x, (2,), [(0, 0)]), x)
+
+    def test_x0_swaps_levels_0_2_and_1_3(self):
+        x0 = embed_operator(qubit_gate("x"), (4,), [(0, 0)])
+        # X on the most-significant encoded bit exchanges |0><->|2| and |1><->|3|.
+        state = np.zeros(4)
+        state[0] = 1.0
+        assert np.argmax(np.abs(x0 @ state)) == 2
+        state = np.zeros(4)
+        state[1] = 1.0
+        assert np.argmax(np.abs(x0 @ state)) == 3
+
+    def test_x1_swaps_levels_0_1_and_2_3(self):
+        x1 = embed_operator(qubit_gate("x"), (4,), [(0, 1)])
+        state = np.zeros(4)
+        state[2] = 1.0
+        assert np.argmax(np.abs(x1 @ state)) == 3
+
+    def test_internal_swap_exchanges_levels_1_and_2(self):
+        swap_in = embed_operator(SWAP_MATRIX, (4,), [(0, 0), (0, 1)])
+        state = np.zeros(4)
+        state[1] = 1.0
+        assert np.argmax(np.abs(swap_in @ state)) == 2
+
+    def test_spectator_qubit_untouched(self):
+        # CX between a bare qubit and slot 0 of a ququart must not move slot 1.
+        cx = embed_operator(CX_MATRIX, (2, 4), [(0, 0), (1, 0)])
+        # Input: control=1, ququart level 1 (= encoded |01>).  Expected output:
+        # slot 0 flips -> encoded |11> = level 3, control unchanged.
+        index_in = 1 * 4 + 1
+        index_out = 1 * 4 + 3
+        state = np.zeros(8)
+        state[index_in] = 1.0
+        assert np.argmax(np.abs(cx @ state)) == index_out
+
+    def test_operand_validation(self):
+        with pytest.raises(ValueError):
+            embed_operator(CX_MATRIX, (2, 2), [(0, 0)])  # wrong operand count
+        with pytest.raises(ValueError):
+            embed_operator(CX_MATRIX, (2, 2), [(0, 0), (0, 0)])  # duplicate operand
+        with pytest.raises(ValueError):
+            embed_operator(CX_MATRIX, (2, 2), [(0, 0), (1, 1)])  # slot 1 on a qubit
+        with pytest.raises(ValueError):
+            embed_operator(CX_MATRIX, (2, 2), [(0, 0), (2, 0)])  # unit out of range
+
+    @given(
+        dims=st.tuples(st.sampled_from([2, 4]), st.sampled_from([2, 4])),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_embedding_preserves_unitarity(self, dims, data):
+        slots_available = [
+            (unit, slot)
+            for unit, dim in enumerate(dims)
+            for slot in range(1 if dim == 2 else 2)
+        ]
+        operands = data.draw(
+            st.lists(st.sampled_from(slots_available), min_size=2, max_size=2, unique=True)
+        )
+        gate = data.draw(st.sampled_from([CX_MATRIX, SWAP_MATRIX, qubit_gate("cz")]))
+        embedded = embed_operator(gate, dims, operands)
+        assert _is_unitary(embedded)
+
+
+class TestEncoding:
+    def test_enc_is_unitary_permutation(self):
+        enc = encode_unitary()
+        assert _is_unitary(enc)
+        assert np.allclose(np.abs(enc), np.abs(enc).astype(int))
+
+    @pytest.mark.parametrize("q0,q1,level", [(0, 0, 0), (0, 1, 1), (1, 0, 2), (1, 1, 3)])
+    def test_enc_mapping_matches_eq2(self, q0, q1, level):
+        enc = encode_unitary()
+        # Input |q0>_A |q1>_B with A in qubit levels {0,1}; output |level>_A |0>_B.
+        index_in = q0 * 2 + q1
+        state = np.zeros(8)
+        state[index_in] = 1.0
+        out = enc @ state
+        assert np.argmax(np.abs(out)) == level * 2 + 0
+
+    def test_dec_inverts_enc(self):
+        enc, _dims = target_unitary("enc")
+        dec, _dims = target_unitary("dec")
+        assert np.allclose(dec @ enc, np.eye(8))
+
+
+class TestNamedTargets:
+    @pytest.mark.parametrize("name", sorted(set(PHYSICAL_GATES) - {"measure"}))
+    def test_every_physical_gate_has_a_unitary_target(self, name):
+        unitary, dims = target_unitary(name)
+        expected_dim = int(np.prod(dims))
+        assert unitary.shape == (expected_dim, expected_dim)
+        assert _is_unitary(unitary)
+
+    def test_internal_cx_acts_like_cx_on_encoded_pair(self):
+        cx0 = internal_cx_unitary(0)
+        # Encoded |10> = level 2; control (slot 0) is 1 so slot 1 flips -> |11> = 3.
+        state = np.zeros(4)
+        state[2] = 1.0
+        assert np.argmax(np.abs(cx0 @ state)) == 3
+
+    def test_partial_cx_matches_figure3_example(self):
+        # CX0q with the ququart in |3> (= encoded |11>) flips the bare qubit.
+        cx0q, dims = target_unitary("cx0q")
+        assert dims == (4, 2)
+        state = np.zeros(8)
+        state[3 * 2 + 0] = 1.0
+        out = cx0q @ state
+        assert np.argmax(np.abs(out)) == 3 * 2 + 1
+
+    def test_partial_swap_moves_data_between_radices(self):
+        swap, dims = target_unitary("swapq0")
+        assert dims == (2, 4)
+        # Bare qubit |1>, ququart |0>: after SWAPq0 the ququart's slot 0 holds 1
+        # (level 2) and the bare qubit holds 0.
+        state = np.zeros(8)
+        state[1 * 4 + 0] = 1.0
+        out = swap @ state
+        assert np.argmax(np.abs(out)) == 0 * 4 + 2
+
+    def test_swap4_exchanges_full_ququarts(self):
+        swap4 = full_ququart_swap_unitary()
+        state = np.zeros(16)
+        state[1 * 4 + 3] = 1.0  # |1>|3>
+        out = swap4 @ state
+        assert np.argmax(np.abs(out)) == 3 * 4 + 1  # |3>|1>
+
+    def test_partial_cx_constructors_agree_with_table(self):
+        direct = partial_cx_unitary(4, 0, 2, 0)
+        named, _dims = target_unitary("cx0q")
+        assert np.allclose(direct, named)
+        direct = partial_swap_unitary(2, 0, 4, 1)
+        named, _dims = target_unitary("swapq1")
+        assert np.allclose(direct, named)
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(KeyError):
+            target_unitary("cx99")

@@ -1,0 +1,64 @@
+"""Tests for interaction weights (Section 4.2)."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.compiler import interaction_weights, total_weights
+from repro.compiler.weights import weight_between
+
+
+class TestInteractionWeights:
+    def test_single_interaction_in_first_timestep(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        weights = interaction_weights(circuit)
+        assert weights[(0, 1)] == pytest.approx(1.0)
+
+    def test_later_interactions_weigh_less(self):
+        circuit = QuantumCircuit(2).cx(0, 1).cx(0, 1).cx(0, 1)
+        weights = interaction_weights(circuit)
+        assert weights[(0, 1)] == pytest.approx(1.0 + 1.0 / 2.0 + 1.0 / 3.0)
+
+    def test_parallel_gates_share_a_timestep(self):
+        circuit = QuantumCircuit(4).cx(0, 1).cx(2, 3)
+        weights = interaction_weights(circuit)
+        assert weights[(0, 1)] == pytest.approx(1.0)
+        assert weights[(2, 3)] == pytest.approx(1.0)
+
+    def test_single_qubit_and_meta_gates_ignored(self):
+        circuit = QuantumCircuit(3).h(0).barrier().measure(1).cx(0, 2)
+        weights = interaction_weights(circuit)
+        assert set(weights) == {(0, 2)}
+
+    def test_three_qubit_gate_weights_all_pairs(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2)
+        weights = interaction_weights(circuit)
+        assert set(weights) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_keys_are_sorted_pairs(self):
+        circuit = QuantumCircuit(3).cx(2, 0)
+        assert (0, 2) in interaction_weights(circuit)
+
+
+class TestTotalWeights:
+    def test_totals_include_every_register_qubit(self):
+        circuit = QuantumCircuit(4).cx(0, 1)
+        totals = total_weights(circuit)
+        assert set(totals) == {0, 1, 2, 3}
+        assert totals[2] == 0.0
+        assert totals[0] == totals[1] == pytest.approx(1.0)
+
+    def test_hub_qubit_has_highest_total(self):
+        circuit = QuantumCircuit(4).cx(0, 1).cx(0, 2).cx(0, 3)
+        totals = total_weights(circuit)
+        assert max(totals, key=totals.get) == 0
+
+
+class TestWeightBetween:
+    def test_orientation_independent(self):
+        circuit = QuantumCircuit(3).cx(1, 2)
+        weights = interaction_weights(circuit)
+        assert weight_between(weights, 1, 2) == weight_between(weights, 2, 1)
+
+    def test_missing_pair_is_zero(self):
+        assert weight_between({}, 0, 1) == 0.0
+        assert weight_between({(0, 1): 2.0}, 0, 0) == 0.0

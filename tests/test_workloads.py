@@ -1,0 +1,236 @@
+"""Tests for the benchmark workloads."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, decompose_to_basis
+from repro.simulation import simulate_logical_circuit
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    GRAPH_BENCHMARKS,
+    STRUCTURED_BENCHMARKS,
+    bernstein_vazirani,
+    binary_welded_tree_graph,
+    build_benchmark,
+    cuccaro_adder,
+    cylinder_graph,
+    generalized_toffoli,
+    qaoa_from_graph,
+    qram_circuit,
+    random_graph,
+    torus_graph,
+)
+
+
+class TestGraphGenerators:
+    @pytest.mark.parametrize("num_nodes", [5, 10, 20, 30])
+    def test_random_graph_connected(self, num_nodes):
+        graph = random_graph(num_nodes, density=0.3, seed=1)
+        assert graph.number_of_nodes() == num_nodes
+        assert nx.is_connected(graph)
+
+    def test_random_graph_density_scales_edges(self):
+        sparse = random_graph(20, density=0.1, seed=2)
+        dense = random_graph(20, density=0.6, seed=2)
+        assert dense.number_of_edges() > sparse.number_of_edges()
+
+    def test_random_graph_deterministic_by_seed(self):
+        a = random_graph(15, seed=5)
+        b = random_graph(15, seed=5)
+        assert set(a.edges) == set(b.edges)
+
+    @pytest.mark.parametrize("num_nodes", [8, 12, 16, 30])
+    def test_cylinder_graph(self, num_nodes):
+        graph = cylinder_graph(num_nodes)
+        assert graph.number_of_nodes() == num_nodes
+        assert nx.is_connected(graph)
+        # Full rows wrap around, creating 4-cycles.
+        assert any(len(cycle) >= 3 for cycle in nx.cycle_basis(graph))
+
+    def test_torus_has_more_edges_than_cylinder(self):
+        cylinder = cylinder_graph(16)
+        torus = torus_graph(16)
+        assert torus.number_of_edges() > cylinder.number_of_edges()
+
+    @pytest.mark.parametrize("num_nodes", [6, 14, 20, 30])
+    def test_binary_welded_tree(self, num_nodes):
+        graph = binary_welded_tree_graph(num_nodes)
+        assert graph.number_of_nodes() == num_nodes
+        assert nx.is_connected(graph)
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            random_graph(1)
+        with pytest.raises(ValueError):
+            random_graph(5, density=0.0)
+        with pytest.raises(ValueError):
+            cylinder_graph(2)
+        with pytest.raises(ValueError):
+            binary_welded_tree_graph(1)
+
+
+class TestBernsteinVazirani:
+    def test_structure(self):
+        circuit = bernstein_vazirani(8, secret=0b1011001)
+        assert circuit.num_qubits == 8
+        counts = circuit.count_ops()
+        assert counts["cx"] == 4  # popcount of the secret
+        # Interaction graph is a star on the target qubit: no cycles.
+        graph = nx.Graph(list(circuit.interaction_pairs()))
+        assert nx.cycle_basis(graph) == []
+
+    def test_algorithm_recovers_secret(self):
+        secret = 0b10110
+        circuit = bernstein_vazirani(6, secret=secret)
+        vector = simulate_logical_circuit(circuit)
+        index = int(np.argmax(np.abs(vector) ** 2))
+        # Data qubits are 0..4 (most significant first in the state index);
+        # the last qubit is the oracle target in |->.
+        measured = 0
+        for bit in range(5):
+            if (index >> (5 - bit)) & 1:
+                measured |= 1 << bit
+        assert measured == secret
+
+    def test_random_secret_is_dense(self):
+        circuit = bernstein_vazirani(12, seed=3)
+        assert circuit.count_ops()["cx"] >= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani(1)
+        with pytest.raises(ValueError):
+            bernstein_vazirani(3, secret=0b100)
+
+
+class TestCuccaroAdder:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 2), (3, 1), (2, 3), (3, 3)])
+    def test_addition_is_correct(self, a, b):
+        # 2-bit adder: 6 qubits = carry-in, b0, a0, b1, a1, carry-out.
+        width = 2
+        circuit = QuantumCircuit(2 * width + 2, "adder-test")
+        for bit in range(width):
+            if (a >> bit) & 1:
+                circuit.x(2 + 2 * bit)
+            if (b >> bit) & 1:
+                circuit.x(1 + 2 * bit)
+        circuit = circuit.compose(cuccaro_adder(2 * width + 2))
+        vector = simulate_logical_circuit(decompose_to_basis(circuit))
+        index = int(np.argmax(np.abs(vector) ** 2))
+        bits = [(index >> (5 - position)) & 1 for position in range(6)]
+        result = bits[1] | (bits[3] << 1) | (bits[5] << 2)  # b0, b1, carry-out
+        assert result == a + b
+        # The a register is restored by the UMA blocks.
+        assert bits[2] | (bits[4] << 1) == a
+
+    def test_interaction_graph_contains_triangles(self):
+        circuit = cuccaro_adder(12)
+        graph = nx.Graph(list(circuit.interaction_pairs()))
+        triangles = [cycle for cycle in nx.cycle_basis(graph) if len(cycle) == 3]
+        assert triangles
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            cuccaro_adder(3)
+
+
+class TestGeneralizedToffoli:
+    # An 8-qubit CNU has exactly 4 controls (0-3), 3 ancillas (4-6) and the
+    # target on qubit 7, with no size reduction in the constructor.
+    @pytest.mark.parametrize("controls_set", [0, 1, 2, 3, 4])
+    def test_target_flips_only_when_all_controls_set(self, controls_set):
+        circuit = generalized_toffoli(8)
+        prep = QuantumCircuit(8)
+        for control in range(controls_set):
+            prep.x(control)
+        full = prep.compose(circuit)
+        vector = simulate_logical_circuit(decompose_to_basis(full))
+        index = int(np.argmax(np.abs(vector) ** 2))
+        target_bit = index & 1  # target is the last qubit
+        expected = 1 if controls_set >= 4 else 0
+        assert target_bit == expected
+
+    def test_ancillas_are_restored(self):
+        circuit = generalized_toffoli(8)
+        prep = QuantumCircuit(8)
+        for control in range(4):
+            prep.x(control)
+        vector = simulate_logical_circuit(decompose_to_basis(prep.compose(circuit)))
+        index = int(np.argmax(np.abs(vector) ** 2))
+        bits = [(index >> (7 - position)) & 1 for position in range(8)]
+        for ancilla in range(4, 7):
+            assert bits[ancilla] == 0
+
+    def test_minimal_size_is_plain_toffoli(self):
+        circuit = generalized_toffoli(3)
+        assert circuit.count_ops()["ccx"] == 1
+
+    def test_interaction_graph_contains_triangles(self):
+        circuit = generalized_toffoli(11)
+        graph = nx.Graph(list(circuit.interaction_pairs()))
+        assert any(len(cycle) == 3 for cycle in nx.cycle_basis(graph))
+
+
+class TestQRAM:
+    def test_structure(self):
+        circuit = qram_circuit(12)
+        assert circuit.num_qubits == 12
+        assert circuit.count_ops()["ccx"] > 0
+        # Cycles exist and share the address qubits (edges), the property the
+        # paper blames for RB's inconsistency on QRAM.
+        graph = nx.Graph(list(circuit.interaction_pairs()))
+        assert len(nx.cycle_basis(graph)) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            qram_circuit(4)
+
+
+class TestQAOA:
+    def test_edge_pattern(self):
+        graph = nx.Graph([(0, 1), (1, 2)])
+        circuit = qaoa_from_graph(graph, seed=0)
+        counts = circuit.count_ops()
+        assert counts["cx"] == 4  # two per edge
+        assert counts["z"] == 2
+        assert counts["h"] == 3
+
+    def test_rounds_multiply_edge_usage(self):
+        graph = nx.Graph([(0, 1), (1, 2)])
+        circuit = qaoa_from_graph(graph, rounds=3, seed=0)
+        assert circuit.count_ops()["cx"] == 12
+
+    def test_requires_consecutive_nodes(self):
+        graph = nx.Graph([(1, 2)])
+        with pytest.raises(ValueError):
+            qaoa_from_graph(graph)
+
+    def test_edge_order_is_seeded(self):
+        graph = random_graph(8, seed=4)
+        a = qaoa_from_graph(graph, seed=1)
+        b = qaoa_from_graph(graph, seed=1)
+        c = qaoa_from_graph(graph, seed=2)
+        assert a == b
+        assert a != c
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    @pytest.mark.parametrize("size", [8, 16, 25])
+    def test_every_benchmark_builds(self, name, size):
+        circuit = build_benchmark(name, size, seed=0)
+        assert circuit.num_qubits == size
+        assert len(circuit) > 0
+
+    def test_structured_and_graph_partition(self):
+        assert set(STRUCTURED_BENCHMARKS) | set(GRAPH_BENCHMARKS) == set(BENCHMARK_NAMES)
+        assert not set(STRUCTURED_BENCHMARKS) & set(GRAPH_BENCHMARKS)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            build_benchmark("quantum_supremacy", 10)
+
+    def test_minimum_sizes_enforced(self):
+        with pytest.raises(ValueError):
+            build_benchmark("qram", 4)
