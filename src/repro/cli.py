@@ -5,20 +5,27 @@ writing Python::
 
     python -m repro compile --benchmark cuccaro --qubits 16 --strategy rb
     python -m repro sweep --benchmarks cuccaro cnu --sizes 8 12 --strategies qubit_only eqm
+    python -m repro sweep --workers 4 --cache-dir .repro_cache --json results/sweep.json
     python -m repro table1
     python -m repro figure --name fig12 --output results/fig12.csv
+    python -m repro cache --info
 
 Every subcommand prints a plain-text table; ``--output`` additionally writes
-a CSV file.
+a CSV file and ``--json`` a JSON file.  ``--workers N`` fans the sweep out
+over N processes through :mod:`repro.runner`; ``--workers 1`` (the default)
+is the serial reproducibility path and produces identical numbers.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.compression import _STRATEGIES
+from repro.runner import CompileCache, default_cache_dir
 from repro.evaluation import (
     compile_benchmark,
     figure3_state_evolution,
@@ -69,15 +76,52 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--strategies", nargs="+", choices=sorted(set(_STRATEGIES)),
                               default=["qubit_only", "eqm", "rb"])
     sweep_parser.add_argument("--device", choices=("grid", "heavy_hex", "ring"), default="grid")
+    sweep_parser.add_argument("--seed", type=int, default=0)
     sweep_parser.add_argument("--output", help="write the sweep rows to this CSV file")
+    sweep_parser.add_argument("--json", dest="json_output",
+                              help="write the sweep rows to this JSON file")
+    _add_runner_arguments(sweep_parser)
 
     subparsers.add_parser("table1", help="print the Table 1 gate durations")
 
     figure_parser = subparsers.add_parser("figure", help="run one figure's experiment")
     figure_parser.add_argument("--name", choices=_FIGURES, required=True)
     figure_parser.add_argument("--output", help="write figure rows to this CSV file")
+    _add_runner_arguments(figure_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk compile cache"
+    )
+    cache_parser.add_argument("--dir", dest="cache_dir", default=None,
+                              help=f"cache directory (default: {default_cache_dir()})")
+    cache_parser.add_argument("--clear", action="store_true",
+                              help="delete every cached compile result")
+    cache_parser.add_argument("--info", action="store_true",
+                              help="print entry count and size (the default action; "
+                                   "with --clear, prints the post-clear state)")
 
     return parser
+
+
+def _worker_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("worker count must be >= 1")
+    return value
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared ``repro.runner`` engine knobs for sweep-shaped subcommands."""
+    parser.add_argument("--workers", type=_worker_count, default=1,
+                        help="worker processes (1 = serial reference path)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="enable the compile cache rooted at this directory")
+
+
+def _cache_from_args(args: argparse.Namespace) -> CompileCache | None:
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    return CompileCache(root=Path(args.cache_dir))
 
 
 # ----------------------------------------------------------------------
@@ -111,17 +155,50 @@ def _run_compile(args: argparse.Namespace) -> int:
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
+    cache = _cache_from_args(args)
     results = strategy_sweep(
         benchmarks=tuple(args.benchmarks),
         sizes=tuple(args.sizes),
         strategies=tuple(args.strategies),
         device_kind=args.device,
+        seed=args.seed,
+        workers=args.workers,
+        cache=cache,
     )
     rows = results_to_rows(results)
     print(format_table(SWEEP_HEADERS, rows))
+    if cache is not None:
+        print(f"\ncache: {cache.stats.hits} hits, {cache.stats.misses} misses "
+              f"({cache.root})")
     if args.output:
         path = save_csv(args.output, SWEEP_HEADERS, rows)
         print(f"\nwrote {path}")
+    if args.json_output:
+        path = save_json(args.json_output, SWEEP_HEADERS, rows)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def save_json(path: str | Path, headers: list[str], rows: list[list]) -> Path:
+    """Write sweep rows as a JSON list of row objects (CI artifact format)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = [dict(zip(headers, row)) for row in rows]
+    path.write_text(json.dumps(records, indent=2, default=str) + "\n")
+    return path
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    cache = CompileCache(root=Path(args.cache_dir) if args.cache_dir else default_cache_dir())
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+    if args.info or not args.clear:
+        print(format_table(["property", "value"], [
+            ["directory", str(cache.root)],
+            ["entries", len(cache)],
+            ["size (KiB)", cache.size_bytes() / 1024.0],
+        ]))
     return 0
 
 
@@ -134,7 +211,8 @@ def _run_table1(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _figure_rows(name: str) -> tuple[list[str], list[list]]:
+def _figure_rows(name: str, workers: int = 1, cache=None) -> tuple[list[str], list[list]]:
+    engine = {"workers": workers, "cache": cache}
     if name == "fig3":
         traces = figure3_state_evolution(steps=11)
         rows = []
@@ -146,20 +224,20 @@ def _figure_rows(name: str) -> tuple[list[str], list[list]]:
             row + [""] * (2 + width - len(row)) for row in rows
         ]
     if name == "fig4":
-        data = figure4_exhaustive()
+        data = figure4_exhaustive(**engine)
         rows = [
             [label, entry["report"].gate_eps, entry["report"].coherence_eps, str(entry["pairs"])]
             for label, entry in data.items()
         ]
         return ["selection", "gate_eps", "coherence_eps", "pairs"], rows
     if name == "fig8":
-        distributions = figure8_gate_distribution()
+        distributions = figure8_gate_distribution(**engine)
         categories = list(next(iter(distributions.values())).keys())
         rows = [[strategy] + [histogram[c] for c in categories]
                 for strategy, histogram in distributions.items()]
         return ["strategy"] + categories, rows
     if name == "fig9":
-        sweep = figure9_qubit_error_sweep()
+        sweep = figure9_qubit_error_sweep(**engine)
         rows = []
         for bench, by_scale in sweep.items():
             for scale, cell in by_scale.items():
@@ -167,14 +245,14 @@ def _figure_rows(name: str) -> tuple[list[str], list[list]]:
                     rows.append([bench, scale, strategy, result.report.gate_eps])
         return ["benchmark", "error_scale", "strategy", "gate_eps"], rows
     if name == "fig11":
-        improved = figure11_t1_improvement()
+        improved = figure11_t1_improvement(**engine)
         rows = []
         for bench, by_strategy in improved.items():
             for strategy, result in by_strategy.items():
                 rows.append([bench, strategy, result.report.coherence_eps])
         return ["benchmark", "strategy", "coherence_eps_10x"], rows
     if name == "fig12":
-        sweep = figure12_t1_ratio_sweep()
+        sweep = figure12_t1_ratio_sweep(**engine)
         rows = []
         for bench, data in sweep.items():
             for ratio, point in data["series"].items():
@@ -182,7 +260,7 @@ def _figure_rows(name: str) -> tuple[list[str], list[list]]:
                              data["baseline"].report.total_eps])
         return ["benchmark", "t1_ratio", "total_eps", "total_eps_qubit_only"], rows
     if name == "fig13":
-        results = figure13_topologies()
+        results = figure13_topologies(**engine)
         rows = []
         for bench, by_topology in results.items():
             for topology, stats in by_topology.items():
@@ -192,7 +270,8 @@ def _figure_rows(name: str) -> tuple[list[str], list[list]]:
 
 
 def _run_figure(args: argparse.Namespace) -> int:
-    headers, rows = _figure_rows(args.name)
+    headers, rows = _figure_rows(args.name, workers=args.workers,
+                                 cache=_cache_from_args(args))
     print(format_table(headers, rows))
     if args.output:
         path = save_csv(args.output, headers, rows)
@@ -205,6 +284,7 @@ _HANDLERS = {
     "sweep": _run_sweep,
     "table1": _run_table1,
     "figure": _run_figure,
+    "cache": _run_cache,
 }
 
 

@@ -21,7 +21,7 @@ from repro.compiler.plan import CompressionPlan
 from repro.compiler.result import CompiledCircuit, PhysicalOp
 from repro.compiler.routing import Router
 from repro.compiler.scheduling import schedule_ops
-from repro.compiler.weights import interaction_weights, weight_between
+from repro.compiler.weights import interaction_weights
 
 
 class QompressCompiler:

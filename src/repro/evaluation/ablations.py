@@ -15,18 +15,20 @@ Three ablations are provided:
   success-probability cost.  :func:`uniform_routing_ablation` compares
   against a device whose gates all share one fidelity, which collapses the
   cost model to (duration-weighted) hop counting.
+
+Each ablation expresses its baseline/ablated pair as two declarative
+:class:`~repro.runner.SweepPoint` values (device tweaks become
+duration/fidelity overrides on the :class:`~repro.runner.DeviceSpec`), so the
+pair executes through the runner engine and can share its compile cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compiler.pipeline import QompressCompiler
-from repro.compression import get_strategy
-from repro.metrics.eps import EPSReport, evaluate_eps
+from repro.metrics.eps import EPSReport
 from repro.pulses.durations import GateDurationTable
-from repro.workloads.registry import build_benchmark
-from repro.evaluation.sweep import device_for
+from repro.runner import CompileCache, SweepPlan, DeviceSpec, execute_plan
 
 
 @dataclass(frozen=True)
@@ -54,85 +56,114 @@ class AblationResult:
         return self.ablated.makespan_ns / self.baseline.makespan_ns
 
 
+def _run_pair(
+    baseline_plan: SweepPlan,
+    ablated_plan: SweepPlan,
+    cache: CompileCache | None,
+) -> tuple[EPSReport, EPSReport]:
+    baseline, ablated = execute_plan(baseline_plan + ablated_plan, cache=cache)
+    return baseline.report, ablated.report
+
+
 def merging_ablation(
-    benchmark: str = "qaoa_torus", num_qubits: int = 16, strategy: str = "eqm", seed: int = 0
+    benchmark: str = "qaoa_torus",
+    num_qubits: int = 16,
+    strategy: str = "eqm",
+    seed: int = 0,
+    cache: CompileCache | None = None,
 ) -> AblationResult:
     """Compile with and without the combined single-ququart gate merge."""
-    circuit = build_benchmark(benchmark, num_qubits, seed=seed)
-    device = device_for("grid", num_qubits)
-    strategy_obj = get_strategy(strategy)
-    merged = QompressCompiler(device, strategy_obj, merge_single_qubit_gates=True).compile(circuit)
-    unmerged = QompressCompiler(device, strategy_obj, merge_single_qubit_gates=False).compile(circuit)
+    merged = SweepPlan.single(
+        benchmark, num_qubits, strategy, seed=seed,
+        compiler_kwargs={"merge_single_qubit_gates": True},
+    )
+    unmerged = SweepPlan.single(
+        benchmark, num_qubits, strategy, seed=seed,
+        compiler_kwargs={"merge_single_qubit_gates": False},
+    )
+    baseline, ablated = _run_pair(merged, unmerged, cache)
     return AblationResult(
         benchmark=benchmark,
         num_qubits=num_qubits,
         strategy=strategy,
-        baseline=evaluate_eps(merged),
-        ablated=evaluate_eps(unmerged),
+        baseline=baseline,
+        ablated=ablated,
     )
 
 
-def _table_without_internal_advantage() -> GateDurationTable:
-    """Duration table where internal gates are no better than qubit-qubit gates."""
+def _overrides_without_internal_advantage() -> tuple[dict[str, float], dict[str, float]]:
+    """Duration/fidelity overrides making internal gates no better than CX2."""
     table = GateDurationTable()
     cx2_duration = table.duration("cx2")
     swap2_duration = table.duration("swap2")
     two_qudit_fidelity = table.fidelity("cx2")
-    return table.with_overrides(
-        durations_ns={
-            "cx0_in": cx2_duration,
-            "cx1_in": cx2_duration,
-            "swap_in": swap2_duration,
-        },
-        fidelities={
-            "cx0_in": two_qudit_fidelity,
-            "cx1_in": two_qudit_fidelity,
-            "swap_in": two_qudit_fidelity,
-        },
-    )
+    durations = {
+        "cx0_in": cx2_duration,
+        "cx1_in": cx2_duration,
+        "swap_in": swap2_duration,
+    }
+    fidelities = {
+        "cx0_in": two_qudit_fidelity,
+        "cx1_in": two_qudit_fidelity,
+        "swap_in": two_qudit_fidelity,
+    }
+    return durations, fidelities
 
 
 def internal_gate_ablation(
-    benchmark: str = "cuccaro", num_qubits: int = 16, strategy: str = "rb", seed: int = 0
+    benchmark: str = "cuccaro",
+    num_qubits: int = 16,
+    strategy: str = "rb",
+    seed: int = 0,
+    cache: CompileCache | None = None,
 ) -> AblationResult:
     """Remove the internal-gate advantage and recompile."""
-    circuit = build_benchmark(benchmark, num_qubits, seed=seed)
-    baseline_device = device_for("grid", num_qubits)
-    ablated_device = baseline_device.with_durations(_table_without_internal_advantage())
-    strategy_obj = get_strategy(strategy)
-    baseline = QompressCompiler(baseline_device, strategy_obj).compile(circuit)
-    ablated = QompressCompiler(ablated_device, strategy_obj).compile(circuit)
+    durations, fidelities = _overrides_without_internal_advantage()
+    ablated_spec = DeviceSpec(
+        kind="grid",
+        duration_overrides=tuple(sorted(durations.items())),
+        fidelity_overrides=tuple(sorted(fidelities.items())),
+    )
+    baseline_plan = SweepPlan.single(benchmark, num_qubits, strategy, seed=seed)
+    ablated_plan = SweepPlan.single(
+        benchmark, num_qubits, strategy, device=ablated_spec, seed=seed
+    )
+    baseline, ablated = _run_pair(baseline_plan, ablated_plan, cache)
     return AblationResult(
         benchmark=benchmark,
         num_qubits=num_qubits,
         strategy=strategy,
-        baseline=evaluate_eps(baseline),
-        ablated=evaluate_eps(ablated),
+        baseline=baseline,
+        ablated=ablated,
     )
 
 
 def uniform_routing_ablation(
-    benchmark: str = "qaoa_random", num_qubits: int = 16, strategy: str = "eqm", seed: int = 0
+    benchmark: str = "qaoa_random",
+    num_qubits: int = 16,
+    strategy: str = "eqm",
+    seed: int = 0,
+    cache: CompileCache | None = None,
 ) -> AblationResult:
     """Collapse the Eq. 4 cost model by giving every gate the same fidelity.
 
     Durations (and therefore the T1 terms) still differ, so this isolates the
     contribution of fidelity-aware path selection.
     """
-    circuit = build_benchmark(benchmark, num_qubits, seed=seed)
-    baseline_device = device_for("grid", num_qubits)
     table = GateDurationTable()
-    uniform = table.with_overrides(
-        fidelities={name: 0.99 for name in table.known_gates() if name != "measure"}
+    uniform = {name: 0.99 for name in table.known_gates() if name != "measure"}
+    ablated_spec = DeviceSpec(
+        kind="grid", fidelity_overrides=tuple(sorted(uniform.items()))
     )
-    ablated_device = baseline_device.with_durations(uniform)
-    strategy_obj = get_strategy(strategy)
-    baseline = QompressCompiler(baseline_device, strategy_obj).compile(circuit)
-    ablated = QompressCompiler(ablated_device, strategy_obj).compile(circuit)
+    baseline_plan = SweepPlan.single(benchmark, num_qubits, strategy, seed=seed)
+    ablated_plan = SweepPlan.single(
+        benchmark, num_qubits, strategy, device=ablated_spec, seed=seed
+    )
+    baseline, ablated = _run_pair(baseline_plan, ablated_plan, cache)
     return AblationResult(
         benchmark=benchmark,
         num_qubits=num_qubits,
         strategy=strategy,
-        baseline=evaluate_eps(baseline),
-        ablated=evaluate_eps(ablated),
+        baseline=baseline,
+        ablated=ablated,
     )

@@ -1,25 +1,21 @@
-"""Experiment drivers for every table and figure in the paper."""
+"""Experiment drivers for every table and figure in the paper.
+
+Every sweep-shaped experiment enumerates a declarative
+:class:`~repro.runner.SweepPlan` and executes it through
+:func:`~repro.runner.execute_plan`, so each driver accepts ``workers`` (fan
+out across processes) and ``cache`` (reuse compiled points across runs and
+across experiments that share cells).
+"""
 
 from __future__ import annotations
 
-from repro.arch.device import Device
-from repro.compiler.pipeline import QompressCompiler
-from repro.compression import ExhaustiveCompression, get_strategy
 from repro.gates.library import PHYSICAL_GATES
 from repro.metrics.eps import evaluate_eps
 from repro.metrics.histograms import grouped_histogram
 from repro.pulses.durations import GateDurationTable
+from repro.runner import CompileCache, DeviceSpec, StrategyResult, SweepPlan, execute_plan
 from repro.simulation.encoding import cx_state_evolution
-from repro.workloads.graphs import cylinder_graph
-from repro.workloads.qaoa import qaoa_from_graph
-from repro.workloads.registry import build_benchmark
-from repro.evaluation.sweep import (
-    DEFAULT_STRATEGIES,
-    StrategyResult,
-    compile_benchmark,
-    device_for,
-    run_strategies,
-)
+from repro.evaluation.sweep import DEFAULT_STRATEGIES
 
 
 # ----------------------------------------------------------------------
@@ -62,29 +58,37 @@ def figure3_state_evolution(steps: int = 41) -> dict[str, dict]:
 # ----------------------------------------------------------------------
 # Figure 4
 # ----------------------------------------------------------------------
-def figure4_exhaustive(num_qubits: int = 12, max_pairs: int = 4, seed: int = 0) -> dict[str, dict]:
+def figure4_exhaustive(
+    num_qubits: int = 12,
+    max_pairs: int = 4,
+    seed: int = 0,
+    workers: int = 1,
+    cache: CompileCache | None = None,
+) -> dict[str, dict]:
     """Exhaustive compression on a cylinder QAOA circuit (Figure 4).
 
     Runs the critical-path-ordered and the unordered ("any pair") selection
     modes and reports the pairs chosen and the resulting EPS for each,
     alongside the qubit-only reference.
     """
-    circuit = qaoa_from_graph(cylinder_graph(num_qubits), seed=seed,
-                              name=f"qaoa_cylinder-{num_qubits}")
-    device = device_for("grid", num_qubits)
-    compiler_baseline = QompressCompiler(device, get_strategy("qubit_only"))
-    baseline = evaluate_eps(compiler_baseline.compile(circuit))
-    output: dict[str, dict] = {"qubit_only": {"report": baseline, "pairs": ()}}
-    for label, selection in (("critical", "critical"), ("any", "any")):
-        strategy = ExhaustiveCompression(selection=selection, max_pairs=max_pairs,
-                                         max_evaluations=300)
-        compiler = QompressCompiler(device, strategy)
-        compiled = compiler.compile(circuit)
-        output[label] = {
-            "report": evaluate_eps(compiled),
-            "pairs": compiled.compressed_pairs,
-        }
-    return output
+    benchmark = "qaoa_cylinder"
+    plan = SweepPlan.single(benchmark, num_qubits, "qubit_only", seed=seed)
+    labels = ["qubit_only"]
+    for selection in ("critical", "any"):
+        plan = plan + SweepPlan.single(
+            benchmark, num_qubits, "ec", seed=seed,
+            strategy_kwargs={
+                "selection": selection,
+                "max_pairs": max_pairs,
+                "max_evaluations": 300,
+            },
+        )
+        labels.append("critical" if selection == "critical" else "any")
+    results = execute_plan(plan, workers=workers, cache=cache)
+    return {
+        label: {"report": result.report, "pairs": result.compiled.compressed_pairs}
+        for label, result in zip(labels, results)
+    }
 
 
 # ----------------------------------------------------------------------
@@ -97,20 +101,24 @@ def strategy_sweep(
     device_kind: str = "grid",
     t1_scale: float = 1.0,
     seed: int = 0,
+    workers: int = 1,
+    cache: CompileCache | None = None,
 ) -> dict[str, dict[int, dict[str, StrategyResult]]]:
     """Gate and coherence EPS for every (benchmark, size, strategy) cell.
 
     This single sweep backs both Figure 7 (read ``report.gate_eps``) and
-    Figure 10 (read ``report.coherence_eps``).
+    Figure 10 (read ``report.coherence_eps``).  The whole cross product is
+    dispatched as one plan, so ``workers > 1`` parallelises across every
+    cell, not just within one benchmark.
     """
+    spec = DeviceSpec(kind=device_kind, t1_scale=t1_scale)
+    plan = SweepPlan.cartesian(benchmarks, sizes, strategies, device=spec, seed=seed)
+    flat = execute_plan(plan, workers=workers, cache=cache)
     results: dict[str, dict[int, dict[str, StrategyResult]]] = {}
-    for benchmark in benchmarks:
-        results[benchmark] = {}
-        for size in sizes:
-            device = device_for(device_kind, size, t1_scale=t1_scale)
-            results[benchmark][size] = run_strategies(
-                benchmark, size, strategies=strategies, device=device, seed=seed
-            )
+    for point, result in zip(plan, flat):
+        results.setdefault(point.benchmark, {}).setdefault(point.num_qubits, {})[
+            point.strategy
+        ] = result
     return results
 
 
@@ -121,16 +129,16 @@ def figure8_gate_distribution(
     num_qubits: int = 30,
     strategies: tuple[str, ...] = ("qubit_only", "eqm", "rb", "awe", "pp"),
     seed: int = 0,
+    workers: int = 1,
+    cache: CompileCache | None = None,
 ) -> dict[str, dict[str, int]]:
     """Gate-type distribution for the torus QAOA circuit (Figure 8)."""
-    device = device_for("grid", num_qubits)
-    distributions: dict[str, dict[str, int]] = {}
-    for strategy in strategies:
-        result = compile_benchmark(
-            "qaoa_torus", num_qubits, strategy, device=device, seed=seed
-        )
-        distributions[strategy] = grouped_histogram(result.compiled)
-    return distributions
+    plan = SweepPlan.cartesian(("qaoa_torus",), (num_qubits,), strategies, seed=seed)
+    results = execute_plan(plan, workers=workers, cache=cache)
+    return {
+        point.strategy: grouped_histogram(result.compiled)
+        for point, result in zip(plan, results)
+    }
 
 
 # ----------------------------------------------------------------------
@@ -142,21 +150,27 @@ def figure9_qubit_error_sweep(
     error_scales: tuple[float, ...] = (1.0, 0.5, 0.25, 0.1, 0.05),
     strategies: tuple[str, ...] = ("qubit_only", "eqm", "rb"),
     seed: int = 0,
+    workers: int = 1,
+    cache: CompileCache | None = None,
 ) -> dict[str, dict[float, dict[str, StrategyResult]]]:
     """Gate EPS as the bare-qubit gate error improves (Figure 9).
 
     Ququart gate error stays constant while the error of qubit-only gates is
     multiplied by each value in ``error_scales``.
     """
+    plan = SweepPlan()
+    for scale in error_scales:
+        spec = DeviceSpec(kind="grid", qubit_error_scale=scale)
+        plan = plan + SweepPlan.cartesian(
+            benchmarks, (num_qubits,), strategies, device=spec, seed=seed
+        )
+    flat = execute_plan(plan, workers=workers, cache=cache)
     results: dict[str, dict[float, dict[str, StrategyResult]]] = {}
-    for benchmark in benchmarks:
-        results[benchmark] = {}
-        for scale in error_scales:
-            durations = GateDurationTable().with_qubit_error_scaled(scale)
-            device = device_for("grid", num_qubits, durations=durations)
-            results[benchmark][scale] = run_strategies(
-                benchmark, num_qubits, strategies=strategies, device=device, seed=seed
-            )
+    for point, result in zip(plan, flat):
+        scale = point.device.qubit_error_scale
+        results.setdefault(point.benchmark, {}).setdefault(scale, {})[
+            point.strategy
+        ] = result
     return results
 
 
@@ -169,14 +183,16 @@ def figure11_t1_improvement(
     t1_scale: float = 10.0,
     strategies: tuple[str, ...] = ("qubit_only", "eqm", "rb"),
     seed: int = 0,
+    workers: int = 1,
+    cache: CompileCache | None = None,
 ) -> dict[str, dict[str, StrategyResult]]:
     """Coherence EPS with 10x better T1 for both qubits and ququarts (Fig. 11)."""
+    spec = DeviceSpec(kind="grid", t1_scale=t1_scale)
+    plan = SweepPlan.cartesian(benchmarks, (num_qubits,), strategies, device=spec, seed=seed)
+    flat = execute_plan(plan, workers=workers, cache=cache)
     results: dict[str, dict[str, StrategyResult]] = {}
-    for benchmark in benchmarks:
-        device = device_for("grid", num_qubits, t1_scale=t1_scale)
-        results[benchmark] = run_strategies(
-            benchmark, num_qubits, strategies=strategies, device=device, seed=seed
-        )
+    for point, result in zip(plan, flat):
+        results.setdefault(point.benchmark, {})[point.strategy] = result
     return results
 
 
@@ -190,6 +206,8 @@ def figure12_t1_ratio_sweep(
     strategy: str = "eqm",
     t1_scale: float = 10.0,
     seed: int = 0,
+    workers: int = 1,
+    cache: CompileCache | None = None,
 ) -> dict[str, dict]:
     """Total EPS versus the ququart/qubit T1 ratio, with crossovers (Fig. 12).
 
@@ -202,15 +220,20 @@ def figure12_t1_ratio_sweep(
     """
     from dataclasses import replace
 
+    spec = DeviceSpec(kind="grid", t1_scale=t1_scale)
+    plan = SweepPlan.cartesian(
+        benchmarks, (num_qubits,), ("qubit_only", strategy), device=spec, seed=seed
+    )
+    flat = execute_plan(plan, workers=workers, cache=cache)
+    compiled_cells: dict[str, dict[str, StrategyResult]] = {}
+    for point, result in zip(plan, flat):
+        compiled_cells.setdefault(point.benchmark, {})[point.strategy] = result
+
     results: dict[str, dict] = {}
     for benchmark in benchmarks:
-        baseline_device = device_for("grid", num_qubits, t1_scale=t1_scale)
-        baseline = compile_benchmark(
-            benchmark, num_qubits, "qubit_only", device=baseline_device, seed=seed
-        )
-        compiled_once = compile_benchmark(
-            benchmark, num_qubits, strategy, device=baseline_device, seed=seed
-        )
+        baseline = compiled_cells[benchmark]["qubit_only"]
+        compiled_once = compiled_cells[benchmark][strategy]
+        baseline_device = compiled_once.compiled.device
         series = {}
         crossover = None
         for ratio in ratios:
@@ -243,8 +266,23 @@ def figure13_topologies(
     topologies: tuple[str, ...] = ("grid", "heavy_hex", "ring"),
     strategy: str = "eqm",
     seed: int = 0,
+    workers: int = 1,
+    cache: CompileCache | None = None,
 ) -> dict[str, dict[str, dict]]:
     """Ranges of gate-EPS improvement across device topologies (Figure 13)."""
+    plan = SweepPlan()
+    for topology in topologies:
+        plan = plan + SweepPlan.cartesian(
+            benchmarks, sizes, ("qubit_only", strategy),
+            device=DeviceSpec(kind=topology), seed=seed,
+        )
+    flat = execute_plan(plan, workers=workers, cache=cache)
+    cells: dict[tuple[str, str, int], dict[str, StrategyResult]] = {}
+    for point, result in zip(plan, flat):
+        cells.setdefault((point.benchmark, point.device.kind, point.num_qubits), {})[
+            point.strategy
+        ] = result
+
     results: dict[str, dict[str, dict]] = {}
     for benchmark in benchmarks:
         results[benchmark] = {}
@@ -252,11 +290,7 @@ def figure13_topologies(
             ratios: list[float] = []
             per_size: dict[int, float] = {}
             for size in sizes:
-                device = device_for(topology, size)
-                outcome = run_strategies(
-                    benchmark, size, strategies=("qubit_only", strategy),
-                    device=device, seed=seed,
-                )
+                outcome = cells[(benchmark, topology, size)]
                 baseline = outcome["qubit_only"].report.gate_eps
                 improved = outcome[strategy].report.gate_eps
                 ratio = improved / baseline if baseline > 0 else float("inf")

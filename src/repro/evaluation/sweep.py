@@ -1,31 +1,31 @@
-"""Shared plumbing for the evaluation experiments."""
+"""Shared plumbing for the evaluation experiments.
+
+The heavy lifting lives in :mod:`repro.runner`: experiments enumerate
+:class:`~repro.runner.SweepPoint` values and hand them to a
+:class:`~repro.runner.ParallelExecutor`.  The helpers here keep the legacy
+call signatures (``compile_benchmark``, ``run_strategies``) while exposing
+``workers`` / ``cache`` knobs that route through the engine.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.arch.device import Device
-from repro.arch.topology import grid_for_circuit, heavy_hex_topology, ring_topology
 from repro.compiler.pipeline import QompressCompiler
-from repro.compiler.result import CompiledCircuit
 from repro.compression import get_strategy
-from repro.metrics.eps import EPSReport, evaluate_eps
+from repro.metrics.eps import evaluate_eps
 from repro.pulses.durations import GateDurationTable
+from repro.runner import (
+    CompileCache,
+    DeviceSpec,
+    StrategyResult,
+    SweepPlan,
+    execute_plan,
+    make_device,
+)
 from repro.workloads.registry import build_benchmark
 
 #: Strategies plotted in Figures 7 and 10 (EC is opt-in because of its cost).
 DEFAULT_STRATEGIES: tuple[str, ...] = ("qubit_only", "fq", "eqm", "rb", "awe", "pp")
-
-
-@dataclass(frozen=True)
-class StrategyResult:
-    """One compiled data point: the EPS report plus the compiled circuit."""
-
-    benchmark: str
-    num_qubits: int
-    strategy: str
-    report: EPSReport
-    compiled: CompiledCircuit
 
 
 def device_for(
@@ -40,24 +40,10 @@ def device_for(
     ``kind`` is one of ``"grid"`` (sized to the circuit, Section 6.1),
     ``"heavy_hex"`` (65 units) or ``"ring"`` (65 units).
     """
-    key = kind.strip().lower()
-    if key == "grid":
-        topology = grid_for_circuit(max(2, (num_qubits + 1) // 2) if num_qubits else 2)
-        # The paper sizes the grid to the circuit qubit count; compression can
-        # then free up to half the units.  Use the circuit size directly.
-        topology = grid_for_circuit(num_qubits)
-    elif key in ("heavy_hex", "heavyhex", "hex"):
-        topology = heavy_hex_topology()
-    elif key == "ring":
-        topology = ring_topology(65)
-    else:
-        raise KeyError(f"unknown device kind {kind!r}; use grid, heavy_hex or ring")
-    device = Device(topology=topology, durations=durations or GateDurationTable())
-    if t1_scale != 1.0:
-        device = device.with_t1_scaled(t1_scale)
-    if ququart_t1_ratio is not None:
-        device = device.with_ququart_t1_ratio(ququart_t1_ratio)
-    return device
+    return make_device(
+        kind, num_qubits, durations=durations,
+        t1_scale=t1_scale, ququart_t1_ratio=ququart_t1_ratio,
+    )
 
 
 def compile_benchmark(
@@ -68,21 +54,32 @@ def compile_benchmark(
     device_kind: str = "grid",
     seed: int = 0,
     strategy_kwargs: dict | None = None,
+    cache: CompileCache | None = None,
 ) -> StrategyResult:
-    """Build, compile and evaluate one benchmark under one strategy."""
-    circuit = build_benchmark(benchmark, num_qubits, seed=seed)
-    if device is None:
-        device = device_for(device_kind, num_qubits)
-    strategy_object = get_strategy(strategy, **(strategy_kwargs or {}))
-    compiler = QompressCompiler(device, strategy_object)
-    compiled = compiler.compile(circuit)
-    return StrategyResult(
-        benchmark=benchmark,
-        num_qubits=num_qubits,
-        strategy=strategy,
-        report=evaluate_eps(compiled),
-        compiled=compiled,
+    """Build, compile and evaluate one benchmark under one strategy.
+
+    When an explicit :class:`Device` object is supplied the compile happens
+    inline against it (caching is unavailable — a live device is not a
+    content key).  Otherwise the point routes through the runner engine and
+    may be served from ``cache``.
+    """
+    if device is not None:
+        circuit = build_benchmark(benchmark, num_qubits, seed=seed)
+        strategy_object = get_strategy(strategy, **(strategy_kwargs or {}))
+        compiled = QompressCompiler(device, strategy_object).compile(circuit)
+        return StrategyResult(
+            benchmark=benchmark,
+            num_qubits=num_qubits,
+            strategy=strategy,
+            report=evaluate_eps(compiled),
+            compiled=compiled,
+        )
+    plan = SweepPlan.single(
+        benchmark, num_qubits, strategy,
+        device=DeviceSpec(kind=device_kind), seed=seed,
+        strategy_kwargs=strategy_kwargs,
     )
+    return execute_plan(plan, workers=1, cache=cache)[0]
 
 
 def run_strategies(
@@ -92,13 +89,38 @@ def run_strategies(
     device: Device | None = None,
     device_kind: str = "grid",
     seed: int = 0,
+    workers: int = 1,
+    cache: CompileCache | None = None,
 ) -> dict[str, StrategyResult]:
-    """Compile one benchmark under several strategies on the same device."""
-    if device is None:
-        device = device_for(device_kind, num_qubits)
-    results: dict[str, StrategyResult] = {}
-    for strategy in strategies:
-        results[strategy] = compile_benchmark(
-            benchmark, num_qubits, strategy, device=device, seed=seed
-        )
-    return results
+    """Compile one benchmark under several strategies on the same device.
+
+    The default path (``workers=1``, no cache, no explicit device) compiles
+    serially against one shared :class:`Device` instance — the
+    reproducibility reference.  With ``workers > 1`` or a ``cache`` the
+    points fan out through :class:`~repro.runner.ParallelExecutor`; results
+    are numerically identical because every worker rebuilds the device from
+    the same spec.
+    """
+    if device is not None:
+        # A live device cannot be shipped to workers or content-keyed; keep
+        # the legacy shared-instance serial loop.
+        return {
+            strategy: compile_benchmark(
+                benchmark, num_qubits, strategy, device=device, seed=seed
+            )
+            for strategy in strategies
+        }
+    spec = DeviceSpec(kind=device_kind)
+    if workers == 1 and cache is None:
+        shared = spec.build(num_qubits)
+        return {
+            strategy: compile_benchmark(
+                benchmark, num_qubits, strategy, device=shared, seed=seed
+            )
+            for strategy in strategies
+        }
+    plan = SweepPlan.cartesian(
+        (benchmark,), (num_qubits,), strategies, device=spec, seed=seed
+    )
+    results = execute_plan(plan, workers=workers, cache=cache)
+    return {point.strategy: result for point, result in zip(plan, results)}

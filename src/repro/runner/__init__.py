@@ -1,0 +1,62 @@
+"""Parallel sweep execution engine with compile-result caching.
+
+The runner turns the evaluation layer's nested for-loops into three explicit
+pieces:
+
+* :class:`SweepPlan` — declarative enumeration of
+  ``(benchmark, num_qubits, strategy, device, seed)`` points,
+* :class:`ParallelExecutor` — serial (``workers=1``) or process-parallel
+  execution with deterministic, plan-ordered results,
+* :class:`CompileCache` — a content-keyed on-disk store so repeated sweeps
+  (and experiments sharing points) never recompile the same circuit twice.
+
+Typical use::
+
+    from repro.runner import CompileCache, ParallelExecutor, SweepPlan
+
+    plan = SweepPlan.cartesian(("cuccaro", "cnu"), (8, 12), ("qubit_only", "eqm"))
+    executor = ParallelExecutor(workers=4, cache=CompileCache())
+    results = executor.run(plan)          # list[StrategyResult], plan order
+"""
+
+from repro.runner.cache import (
+    CACHE_DIR_ENV,
+    CACHE_SCHEMA_VERSION,
+    CacheStats,
+    CompileCache,
+    code_fingerprint,
+    default_cache_dir,
+)
+from repro.runner.executor import (
+    ExecutionStats,
+    ParallelExecutor,
+    execute_plan,
+)
+from repro.runner.plan import SweepPlan
+from repro.runner.points import (
+    DeviceSpec,
+    StrategyResult,
+    SweepPoint,
+    execute_point,
+    freeze_kwargs,
+    make_device,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "CompileCache",
+    "code_fingerprint",
+    "default_cache_dir",
+    "ExecutionStats",
+    "ParallelExecutor",
+    "execute_plan",
+    "SweepPlan",
+    "DeviceSpec",
+    "StrategyResult",
+    "SweepPoint",
+    "execute_point",
+    "freeze_kwargs",
+    "make_device",
+]

@@ -1,0 +1,157 @@
+"""Content-keyed on-disk cache for compiled sweep points.
+
+Layout: each cached point lives under the cache root as two files named by
+the SHA-256 of its canonical JSON payload —
+
+* ``<digest>.pkl``  — the pickled :class:`~repro.runner.points.StrategyResult`
+* ``<digest>.json`` — the human-readable key payload (for debugging / audits)
+
+Invalidation is automatic and total: any change to the point — strategy
+kwargs, device recipe (topology kind, T1 knobs, duration or fidelity
+overrides), seed — changes the digest; a fingerprint of the ``repro``
+package source baked into every key retires all entries whenever the
+compiler/strategy code itself changes; and a schema version covers
+result-format changes independent of code content.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro
+from repro.runner.points import StrategyResult, SweepPoint
+
+#: Bump to invalidate every existing cache entry (result-format changes).
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` source file, folded into each cache key.
+
+    Compiled results depend on the compiler, strategies, device models and
+    workload builders — any source edit may change the numbers, so a stale
+    cache must never survive a code change in a reproduction repo.  Hashing
+    the whole package is a few milliseconds once per process.
+    """
+    package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` if set, else ``.repro_cache/``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(".repro_cache")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters for one :class:`CompileCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+
+@dataclass
+class CompileCache:
+    """Pickle store mapping sweep points to their compiled results."""
+
+    root: Path = field(default_factory=default_cache_dir)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # keying
+    # ------------------------------------------------------------------
+    def key(self, point: SweepPoint) -> str:
+        """Stable content digest for one point."""
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "code": code_fingerprint(),
+            "point": point.payload(),
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def get(self, point: SweepPoint) -> StrategyResult | None:
+        """Return the cached result for ``point``, or None on a miss.
+
+        Unreadable entries (truncated writes, pickle-format drift) are
+        removed and counted as misses rather than raised.
+        """
+        path = self.root / f"{self.key(point)}.pkl"
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except Exception:
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, point: SweepPoint, result: StrategyResult) -> Path:
+        """Store ``result`` under the point's digest and return the file path."""
+        digest = self.key(point)
+        path = self.root / f"{digest}.pkl"
+        tmp = self.root / f"{digest}.pkl.tmp.{os.getpid()}"
+        with tmp.open("wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+        meta = self.root / f"{digest}.json"
+        if not meta.exists():
+            meta.write_text(
+                json.dumps(point.payload(), sort_keys=True, indent=2, default=repr)
+            )
+        self.stats.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def size_bytes(self) -> int:
+        """Total bytes used by cached results and their key sidecars."""
+        return sum(path.stat().st_size for path in self.root.glob("*") if path.is_file())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of results removed."""
+        removed = 0
+        for path in self.root.glob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+        return removed

@@ -1,0 +1,174 @@
+"""Declarative sweep points and the worker that executes one of them.
+
+A :class:`SweepPoint` captures *everything* needed to reproduce one compiled
+data point — benchmark, size, strategy (with kwargs), device recipe and seed —
+as a frozen, picklable, JSON-serialisable value.  That makes points safe to
+
+* ship to a :class:`concurrent.futures.ProcessPoolExecutor` worker,
+* use as content keys for the on-disk compile cache, and
+* enumerate declaratively in a :class:`~repro.runner.plan.SweepPlan`.
+
+The device is described by a :class:`DeviceSpec` recipe rather than a live
+:class:`~repro.arch.device.Device` so that two points asking for the same
+hardware compare (and hash) equal even across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.device import Device
+from repro.arch.topology import grid_for_circuit, heavy_hex_topology, ring_topology
+from repro.compiler.pipeline import QompressCompiler
+from repro.compiler.result import CompiledCircuit
+from repro.compression import get_strategy
+from repro.metrics.eps import EPSReport, evaluate_eps
+from repro.pulses.durations import GateDurationTable
+from repro.workloads.registry import build_benchmark
+
+
+def make_device(
+    kind: str,
+    num_qubits: int,
+    durations: GateDurationTable | None = None,
+    t1_scale: float = 1.0,
+    ququart_t1_ratio: float | None = None,
+) -> Device:
+    """Build a device of the requested kind, sized for the circuit if needed.
+
+    ``kind`` is one of ``"grid"`` (sized to the circuit, Section 6.1),
+    ``"heavy_hex"`` (65 units) or ``"ring"`` (65 units).
+    """
+    key = kind.strip().lower()
+    if key == "grid":
+        # The paper sizes the grid to the circuit qubit count; compression can
+        # then free up to half the units.
+        topology = grid_for_circuit(num_qubits)
+    elif key in ("heavy_hex", "heavyhex", "hex"):
+        topology = heavy_hex_topology()
+    elif key == "ring":
+        topology = ring_topology(65)
+    else:
+        raise KeyError(f"unknown device kind {kind!r}; use grid, heavy_hex or ring")
+    device = Device(topology=topology, durations=durations or GateDurationTable())
+    if t1_scale != 1.0:
+        device = device.with_t1_scaled(t1_scale)
+    if ququart_t1_ratio is not None:
+        device = device.with_ququart_t1_ratio(ququart_t1_ratio)
+    return device
+
+
+def freeze_kwargs(kwargs: dict | None) -> tuple[tuple[str, object], ...]:
+    """Normalise a kwargs dict into a sorted, hashable tuple of pairs."""
+    if not kwargs:
+        return ()
+    return tuple(sorted(kwargs.items()))
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A reproducible recipe for building a device.
+
+    Every sensitivity knob used by the paper's experiments is declarative:
+    ``t1_scale`` (Figure 11), ``ququart_t1_ratio`` (Figure 12),
+    ``qubit_error_scale`` (Figure 9) and the generic duration/fidelity
+    overrides used by the ablations.  Overrides are sorted tuples of
+    ``(gate_name, value)`` pairs so specs stay hashable and cache-keyable.
+    """
+
+    kind: str = "grid"
+    t1_scale: float = 1.0
+    ququart_t1_ratio: float | None = None
+    qubit_error_scale: float | None = None
+    duration_overrides: tuple[tuple[str, float], ...] = ()
+    fidelity_overrides: tuple[tuple[str, float], ...] = ()
+
+    def build(self, num_qubits: int) -> Device:
+        """Materialise the device this spec describes, sized for ``num_qubits``."""
+        table = GateDurationTable()
+        if self.qubit_error_scale is not None:
+            table = table.with_qubit_error_scaled(self.qubit_error_scale)
+        if self.duration_overrides or self.fidelity_overrides:
+            table = table.with_overrides(
+                durations_ns=dict(self.duration_overrides),
+                fidelities=dict(self.fidelity_overrides),
+            )
+        return make_device(
+            self.kind,
+            num_qubits,
+            durations=table,
+            t1_scale=self.t1_scale,
+            ququart_t1_ratio=self.ququart_t1_ratio,
+        )
+
+    def payload(self) -> dict:
+        """JSON-serialisable representation used for cache keying."""
+        return {
+            "kind": self.kind,
+            "t1_scale": self.t1_scale,
+            "ququart_t1_ratio": self.ququart_t1_ratio,
+            "qubit_error_scale": self.qubit_error_scale,
+            "duration_overrides": [list(pair) for pair in self.duration_overrides],
+            "fidelity_overrides": [list(pair) for pair in self.fidelity_overrides],
+        }
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (benchmark, size, strategy, device, seed) compile request."""
+
+    benchmark: str
+    num_qubits: int
+    strategy: str
+    device: DeviceSpec = field(default_factory=DeviceSpec)
+    seed: int = 0
+    #: Extra keyword arguments for the strategy constructor, frozen as sorted
+    #: pairs (see :func:`freeze_kwargs`).
+    strategy_kwargs: tuple[tuple[str, object], ...] = ()
+    #: Extra keyword arguments for :class:`QompressCompiler` (e.g. the
+    #: ``merge_single_qubit_gates`` ablation flag).
+    compiler_kwargs: tuple[tuple[str, object], ...] = ()
+
+    def payload(self) -> dict:
+        """JSON-serialisable representation used for cache keying."""
+        return {
+            "benchmark": self.benchmark,
+            "num_qubits": self.num_qubits,
+            "strategy": self.strategy,
+            "device": self.device.payload(),
+            "seed": self.seed,
+            "strategy_kwargs": [list(pair) for pair in self.strategy_kwargs],
+            "compiler_kwargs": [list(pair) for pair in self.compiler_kwargs],
+        }
+
+
+@dataclass(frozen=True)
+class StrategyResult:
+    """One compiled data point: the EPS report plus the compiled circuit."""
+
+    benchmark: str
+    num_qubits: int
+    strategy: str
+    report: EPSReport
+    compiled: CompiledCircuit
+
+
+def execute_point(point: SweepPoint) -> StrategyResult:
+    """Build, compile and evaluate one sweep point.
+
+    This is the process-pool worker: it takes only the picklable point, and
+    reconstructs the circuit, device and strategy deterministically so the
+    serial and parallel paths produce bit-identical results.
+    """
+    circuit = build_benchmark(point.benchmark, point.num_qubits, seed=point.seed)
+    device = point.device.build(point.num_qubits)
+    strategy = get_strategy(point.strategy, **dict(point.strategy_kwargs))
+    compiler = QompressCompiler(device, strategy, **dict(point.compiler_kwargs))
+    compiled = compiler.compile(circuit)
+    return StrategyResult(
+        benchmark=point.benchmark,
+        num_qubits=point.num_qubits,
+        strategy=point.strategy,
+        report=evaluate_eps(compiled),
+        compiled=compiled,
+    )

@@ -1,6 +1,5 @@
 """Tests for the ablation studies."""
 
-import pytest
 
 from repro.evaluation import (
     internal_gate_ablation,

@@ -31,6 +31,16 @@ class TestParser:
         args = build_parser().parse_args(["sweep"])
         assert args.benchmarks == ["cuccaro", "cnu"]
         assert args.strategies == ["qubit_only", "eqm", "rb"]
+        assert args.workers == 1
+        assert args.cache_dir is None
+
+    def test_sweep_runner_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workers", "4", "--cache-dir", "/tmp/c", "--json", "out.json"]
+        )
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.json_output == "out.json"
 
 
 class TestCommands:
@@ -76,3 +86,35 @@ class TestCommands:
         assert main(["figure", "--name", "fig3"]) == 0
         output = capsys.readouterr().out
         assert "cx0q" in output
+
+    def test_sweep_parallel_json_and_cache(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "sweep.json"
+        cache_dir = tmp_path / "cache"
+        argv = ["sweep", "--benchmarks", "bv", "--sizes", "6",
+                "--strategies", "qubit_only", "eqm",
+                "--workers", "2", "--cache-dir", str(cache_dir),
+                "--json", str(target)]
+        assert main(argv) == 0
+        first = json.loads(target.read_text())
+        assert len(first) == 2
+        assert first[0]["benchmark"] == "bv"
+        assert {row["strategy"] for row in first} == {"qubit_only", "eqm"}
+        capsys.readouterr()
+
+        # second run must be fully cache-served and byte-identical
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "2 hits, 0 misses" in output
+        assert json.loads(target.read_text()) == first
+
+    def test_cache_info_and_clear(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        main(["sweep", "--benchmarks", "bv", "--sizes", "6",
+              "--strategies", "qubit_only", "--cache-dir", str(cache_dir)])
+        capsys.readouterr()
+        assert main(["cache", "--dir", str(cache_dir)]) == 0
+        assert "entries" in capsys.readouterr().out
+        assert main(["cache", "--dir", str(cache_dir), "--clear"]) == 0
+        assert "removed 1 cached results" in capsys.readouterr().out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch import Device, grid_topology
+from repro.arch import Device
 from repro.circuits import QuantumCircuit, decompose_to_basis
 from repro.compression import (
     AverageWeightPerEdge,

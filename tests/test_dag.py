@@ -50,7 +50,9 @@ class TestCriticalPath:
     def test_weighted_critical_path(self):
         circuit = QuantumCircuit(2).x(0).cx(0, 1).x(1)
         dag = CircuitDAG(circuit)
-        weight = lambda gate: 10.0 if gate.name == "cx" else 1.0
+        def weight(gate):
+            return 10.0 if gate.name == "cx" else 1.0
+
         assert dag.critical_path_length(weight) == 12.0
 
     def test_critical_path_nodes_form_a_chain(self):

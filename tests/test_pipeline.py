@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch import Device, grid_topology, linear_topology
+from repro.arch import Device, linear_topology
 from repro.circuits import QuantumCircuit
 from repro.compiler import QompressCompiler
 from repro.compiler.plan import CompressionPlan

@@ -1,0 +1,203 @@
+"""Tests for the parallel sweep execution engine and its compile cache."""
+
+import pickle
+
+import pytest
+
+from repro.evaluation import run_strategies, strategy_sweep
+from repro.evaluation.reporting import results_to_rows
+from repro.runner import (
+    CompileCache,
+    DeviceSpec,
+    ParallelExecutor,
+    SweepPlan,
+    SweepPoint,
+    execute_plan,
+    execute_point,
+    freeze_kwargs,
+    make_device,
+)
+
+
+class TestPlanEnumeration:
+    def test_cartesian_order_is_benchmark_major(self):
+        plan = SweepPlan.cartesian(("a", "b"), (4, 8), ("s1", "s2"))
+        assert len(plan) == 8
+        triples = [(p.benchmark, p.num_qubits, p.strategy) for p in plan]
+        assert triples[:4] == [("a", 4, "s1"), ("a", 4, "s2"), ("a", 8, "s1"), ("a", 8, "s2")]
+        assert triples[4][0] == "b"
+
+    def test_single_and_concat(self):
+        plan = SweepPlan.single("bv", 6, "eqm") + SweepPlan.single("bv", 8, "eqm")
+        assert len(plan) == 2
+        assert plan[0].num_qubits == 6
+        assert plan[1].num_qubits == 8
+
+    def test_points_carry_device_and_kwargs(self):
+        spec = DeviceSpec(kind="ring", t1_scale=2.0)
+        plan = SweepPlan.cartesian(
+            ("bv",), (6,), ("ec",), device=spec,
+            strategy_kwargs={"max_pairs": 2}, seed=3,
+        )
+        point = plan[0]
+        assert point.device == spec
+        assert point.seed == 3
+        assert dict(point.strategy_kwargs) == {"max_pairs": 2}
+
+    def test_describe_mentions_point_count(self):
+        plan = SweepPlan.cartesian(("bv", "cnu"), (6,), ("eqm",))
+        assert "2 points" in plan.describe()
+
+    def test_freeze_kwargs_sorts_and_handles_none(self):
+        assert freeze_kwargs(None) == ()
+        assert freeze_kwargs({"b": 1, "a": 2}) == (("a", 2), ("b", 1))
+
+    def test_points_are_hashable_and_picklable(self):
+        point = SweepPoint("bv", 6, "eqm", device=DeviceSpec(kind="grid"))
+        assert hash(point) == hash(pickle.loads(pickle.dumps(point)))
+
+
+class TestDeviceSpec:
+    def test_grid_is_sized_to_circuit(self):
+        # The old device_for built (and discarded) a half-sized grid first;
+        # the spec builds the circuit-sized grid directly.
+        assert DeviceSpec(kind="grid").build(12).num_units == 12
+        assert make_device("grid", 12).num_units == 12
+
+    def test_t1_knobs(self):
+        device = DeviceSpec(kind="grid", t1_scale=10.0, ququart_t1_ratio=0.5).build(9)
+        assert device.qubit_t1_us == pytest.approx(1635.0)
+        assert device.ququart_t1_us == pytest.approx(817.5)
+
+    def test_qubit_error_scale_leaves_ququart_gates_alone(self):
+        device = DeviceSpec(kind="grid", qubit_error_scale=0.1).build(6)
+        assert device.durations.fidelity("cx2") == pytest.approx(0.999)
+        assert device.durations.fidelity("cx0q") == pytest.approx(0.99)
+
+    def test_overrides_apply(self):
+        spec = DeviceSpec(
+            kind="grid",
+            duration_overrides=(("cx0_in", 251.0),),
+            fidelity_overrides=(("cx0_in", 0.5),),
+        )
+        device = spec.build(6)
+        assert device.durations.duration("cx0_in") == 251.0
+        assert device.durations.fidelity("cx0_in") == 0.5
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            make_device("torus", 6)
+
+
+class TestCompileCache:
+    def _point(self, **overrides):
+        fields = {"benchmark": "bv", "num_qubits": 6, "strategy": "qubit_only"}
+        fields.update(overrides)
+        return SweepPoint(**fields)
+
+    def test_roundtrip(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        point = self._point()
+        assert cache.get(point) is None
+        result = execute_point(point)
+        cache.put(point, result)
+        cached = cache.get(point)
+        assert cached is not None
+        assert cached.report == result.report
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert len(cache) == 1
+
+    def test_key_changes_with_strategy_kwargs_and_device(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        base = self._point()
+        assert cache.key(base) == cache.key(self._point())
+        assert cache.key(base) != cache.key(self._point(strategy_kwargs=(("max_pairs", 1),)))
+        assert cache.key(base) != cache.key(self._point(device=DeviceSpec(kind="ring")))
+        assert cache.key(base) != cache.key(
+            self._point(device=DeviceSpec(kind="grid", t1_scale=2.0))
+        )
+        assert cache.key(base) != cache.key(self._point(seed=1))
+
+    def test_key_changes_when_code_changes(self, tmp_path, monkeypatch):
+        import repro.runner.cache as cache_module
+
+        cache = CompileCache(root=tmp_path)
+        before = cache.key(self._point())
+        monkeypatch.setattr(cache_module, "code_fingerprint", lambda: "different-code")
+        after = cache.key(self._point())
+        assert before != after
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        point = self._point()
+        cache.put(point, execute_point(point))
+        pkl = next(tmp_path.glob("*.pkl"))
+        pkl.write_bytes(b"not a pickle")
+        assert cache.get(point) is None
+        assert not pkl.exists()
+
+    def test_clear(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        point = self._point()
+        cache.put(point, execute_point(point))
+        assert cache.size_bytes() > 0
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestParallelExecutor:
+    PLAN = SweepPlan.cartesian(("bv", "cuccaro"), (6, 8), ("qubit_only", "eqm"))
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=0)
+
+    def test_serial_and_parallel_results_identical(self):
+        serial = execute_plan(self.PLAN, workers=1)
+        parallel = execute_plan(self.PLAN, workers=2)
+        assert [r.report for r in serial] == [r.report for r in parallel]
+
+    def test_results_come_back_in_plan_order(self):
+        results = execute_plan(self.PLAN, workers=2)
+        for point, result in zip(self.PLAN, results):
+            assert (result.benchmark, result.num_qubits, result.strategy) == (
+                point.benchmark, point.num_qubits, point.strategy,
+            )
+
+    def test_second_cached_run_recompiles_nothing(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        executor = ParallelExecutor(workers=1, cache=cache)
+        first = executor.run(self.PLAN)
+        assert executor.last_stats.executed == len(self.PLAN)
+        second = executor.run(self.PLAN)
+        assert executor.last_stats.executed == 0
+        assert executor.last_stats.cache_hits == len(self.PLAN)
+        assert [r.report for r in first] == [r.report for r in second]
+
+    def test_partial_cache_only_compiles_misses(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        ParallelExecutor(workers=1, cache=cache).run(SweepPlan((self.PLAN[0],)))
+        executor = ParallelExecutor(workers=1, cache=cache)
+        executor.run(self.PLAN)
+        assert executor.last_stats.cache_hits == 1
+        assert executor.last_stats.executed == len(self.PLAN) - 1
+
+
+class TestEvaluationIntegration:
+    def test_run_strategies_engine_matches_legacy(self, tmp_path):
+        legacy = run_strategies("cnu", 9, strategies=("qubit_only", "eqm"))
+        engine = run_strategies(
+            "cnu", 9, strategies=("qubit_only", "eqm"),
+            cache=CompileCache(root=tmp_path),
+        )
+        assert {name: r.report for name, r in legacy.items()} == {
+            name: r.report for name, r in engine.items()
+        }
+
+    def test_strategy_sweep_parallel_rows_byte_identical(self):
+        kwargs = {"benchmarks": ("bv",), "sizes": (6, 8),
+                  "strategies": ("qubit_only", "eqm")}
+        serial = strategy_sweep(**kwargs)
+        parallel = strategy_sweep(workers=2, **kwargs)
+        assert results_to_rows(serial) == results_to_rows(parallel)
