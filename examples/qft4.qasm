@@ -1,0 +1,24 @@
+// name: qft4
+// Hand-written 4-qubit quantum Fourier transform using the qelib1
+// controlled-phase gate (cu1), which the frontend lowers into the IR's
+// {rz, cx} basis on import.  Exercises parameter expressions (pi/2^k)
+// and whole-register broadcasting (the trailing measure).
+OPENQASM 2.0;
+include "qelib1.inc";
+
+qreg q[4];
+creg c[4];
+
+h q[0];
+cu1(pi/2) q[1],q[0];
+cu1(pi/4) q[2],q[0];
+cu1(pi/8) q[3],q[0];
+h q[1];
+cu1(pi/2) q[2],q[1];
+cu1(pi/4) q[3],q[1];
+h q[2];
+cu1(pi/2) q[3],q[2];
+h q[3];
+swap q[0],q[3];
+swap q[1],q[2];
+measure q -> c;

@@ -1,0 +1,28 @@
+// name: teleport
+// Quantum teleportation of an arbitrary single-qubit state from q[0] to
+// q[2], written as an ordinary external OpenQASM 2.0 program.  The
+// classically-controlled Pauli corrections are omitted (OpenQASM `if` is
+// classical control, which the Qompress pipeline does not model); by the
+// deferred-measurement principle the entangling core below is the
+// interesting part for compilation anyway.
+OPENQASM 2.0;
+include "qelib1.inc";
+
+// custom gate definition, expanded by the frontend as a macro
+gate bell a,b { h a; cx a,b; }
+
+qreg q[3];
+creg c[3];
+
+// state to teleport
+u3(0.3,0.2,0.1) q[0];
+
+// share a Bell pair between q[1] (Alice) and q[2] (Bob)
+bell q[1],q[2];
+
+// Bell measurement on Alice's side
+cx q[0],q[1];
+h q[0];
+barrier q;
+measure q[0] -> c[0];
+measure q[1] -> c[1];

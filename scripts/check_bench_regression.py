@@ -1,0 +1,94 @@
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py benchmarks/BENCH_baseline.json \
+        results/bench.json --tolerance 1.25
+
+Fails (exit 1) if any benchmark present in both files has a mean runtime
+more than ``tolerance`` times its baseline mean (default 1.25, i.e. a
+>25 % slowdown).  Benchmarks missing from either side are reported but do
+not fail the check — adding a benchmark should not require touching the
+baseline in the same PR; the next baseline refresh picks it up.
+
+Regenerate the baseline after an intentional performance change with::
+
+    PYTHONPATH=src python -m pytest benchmarks -q \
+        --benchmark-json benchmarks/BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """Map benchmark fullname -> mean seconds from a pytest-benchmark JSON."""
+    data = json.loads(path.read_text())
+    return {
+        entry["fullname"]: entry["stats"]["mean"]
+        for entry in data.get("benchmarks", [])
+    }
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    tolerance: float,
+) -> tuple[list[str], list[str]]:
+    """Return (report lines, regression lines)."""
+    lines: list[str] = []
+    regressions: list[str] = []
+    width = max((len(name) for name in baseline | current), default=4)
+    lines.append(f"{'benchmark'.ljust(width)}  baseline_s  current_s  ratio  status")
+    for name in sorted(baseline | current):
+        old = baseline.get(name)
+        new = current.get(name)
+        if old is None:
+            lines.append(f"{name.ljust(width)}  {'-':>10}  {new:>9.4f}  {'-':>5}  NEW (no baseline)")
+            continue
+        if new is None:
+            lines.append(f"{name.ljust(width)}  {old:>10.4f}  {'-':>9}  {'-':>5}  MISSING from run")
+            continue
+        ratio = new / old if old > 0 else float("inf")
+        status = "ok"
+        if ratio > tolerance:
+            status = f"REGRESSION (> {tolerance:.2f}x)"
+            regressions.append(f"{name}: {old:.4f}s -> {new:.4f}s ({ratio:.2f}x)")
+        lines.append(f"{name.ljust(width)}  {old:>10.4f}  {new:>9.4f}  {ratio:>5.2f}  {status}")
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument("current", type=Path, help="freshly produced benchmark JSON")
+    parser.add_argument("--tolerance", type=float, default=1.25,
+                        help="max allowed current/baseline mean ratio (default 1.25)")
+    args = parser.parse_args(argv)
+
+    if args.tolerance <= 1.0:
+        parser.error("tolerance must be > 1.0")
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+    if not current:
+        print("error: the current run contains no benchmarks", file=sys.stderr)
+        return 1
+    lines, regressions = compare(baseline, current, args.tolerance)
+    print("\n".join(lines))
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.tolerance:.2f}x:", file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.tolerance:.2f}x "
+          f"({len(baseline.keys() & current.keys())} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,12 +16,24 @@ from repro.circuits.gates import (
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import CircuitDAG
 from repro.circuits.decompose import decompose_to_basis
+from repro.circuits.qasm import (
+    QasmError,
+    circuit_to_qasm,
+    compiled_to_qasm,
+    parse_qasm,
+    parse_qasm_file,
+)
 
 __all__ = [
     "Gate",
     "QuantumCircuit",
     "CircuitDAG",
     "decompose_to_basis",
+    "QasmError",
+    "circuit_to_qasm",
+    "compiled_to_qasm",
+    "parse_qasm",
+    "parse_qasm_file",
     "SINGLE_QUBIT_GATES",
     "TWO_QUBIT_GATES",
     "THREE_QUBIT_GATES",

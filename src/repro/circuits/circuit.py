@@ -240,3 +240,12 @@ class QuantumCircuit:
             if not gate.is_meta:
                 clone.append(gate)
         return clone
+
+    # ------------------------------------------------------------------
+    # interchange
+    # ------------------------------------------------------------------
+    def to_qasm(self) -> str:
+        """Serialise as OpenQASM 2.0 (see :mod:`repro.circuits.qasm`)."""
+        from repro.circuits.qasm import circuit_to_qasm
+
+        return circuit_to_qasm(self)

@@ -4,6 +4,13 @@ The compiler operates on one- and two-qubit gates only.  Workloads such as
 the Cuccaro adder, the generalized Toffoli (CNU) and QRAM are naturally
 written with Toffoli (``ccx``) and Fredkin (``cswap``) gates; this module
 lowers them using the textbook constructions (Barenco et al. 1995).
+
+It also provides ``append_*`` helpers for controlled rotations and other
+gates that appear in OpenQASM sources (``cu1``/``cp``, ``crz``, ``cy``,
+``ch``, ``cu3``) but have no native entry in the circuit IR's gate set:
+the QASM frontend (:mod:`repro.circuits.qasm`) and the QFT workload lower
+them on the fly through these helpers.  All rewrites are exact up to global
+phase, which the EPS metrics and the equivalence checker ignore.
 """
 
 from __future__ import annotations
@@ -36,6 +43,65 @@ def _append_cswap(circuit: QuantumCircuit, control: int, a: int, b: int) -> None
     circuit.cx(b, a)
     _append_ccx(circuit, control, a, b)
     circuit.cx(b, a)
+
+
+# ----------------------------------------------------------------------
+# controlled rotations and friends (QASM frontend + QFT workload)
+# ----------------------------------------------------------------------
+def append_cphase(circuit: QuantumCircuit, theta: float, control: int, target: int) -> None:
+    """Controlled-phase ``cu1(theta)`` via {rz, cx}, exact up to global phase."""
+    circuit.rz(theta / 2.0, control)
+    circuit.cx(control, target)
+    circuit.rz(-theta / 2.0, target)
+    circuit.cx(control, target)
+    circuit.rz(theta / 2.0, target)
+
+
+def append_crz(circuit: QuantumCircuit, theta: float, control: int, target: int) -> None:
+    """Controlled ``rz(theta)`` (qelib1 ``crz``) via {rz, cx}."""
+    circuit.rz(theta / 2.0, target)
+    circuit.cx(control, target)
+    circuit.rz(-theta / 2.0, target)
+    circuit.cx(control, target)
+
+
+def append_cy(circuit: QuantumCircuit, control: int, target: int) -> None:
+    """Controlled-Y via S-conjugation of a CX (qelib1 ``cy``)."""
+    circuit.sdg(target)
+    circuit.cx(control, target)
+    circuit.s(target)
+
+
+def append_ch(circuit: QuantumCircuit, control: int, target: int) -> None:
+    """Controlled-Hadamard, following the qelib1 ``ch`` definition."""
+    circuit.h(target)
+    circuit.sdg(target)
+    circuit.cx(control, target)
+    circuit.h(target)
+    circuit.t(target)
+    circuit.cx(control, target)
+    circuit.t(target)
+    circuit.h(target)
+    circuit.s(target)
+    circuit.x(target)
+    circuit.s(control)
+
+
+def append_cu3(
+    circuit: QuantumCircuit,
+    theta: float,
+    phi: float,
+    lam: float,
+    control: int,
+    target: int,
+) -> None:
+    """Controlled generic single-qubit rotation (qelib1 ``cu3``)."""
+    circuit.rz((lam + phi) / 2.0, control)
+    circuit.rz((lam - phi) / 2.0, target)
+    circuit.cx(control, target)
+    circuit.add("u", target, params=(-theta / 2.0, 0.0, -(phi + lam) / 2.0))
+    circuit.cx(control, target)
+    circuit.add("u", target, params=(theta / 2.0, phi, 0.0))
 
 
 def decompose_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:

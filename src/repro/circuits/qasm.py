@@ -1,0 +1,720 @@
+"""OpenQASM 2.0 frontend and serializers for the circuit IR.
+
+This module turns the reproduction from a closed benchmark harness into an
+open compiler: any externally-authored OpenQASM 2.0 program can be parsed
+into a :class:`~repro.circuits.circuit.QuantumCircuit` and pushed through
+the full Qompress pipeline, and circuits (logical or compiled) can be
+exported back out as QASM text.
+
+Three entry points:
+
+``parse_qasm`` / ``parse_qasm_file``
+    OpenQASM 2.0 → :class:`QuantumCircuit`.  Supports the language core
+    (``qreg``/``creg``, ``measure``, ``barrier``, the ``U``/``CX``
+    builtins), the qelib1 standard gate set, user ``gate`` definitions
+    (expanded recursively as macros), whole-register broadcasting, and
+    constant parameter expressions (``pi``, arithmetic, ``sin``/``cos``/
+    ``tan``/``exp``/``ln``/``sqrt``).  Gates outside the IR's native set
+    (``cu1``/``cp``, ``crz``, ``cy``, ``ch``, ``cu3``, ``u1``/``u2``,
+    ``sx``…) are lowered on the fly through
+    :mod:`repro.circuits.decompose` helpers.  Classical control (``if``)
+    and ``reset`` are rejected with a clear error.
+
+``circuit_to_qasm``
+    :class:`QuantumCircuit` → OpenQASM 2.0.  Parameters are emitted with
+    ``repr`` so that ``parse_qasm(circuit_to_qasm(c)) == c`` exactly
+    (same gate stream, bit-identical parameters) — the round-trip
+    guarantee the test suite enforces for every registry workload.
+
+``compiled_to_qasm``
+    :class:`~repro.compiler.result.CompiledCircuit` → OpenQASM 2.0 over
+    the *physical* program: Table 1 gates are declared ``opaque``, units
+    become one ``qreg``, and every scheduled op is annotated with its
+    start time and duration.  This is an export/interchange format; it is
+    not meant to be re-imported (opaque gates cannot be expanded).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections.abc import Callable, Sequence
+from pathlib import Path
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.decompose import (
+    append_ch,
+    append_cphase,
+    append_crz,
+    append_cu3,
+    append_cy,
+)
+from repro.circuits.gates import Gate
+
+
+class QasmError(ValueError):
+    """Raised for syntax or semantic errors in an OpenQASM 2.0 program."""
+
+
+# ----------------------------------------------------------------------
+# tokenizer
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<id>[a-zA-Z_][a-zA-Z0-9_]*)
+    | (?P<number>(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?)
+    | (?P<string>"[^"]*")
+    | (?P<arrow>->)
+    | (?P<eq>==)
+    | (?P<symbol>[{}()\[\],;+\-*/^])
+    """,
+    re.VERBOSE,
+)
+
+#: Directive comment carrying the circuit name through a round-trip.
+_NAME_DIRECTIVE_RE = re.compile(r"^\s*//\s*name:\s*(?P<name>.+?)\s*$", re.MULTILINE)
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    """Split QASM source into ``(kind, text, line)`` tokens, dropping comments."""
+    tokens: list[tuple[str, str, int]] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        code = line.split("//", 1)[0]
+        position = 0
+        while position < len(code):
+            if code[position].isspace():
+                position += 1
+                continue
+            match = _TOKEN_RE.match(code, position)
+            if match is None:
+                raise QasmError(
+                    f"line {line_number}: unexpected character {code[position]!r}"
+                )
+            kind = match.lastgroup or "symbol"
+            tokens.append((kind, match.group(), line_number))
+            position = match.end()
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# constant-expression AST (parsed once, evaluated per macro expansion)
+# ----------------------------------------------------------------------
+_FUNCTIONS: dict[str, Callable[[float], float]] = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+}
+
+
+def _evaluate(node, env: dict[str, float]) -> float:
+    kind = node[0]
+    if kind == "num":
+        return node[1]
+    if kind == "pi":
+        return math.pi
+    if kind == "var":
+        try:
+            return env[node[1]]
+        except KeyError:
+            raise QasmError(f"unknown parameter {node[1]!r} in expression") from None
+    if kind == "neg":
+        return -_evaluate(node[1], env)
+    if kind == "call":
+        return _FUNCTIONS[node[1]](_evaluate(node[2], env))
+    if kind == "bin":
+        left = _evaluate(node[2], env)
+        right = _evaluate(node[3], env)
+        op = node[1]
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return _div(left, right)
+        return left**right
+    raise QasmError(f"bad expression node {node!r}")  # pragma: no cover
+
+
+def _div(left: float, right: float) -> float:
+    if right == 0:
+        raise QasmError("division by zero in parameter expression")
+    return left / right
+
+
+# ----------------------------------------------------------------------
+# builtin gate set: QASM name -> (num_params, num_qubits, applier)
+# ----------------------------------------------------------------------
+def _native(name: str) -> Callable:
+    def apply(circuit: QuantumCircuit, params: Sequence[float], qubits: Sequence[int]) -> None:
+        circuit.append(Gate(name, tuple(qubits), tuple(params)))
+
+    return apply
+
+
+def _u1(circuit, params, qubits):
+    circuit.rz(params[0], qubits[0])
+
+
+def _u2(circuit, params, qubits):
+    circuit.add("u", qubits[0], params=(math.pi / 2.0, params[0], params[1]))
+
+
+def _u0(circuit, params, qubits):
+    circuit.i(qubits[0])  # u0 is an idle frame; duration is not modelled here
+
+
+def _sx(circuit, params, qubits):
+    circuit.rx(math.pi / 2.0, qubits[0])
+
+
+def _sxdg(circuit, params, qubits):
+    circuit.rx(-math.pi / 2.0, qubits[0])
+
+
+def _cy(circuit, params, qubits):
+    append_cy(circuit, qubits[0], qubits[1])
+
+
+def _ch(circuit, params, qubits):
+    append_ch(circuit, qubits[0], qubits[1])
+
+
+def _crz(circuit, params, qubits):
+    append_crz(circuit, params[0], qubits[0], qubits[1])
+
+
+def _cu1(circuit, params, qubits):
+    append_cphase(circuit, params[0], qubits[0], qubits[1])
+
+
+def _cu3(circuit, params, qubits):
+    append_cu3(circuit, params[0], params[1], params[2], qubits[0], qubits[1])
+
+
+#: Built-in gates: the QASM 2.0 primitives, qelib1, and common Qiskit aliases.
+_BUILTINS: dict[str, tuple[int, int, Callable]] = {
+    # language builtins
+    "U": (3, 1, _native("u")),
+    "CX": (0, 2, _native("cx")),
+    # qelib1 single-qubit gates
+    "id": (0, 1, _native("i")),
+    "u0": (1, 1, _u0),
+    "u1": (1, 1, _u1),
+    "u2": (2, 1, _u2),
+    "u3": (3, 1, _native("u")),
+    "u": (3, 1, _native("u")),
+    "p": (1, 1, _u1),
+    "x": (0, 1, _native("x")),
+    "y": (0, 1, _native("y")),
+    "z": (0, 1, _native("z")),
+    "h": (0, 1, _native("h")),
+    "s": (0, 1, _native("s")),
+    "sdg": (0, 1, _native("sdg")),
+    "t": (0, 1, _native("t")),
+    "tdg": (0, 1, _native("tdg")),
+    "rx": (1, 1, _native("rx")),
+    "ry": (1, 1, _native("ry")),
+    "rz": (1, 1, _native("rz")),
+    "sx": (0, 1, _sx),
+    "sxdg": (0, 1, _sxdg),
+    # qelib1 multi-qubit gates
+    "cx": (0, 2, _native("cx")),
+    "cz": (0, 2, _native("cz")),
+    "cy": (0, 2, _cy),
+    "ch": (0, 2, _ch),
+    "swap": (0, 2, _native("swap")),
+    "crz": (1, 2, _crz),
+    "cu1": (1, 2, _cu1),
+    "cp": (1, 2, _cu1),
+    "cu3": (3, 2, _cu3),
+    "rzz": (1, 2, _native("rzz")),
+    "ccx": (0, 3, _native("ccx")),
+    "cswap": (0, 3, _native("cswap")),
+}
+
+
+class _GateDef:
+    """A user ``gate`` definition, expanded as a macro at application time."""
+
+    def __init__(self, name: str, params: list[str], qubits: list[str],
+                 body: list[tuple[str, list, list[str], int]]) -> None:
+        self.name = name
+        self.params = params
+        self.qubits = qubits
+        self.body = body  # (gate_name, param_asts, operand_names, line)
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str, int]]) -> None:
+        self.tokens = tokens
+        self.position = 0
+        self.qregs: dict[str, tuple[int, int]] = {}  # name -> (offset, size)
+        self.cregs: dict[str, int] = {}
+        self.num_qubits = 0
+        self.gate_defs: dict[str, _GateDef] = {}
+        self.opaque: set[str] = set()
+        self.statements: list = []  # deferred applications, replayed onto the circuit
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self) -> tuple[str, str, int] | None:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def _next(self) -> tuple[str, str, int]:
+        token = self._peek()
+        if token is None:
+            raise QasmError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def _expect(self, text: str) -> tuple[str, str, int]:
+        token = self._next()
+        if token[1] != text:
+            raise QasmError(f"line {token[2]}: expected {text!r}, got {token[1]!r}")
+        return token
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token[1] == text:
+            self.position += 1
+            return True
+        return False
+
+    def _expect_uint(self, what: str) -> int:
+        """Consume a non-negative integer literal (register size or index)."""
+        kind, text, line = self._next()
+        if kind != "number" or not text.isdigit():
+            raise QasmError(f"line {line}: expected an integer {what}, got {text!r}")
+        return int(text)
+
+    # -- grammar --------------------------------------------------------
+    def parse_program(self) -> None:
+        if self._accept("OPENQASM"):
+            version = self._next()
+            if not version[1].startswith("2"):
+                raise QasmError(f"unsupported OpenQASM version {version[1]}")
+            self._expect(";")
+        while self._peek() is not None:
+            self._parse_statement()
+
+    def _parse_statement(self) -> None:
+        kind, text, line = self._next()
+        if text == "include":
+            name = self._next()
+            self._expect(";")
+            if name[1].strip('"') != "qelib1.inc":
+                raise QasmError(
+                    f"line {line}: only qelib1.inc is supported, got {name[1]}"
+                )
+            return
+        if text in ("qreg", "creg"):
+            self._parse_register(text, line)
+            return
+        if text == "gate":
+            self._parse_gate_def(line)
+            return
+        if text == "opaque":
+            self._parse_opaque()
+            return
+        if text == "if":
+            raise QasmError(f"line {line}: classical control (if) is not supported")
+        if text == "reset":
+            raise QasmError(f"line {line}: reset is not supported")
+        if text == "measure":
+            self._parse_measure(line)
+            return
+        if text == "barrier":
+            operands = self._parse_operands()
+            self._expect(";")
+            self.statements.append(("barrier", line, operands))
+            return
+        if kind == "id":
+            self._parse_application(text, line)
+            return
+        raise QasmError(f"line {line}: unexpected token {text!r}")
+
+    def _parse_register(self, which: str, line: int) -> None:
+        name = self._next()[1]
+        self._expect("[")
+        size = self._expect_uint("register size")
+        self._expect("]")
+        self._expect(";")
+        if size < 1:
+            raise QasmError(f"line {line}: register {name!r} must have positive size")
+        if name in self.qregs or name in self.cregs:
+            raise QasmError(f"line {line}: register {name!r} already declared")
+        if which == "qreg":
+            self.qregs[name] = (self.num_qubits, size)
+            self.num_qubits += size
+        else:
+            self.cregs[name] = size
+
+    def _parse_opaque(self) -> None:
+        name = self._next()[1]
+        while self._next()[1] != ";":
+            pass
+        self.opaque.add(name)
+
+    def _parse_gate_def(self, line: int) -> None:
+        name = self._next()[1]
+        params: list[str] = []
+        if self._accept("("):
+            if not self._accept(")"):
+                params.append(self._next()[1])
+                while self._accept(","):
+                    params.append(self._next()[1])
+                self._expect(")")
+        qubits = [self._next()[1]]
+        while self._accept(","):
+            qubits.append(self._next()[1])
+        if len(set(qubits)) != len(qubits):
+            raise QasmError(f"line {line}: duplicate qubit argument in gate {name!r}")
+        self._expect("{")
+        body: list[tuple[str, list, list[str], int]] = []
+        while not self._accept("}"):
+            body.append(self._parse_body_statement(name, set(params), set(qubits)))
+        self.gate_defs[name] = _GateDef(name, params, qubits, body)
+
+    def _parse_body_statement(
+        self, owner: str, params: set[str], qubits: set[str]
+    ) -> tuple[str, list, list[str], int]:
+        kind, text, line = self._next()
+        if text == "barrier":
+            operands = [self._next()[1]]
+            while self._accept(","):
+                operands.append(self._next()[1])
+            self._expect(";")
+            for operand in operands:
+                if operand not in qubits:
+                    raise QasmError(
+                        f"line {line}: gate {owner!r} body uses undeclared qubit {operand!r}"
+                    )
+            return ("barrier", [], operands, line)
+        if kind != "id":
+            raise QasmError(f"line {line}: unexpected {text!r} in gate {owner!r} body")
+        param_asts: list = []
+        if self._accept("("):
+            if not self._accept(")"):
+                param_asts.append(self._parse_expression())
+                while self._accept(","):
+                    param_asts.append(self._parse_expression())
+                self._expect(")")
+        operands = [self._next()[1]]
+        while self._accept(","):
+            operands.append(self._next()[1])
+        self._expect(";")
+        for operand in operands:
+            if operand not in qubits:
+                raise QasmError(
+                    f"line {line}: gate {owner!r} body uses undeclared qubit {operand!r} "
+                    "(register indexing is not allowed inside gate bodies)"
+                )
+        return (text, param_asts, operands, line)
+
+    def _parse_measure(self, line: int) -> None:
+        source = self._parse_operand()
+        self._expect("->")
+        target = self._parse_creg_operand(line)
+        self._expect(";")
+        self.statements.append(("measure", line, source, target))
+
+    def _parse_application(self, name: str, line: int) -> None:
+        param_asts: list = []
+        if self._accept("("):
+            if not self._accept(")"):
+                param_asts.append(self._parse_expression())
+                while self._accept(","):
+                    param_asts.append(self._parse_expression())
+                self._expect(")")
+        operands = self._parse_operands()
+        self._expect(";")
+        params = [_evaluate(ast, {}) for ast in param_asts]
+        self.statements.append(("apply", line, name, params, operands))
+
+    # -- operands -------------------------------------------------------
+    def _parse_operands(self) -> list[list[int]]:
+        operands = [self._parse_operand()]
+        while self._accept(","):
+            operands.append(self._parse_operand())
+        return operands
+
+    def _parse_operand(self) -> list[int]:
+        """One qubit operand, resolved to a list of indices (register → all)."""
+        name_token = self._next()
+        name = name_token[1]
+        if name not in self.qregs:
+            raise QasmError(f"line {name_token[2]}: unknown quantum register {name!r}")
+        offset, size = self.qregs[name]
+        if self._accept("["):
+            index = self._expect_uint("qubit index")
+            self._expect("]")
+            if index >= size:
+                raise QasmError(
+                    f"line {name_token[2]}: index {index} out of range for {name}[{size}]"
+                )
+            return [offset + index]
+        return [offset + i for i in range(size)]
+
+    def _parse_creg_operand(self, line: int) -> list[int]:
+        name = self._next()[1]
+        if name not in self.cregs:
+            raise QasmError(f"line {line}: unknown classical register {name!r}")
+        size = self.cregs[name]
+        if self._accept("["):
+            index = self._expect_uint("bit index")
+            self._expect("]")
+            if index >= size:
+                raise QasmError(f"line {line}: index {index} out of range for {name}[{size}]")
+            return [index]
+        return list(range(size))
+
+    # -- expressions ----------------------------------------------------
+    def _parse_expression(self):
+        node = self._parse_term()
+        while True:
+            token = self._peek()
+            if token is not None and token[1] in ("+", "-"):
+                self._next()
+                node = ("bin", token[1], node, self._parse_term())
+            else:
+                return node
+
+    def _parse_term(self):
+        node = self._parse_factor()
+        while True:
+            token = self._peek()
+            if token is not None and token[1] in ("*", "/"):
+                self._next()
+                node = ("bin", token[1], node, self._parse_factor())
+            else:
+                return node
+
+    def _parse_factor(self):
+        node = self._parse_base()
+        if self._accept("^"):
+            return ("bin", "^", node, self._parse_factor())  # right-associative
+        return node
+
+    def _parse_base(self):
+        kind, text, line = self._next()
+        if text == "-":
+            return ("neg", self._parse_factor())
+        if text == "(":
+            node = self._parse_expression()
+            self._expect(")")
+            return node
+        if kind == "number":
+            return ("num", float(text))
+        if text == "pi":
+            return ("pi",)
+        if text in _FUNCTIONS:
+            self._expect("(")
+            argument = self._parse_expression()
+            self._expect(")")
+            return ("call", text, argument)
+        if kind == "id":
+            return ("var", text)
+        raise QasmError(f"line {line}: unexpected {text!r} in expression")
+
+
+# ----------------------------------------------------------------------
+# application / macro expansion onto the circuit
+# ----------------------------------------------------------------------
+def _apply_gate(
+    circuit: QuantumCircuit,
+    parser: _Parser,
+    name: str,
+    params: list[float],
+    qubits: list[int],
+    line: int,
+    depth: int = 0,
+) -> None:
+    if depth > 64:
+        raise QasmError(f"line {line}: gate {name!r} expands recursively without bound")
+    definition = parser.gate_defs.get(name)
+    if definition is not None:
+        if len(params) != len(definition.params):
+            raise QasmError(
+                f"line {line}: gate {name!r} expects {len(definition.params)} "
+                f"parameter(s), got {len(params)}"
+            )
+        if len(qubits) != len(definition.qubits):
+            raise QasmError(
+                f"line {line}: gate {name!r} expects {len(definition.qubits)} "
+                f"qubit(s), got {len(qubits)}"
+            )
+        env = dict(zip(definition.params, params))
+        binding = dict(zip(definition.qubits, qubits))
+        for body_name, param_asts, operands, body_line in definition.body:
+            if body_name == "barrier":
+                circuit.barrier(*(binding[operand] for operand in operands))
+                continue
+            bound_params = [_evaluate(ast, env) for ast in param_asts]
+            bound_qubits = [binding[operand] for operand in operands]
+            _apply_gate(circuit, parser, body_name, bound_params, bound_qubits,
+                        body_line, depth + 1)
+        return
+    if name in parser.opaque:
+        raise QasmError(
+            f"line {line}: opaque gate {name!r} has no definition and cannot be compiled"
+        )
+    builtin = _BUILTINS.get(name)
+    if builtin is None:
+        raise QasmError(f"line {line}: unknown gate {name!r}")
+    num_params, num_qubits, applier = builtin
+    if len(params) != num_params:
+        raise QasmError(
+            f"line {line}: gate {name!r} expects {num_params} parameter(s), got {len(params)}"
+        )
+    if len(qubits) != num_qubits:
+        raise QasmError(
+            f"line {line}: gate {name!r} expects {num_qubits} qubit(s), got {len(qubits)}"
+        )
+    applier(circuit, params, qubits)
+
+
+def _broadcast(operands: list[list[int]], line: int) -> list[tuple[int, ...]]:
+    """Expand whole-register operands into per-index applications."""
+    lengths = {len(operand) for operand in operands if len(operand) > 1}
+    if len(lengths) > 1:
+        raise QasmError(f"line {line}: mismatched register sizes in broadcast")
+    width = lengths.pop() if lengths else 1
+    rows = []
+    for step in range(width):
+        rows.append(tuple(
+            operand[step] if len(operand) > 1 else operand[0] for operand in operands
+        ))
+    return rows
+
+
+def parse_qasm(text: str, name: str | None = None) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 program into a :class:`QuantumCircuit`.
+
+    ``name`` overrides the circuit name; otherwise a ``// name: <x>``
+    directive in the source is honoured, falling back to ``"qasm"``.
+    """
+    if name is None:
+        directive = _NAME_DIRECTIVE_RE.search(text)
+        name = directive.group("name") if directive else "qasm"
+    parser = _Parser(_tokenize(text))
+    parser.parse_program()
+    if parser.num_qubits == 0:
+        raise QasmError("the program declares no quantum registers")
+    circuit = QuantumCircuit(parser.num_qubits, name)
+    for statement in parser.statements:
+        tag, line = statement[0], statement[1]
+        if tag == "barrier":
+            targets = [index for operand in statement[2] for index in operand]
+            circuit.barrier(*targets)
+        elif tag == "measure":
+            source, target = statement[2], statement[3]
+            if len(source) != len(target):
+                raise QasmError(f"line {line}: measure operand sizes do not match")
+            for qubit in source:
+                circuit.measure(qubit)
+        else:
+            _, _, gate_name, params, operands = statement
+            for row in _broadcast(operands, line):
+                if len(set(row)) != len(row):
+                    raise QasmError(
+                        f"line {line}: gate {gate_name!r} applied to duplicate qubits"
+                    )
+                _apply_gate(circuit, parser, gate_name, params, list(row), line)
+    return circuit
+
+
+def parse_qasm_file(path: str | Path, name: str | None = None) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 file; the circuit is named after the file stem."""
+    path = Path(path)
+    text = path.read_text()
+    if name is None and _NAME_DIRECTIVE_RE.search(text) is None:
+        name = path.stem
+    return parse_qasm(text, name=name)
+
+
+# ----------------------------------------------------------------------
+# serializers
+# ----------------------------------------------------------------------
+#: IR names whose QASM spelling differs.
+_EXPORT_NAMES = {"i": "id", "u": "u3"}
+
+
+def _format_param(value: float) -> str:
+    return repr(float(value))
+
+
+def circuit_to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise a logical circuit as OpenQASM 2.0 (qelib1 gate names).
+
+    The output round-trips exactly: re-parsing it yields an equal circuit
+    (``swap``, ``rzz`` and ``cswap`` are emitted natively, matching the
+    extended qelib1 shipped with Qiskit).
+    """
+    lines = [
+        f"// name: {circuit.name}",
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    if any(gate.name == "measure" for gate in circuit):
+        lines.append(f"creg c[{circuit.num_qubits}];")
+    for gate in circuit:
+        if gate.name == "measure":
+            qubit = gate.qubits[0]
+            lines.append(f"measure q[{qubit}] -> c[{qubit}];")
+            continue
+        if gate.name == "barrier":
+            operands = ",".join(f"q[{qubit}]" for qubit in gate.qubits)
+            lines.append(f"barrier {operands};")
+            continue
+        name = _EXPORT_NAMES.get(gate.name, gate.name)
+        params = ""
+        if gate.params:
+            params = "(" + ",".join(_format_param(p) for p in gate.params) + ")"
+        operands = ",".join(f"q[{qubit}]" for qubit in gate.qubits)
+        lines.append(f"{name}{params} {operands};")
+    return "\n".join(lines) + "\n"
+
+
+def compiled_to_qasm(compiled) -> str:
+    """Serialise a compiled (routed + scheduled) circuit as OpenQASM 2.0.
+
+    Physical Table 1 gates become ``opaque`` declarations over one unit
+    register; each op line is annotated with its scheduled start time and
+    duration.  ``compiled`` is a
+    :class:`~repro.compiler.result.CompiledCircuit` (typed loosely to keep
+    this module free of compiler imports).
+    """
+    from repro.gates.library import gate_spec
+
+    lines = [
+        f"// name: {compiled.circuit_name}",
+        f"// strategy: {compiled.strategy_name}",
+        f"// device: {compiled.device.name}",
+        f"// makespan_ns: {compiled.makespan_ns}",
+        "OPENQASM 2.0;",
+    ]
+    measured = any(op.gate == "measure" for op in compiled.ops)
+    used = sorted({op.gate for op in compiled.ops} - {"measure"})
+    for gate_name in used:
+        arity = gate_spec(gate_name).num_units
+        operands = ",".join(chr(ord("a") + i) for i in range(arity))
+        lines.append(f"opaque {gate_name} {operands};")
+    lines.append(f"qreg u[{compiled.device.num_units}];")
+    if measured:
+        lines.append(f"creg m[{compiled.device.num_units}];")
+    for op in sorted(compiled.ops, key=lambda op: op.start_ns):
+        operands = ",".join(f"u[{unit}]" for unit in op.units)
+        comment = f"  // t={op.start_ns:.1f}ns dur={op.duration_ns:.1f}ns"
+        if op.gate == "measure":
+            lines.append(f"measure u[{op.units[0]}] -> m[{op.units[0]}];" + comment)
+        else:
+            lines.append(f"{op.gate} {operands};" + comment)
+    return "\n".join(lines) + "\n"

@@ -4,7 +4,9 @@ Provides quick access to the compiler and the evaluation harness without
 writing Python::
 
     python -m repro compile --benchmark cuccaro --qubits 16 --strategy rb
-    python -m repro sweep --benchmarks cuccaro cnu --sizes 8 12 --strategies qubit_only eqm
+    python -m repro compile --qasm examples/teleport.qasm --strategy eqm
+    python -m repro compile --benchmark qft --qubits 12 --emit-qasm routed.qasm
+    python -m repro sweep --benchmarks cuccaro qft ghz --sizes 8 12 --strategies qubit_only eqm
     python -m repro sweep --workers 4 --cache-dir .repro_cache --json results/sweep.json
     python -m repro table1
     python -m repro figure --name fig12 --output results/fig12.csv
@@ -24,10 +26,12 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro.circuits.qasm import QasmError, parse_qasm_file
 from repro.compression import _STRATEGIES
 from repro.runner import CompileCache, default_cache_dir
 from repro.evaluation import (
     compile_benchmark,
+    compile_circuit,
     figure3_state_evolution,
     figure4_exhaustive,
     figure8_gate_distribution,
@@ -57,15 +61,23 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     compile_parser = subparsers.add_parser(
-        "compile", help="compile one benchmark under one strategy and report its EPS"
+        "compile", help="compile one benchmark or OpenQASM file and report its EPS"
     )
-    compile_parser.add_argument("--benchmark", choices=sorted(BENCHMARK_NAMES), required=True)
-    compile_parser.add_argument("--qubits", type=int, required=True)
+    compile_source = compile_parser.add_mutually_exclusive_group(required=True)
+    compile_source.add_argument("--benchmark", choices=sorted(BENCHMARK_NAMES))
+    compile_source.add_argument("--qasm", metavar="FILE",
+                                help="compile this OpenQASM 2.0 file instead of a "
+                                     "registry benchmark")
+    compile_parser.add_argument("--qubits", type=int,
+                                help="circuit size (required with --benchmark)")
     compile_parser.add_argument("--strategy", choices=sorted(set(_STRATEGIES)), default="eqm")
     compile_parser.add_argument("--device", choices=("grid", "heavy_hex", "ring"), default="grid")
     compile_parser.add_argument("--seed", type=int, default=0)
     compile_parser.add_argument("--show-gates", action="store_true",
                                 help="also print the gate-type histogram")
+    compile_parser.add_argument("--emit-qasm", metavar="FILE",
+                                help="write the routed physical program as OpenQASM 2.0 "
+                                     "(Table 1 gates declared opaque)")
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="run the Figure 7 / Figure 10 strategy sweep"
@@ -128,10 +140,21 @@ def _cache_from_args(args: argparse.Namespace) -> CompileCache | None:
 # subcommand implementations
 # ----------------------------------------------------------------------
 def _run_compile(args: argparse.Namespace) -> int:
-    result = compile_benchmark(
-        args.benchmark, args.qubits, args.strategy,
-        device_kind=args.device, seed=args.seed,
-    )
+    if args.qasm is not None:
+        try:
+            circuit = parse_qasm_file(args.qasm)
+        except (OSError, QasmError) as error:
+            print(f"error: cannot compile {args.qasm}: {error}", file=sys.stderr)
+            return 2
+        result = compile_circuit(circuit, args.strategy, device_kind=args.device)
+    else:
+        if args.qubits is None:
+            print("error: --qubits is required with --benchmark", file=sys.stderr)
+            return 2
+        result = compile_benchmark(
+            args.benchmark, args.qubits, args.strategy,
+            device_kind=args.device, seed=args.seed,
+        )
     report = result.report
     rows = [
         ["circuit", result.compiled.circuit_name],
@@ -151,6 +174,11 @@ def _run_compile(args: argparse.Namespace) -> int:
         histogram = grouped_histogram(result.compiled)
         print(format_table(["gate type", "count"],
                            [[label, count] for label, count in histogram.items() if count]))
+    if args.emit_qasm:
+        path = Path(args.emit_qasm)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(result.compiled.to_qasm())
+        print(f"\nwrote {path}")
     return 0
 
 
@@ -174,17 +202,35 @@ def _run_sweep(args: argparse.Namespace) -> int:
         path = save_csv(args.output, SWEEP_HEADERS, rows)
         print(f"\nwrote {path}")
     if args.json_output:
-        path = save_json(args.json_output, SWEEP_HEADERS, rows)
+        path = save_json(args.json_output, SWEEP_HEADERS, rows, cache=cache)
         print(f"\nwrote {path}")
     return 0
 
 
-def save_json(path: str | Path, headers: list[str], rows: list[list]) -> Path:
-    """Write sweep rows as a JSON list of row objects (CI artifact format)."""
+def save_json(
+    path: str | Path,
+    headers: list[str],
+    rows: list[list],
+    cache: CompileCache | None = None,
+) -> Path:
+    """Write sweep rows plus cache hit/miss counters as JSON (CI artifact format).
+
+    Schema 2: ``{"schema": 2, "rows": [...], "cache": {"enabled", "hits",
+    "misses"}}`` — CI asserts on the cache fields instead of scraping the
+    human-readable stdout.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    records = [dict(zip(headers, row)) for row in rows]
-    path.write_text(json.dumps(records, indent=2, default=str) + "\n")
+    payload = {
+        "schema": 2,
+        "rows": [dict(zip(headers, row)) for row in rows],
+        "cache": {
+            "enabled": cache is not None,
+            "hits": cache.stats.hits if cache is not None else 0,
+            "misses": cache.stats.misses if cache is not None else 0,
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
     return path
 
 

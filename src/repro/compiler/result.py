@@ -160,6 +160,20 @@ class CompiledCircuit:
             results[logical] = (qubit_time, ququart_time)
         return results
 
+    # ------------------------------------------------------------------
+    # interchange
+    # ------------------------------------------------------------------
+    def to_qasm(self) -> str:
+        """Serialise the routed physical program as OpenQASM 2.0.
+
+        Physical gates are declared ``opaque``; each op carries its
+        scheduled start time and duration as a comment.  See
+        :func:`repro.circuits.qasm.compiled_to_qasm`.
+        """
+        from repro.circuits.qasm import compiled_to_qasm
+
+        return compiled_to_qasm(self)
+
     def summary(self) -> dict:
         """Compact dictionary summary used by reports and examples."""
         styles = self.style_counts()

@@ -21,6 +21,7 @@ from repro.evaluation.sweep import (
     DEFAULT_STRATEGIES,
     StrategyResult,
     compile_benchmark,
+    compile_circuit,
     device_for,
     run_strategies,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "StrategyResult",
     "device_for",
     "compile_benchmark",
+    "compile_circuit",
     "run_strategies",
     "table1_durations",
     "figure3_state_evolution",

@@ -46,6 +46,33 @@ def device_for(
     )
 
 
+def compile_circuit(
+    circuit,
+    strategy: str,
+    device: Device | None = None,
+    device_kind: str = "grid",
+    strategy_kwargs: dict | None = None,
+) -> StrategyResult:
+    """Compile an arbitrary (e.g. QASM-imported) circuit under one strategy.
+
+    Unlike :func:`compile_benchmark` the circuit is supplied directly rather
+    than built from the registry, so external OpenQASM programs flow through
+    the exact same pipeline and EPS evaluation as the paper benchmarks.  The
+    compile happens inline (a live circuit is not a cache content key).
+    """
+    if device is None:
+        device = device_for(device_kind, circuit.num_qubits)
+    strategy_object = get_strategy(strategy, **(strategy_kwargs or {}))
+    compiled = QompressCompiler(device, strategy_object).compile(circuit)
+    return StrategyResult(
+        benchmark=circuit.name,
+        num_qubits=circuit.num_qubits,
+        strategy=strategy,
+        report=evaluate_eps(compiled),
+        compiled=compiled,
+    )
+
+
 def compile_benchmark(
     benchmark: str,
     num_qubits: int,

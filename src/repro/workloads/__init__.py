@@ -1,9 +1,11 @@
-"""Benchmark workloads used in the paper's evaluation (Section 6.3).
+"""Benchmark workloads used in the paper's evaluation (Section 6.3) and beyond.
 
 Structured circuits: Cuccaro ripple-carry adder, generalized Toffoli (CNU),
 QRAM, Bernstein-Vazirani.  Graph-based circuits: QAOA-style interaction
 circuits built from random (30 % density), cylinder, torus and binary
-welded tree graphs.
+welded tree graphs.  Algorithmic families added on top of the paper's
+eight: the QFT (dense all-to-all interactions), GHZ preparation (purely
+local chain) and seeded random Clifford+T circuits (no structure at all).
 """
 
 from repro.workloads.graphs import (
@@ -15,12 +17,17 @@ from repro.workloads.graphs import (
 from repro.workloads.bv import bernstein_vazirani
 from repro.workloads.cuccaro import cuccaro_adder
 from repro.workloads.cnu import generalized_toffoli
+from repro.workloads.ghz import ghz_state
+from repro.workloads.qft import qft_circuit
 from repro.workloads.qram import qram_circuit
 from repro.workloads.qaoa import qaoa_from_graph
+from repro.workloads.random_clifford_t import random_clifford_t
 from repro.workloads.registry import (
+    ALGORITHMIC_BENCHMARKS,
     BENCHMARK_NAMES,
     STRUCTURED_BENCHMARKS,
     GRAPH_BENCHMARKS,
+    MINIMUM_SIZES,
     build_benchmark,
 )
 
@@ -32,10 +39,15 @@ __all__ = [
     "bernstein_vazirani",
     "cuccaro_adder",
     "generalized_toffoli",
+    "ghz_state",
+    "qft_circuit",
     "qram_circuit",
     "qaoa_from_graph",
+    "random_clifford_t",
+    "ALGORITHMIC_BENCHMARKS",
     "BENCHMARK_NAMES",
     "STRUCTURED_BENCHMARKS",
     "GRAPH_BENCHMARKS",
+    "MINIMUM_SIZES",
     "build_benchmark",
 ]

@@ -1,0 +1,41 @@
+"""GHZ state preparation workload.
+
+A GHZ circuit entangles every qubit with a single Hadamard followed by a
+CX cascade.  The chain entangler's interaction graph is a path — purely
+local, nearest-neighbour structure that compression strategies should
+exploit almost perfectly — while the star entangler reproduces the
+BV-like hub pattern where Ring-Based finds no cycles to compress.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+#: Supported entangler layouts.
+ENTANGLERS = ("chain", "star")
+
+
+def ghz_state(
+    num_qubits: int,
+    entangler: str = "chain",
+    name: str | None = None,
+) -> QuantumCircuit:
+    """GHZ preparation on ``num_qubits`` qubits.
+
+    ``entangler="chain"`` cascades ``cx(i, i+1)`` down the register (depth
+    ``n``, path interaction graph); ``entangler="star"`` fans ``cx(0, i)``
+    out from the first qubit (star interaction graph).
+    """
+    if num_qubits < 2:
+        raise ValueError("a GHZ state needs at least two qubits")
+    if entangler not in ENTANGLERS:
+        raise ValueError(f"unknown entangler {entangler!r}; use one of {ENTANGLERS}")
+    circuit = QuantumCircuit(num_qubits, name or f"ghz-{num_qubits}")
+    circuit.h(0)
+    if entangler == "chain":
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+    else:
+        for qubit in range(1, num_qubits):
+            circuit.cx(0, qubit)
+    return circuit

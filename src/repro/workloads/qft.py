@@ -1,0 +1,43 @@
+"""Quantum Fourier Transform workload.
+
+The QFT's interaction graph is the complete graph: every qubit pair shares
+a controlled-phase, with rotation angles shrinking geometrically with the
+pair distance.  That makes it the densest workload in the registry — the
+opposite extreme from Bernstein-Vazirani's star — and a stress test for
+the compression strategies' pairing heuristics and the router.
+
+Controlled phases are lowered immediately through
+:func:`repro.circuits.decompose.append_cphase` so the circuit stays inside
+the IR's native gate set.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.decompose import append_cphase
+
+
+def qft_circuit(
+    num_qubits: int,
+    insert_swaps: bool = True,
+    name: str | None = None,
+) -> QuantumCircuit:
+    """Textbook QFT on ``num_qubits`` qubits.
+
+    ``insert_swaps`` appends the final bit-reversal SWAP network (the usual
+    presentation); disabling it leaves the output in reversed bit order and
+    removes the long-range SWAPs.
+    """
+    if num_qubits < 2:
+        raise ValueError("the QFT needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name or f"qft-{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control in range(target + 1, num_qubits):
+            append_cphase(circuit, math.pi / 2 ** (control - target), control, target)
+    if insert_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit

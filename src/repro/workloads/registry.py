@@ -14,8 +14,11 @@ from repro.workloads.graphs import (
     random_graph,
     torus_graph,
 )
+from repro.workloads.ghz import ghz_state
 from repro.workloads.qaoa import qaoa_from_graph
+from repro.workloads.qft import qft_circuit
 from repro.workloads.qram import qram_circuit
+from repro.workloads.random_clifford_t import random_clifford_t
 
 #: Structured benchmarks with localized interaction groups.
 STRUCTURED_BENCHMARKS: tuple[str, ...] = ("cuccaro", "cnu", "qram", "bv")
@@ -28,8 +31,14 @@ GRAPH_BENCHMARKS: tuple[str, ...] = (
     "qaoa_bwt",
 )
 
+#: Algorithmic families beyond the paper's fixed eight: dense all-to-all
+#: (qft), purely local (ghz) and unstructured seeded-random circuits.
+ALGORITHMIC_BENCHMARKS: tuple[str, ...] = ("qft", "ghz", "random_clifford_t")
+
 #: Every benchmark name understood by :func:`build_benchmark`.
-BENCHMARK_NAMES: tuple[str, ...] = STRUCTURED_BENCHMARKS + GRAPH_BENCHMARKS
+BENCHMARK_NAMES: tuple[str, ...] = (
+    STRUCTURED_BENCHMARKS + GRAPH_BENCHMARKS + ALGORITHMIC_BENCHMARKS
+)
 
 
 def _qaoa_builder(graph_builder: Callable, label: str) -> Callable[[int, int], QuantumCircuit]:
@@ -54,6 +63,9 @@ _BUILDERS: dict[str, Callable[[int, int], QuantumCircuit]] = {
     "qaoa_cylinder": _qaoa_builder(cylinder_graph, "qaoa_cylinder"),
     "qaoa_torus": _qaoa_builder(torus_graph, "qaoa_torus"),
     "qaoa_bwt": _qaoa_builder(binary_welded_tree_graph, "qaoa_bwt"),
+    "qft": lambda n, seed=0: qft_circuit(n),
+    "ghz": lambda n, seed=0: ghz_state(n),
+    "random_clifford_t": lambda n, seed=0: random_clifford_t(n, seed=seed),
 }
 
 #: Smallest sensible size per benchmark (some constructions need a minimum).
@@ -66,6 +78,9 @@ MINIMUM_SIZES: dict[str, int] = {
     "qaoa_cylinder": 4,
     "qaoa_torus": 8,
     "qaoa_bwt": 4,
+    "qft": 2,
+    "ghz": 2,
+    "random_clifford_t": 2,
 }
 
 

@@ -27,6 +27,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             parser.parse_args(["compile", "--benchmark", "nope", "--qubits", "10"])
 
+    def test_benchmark_and_qasm_are_exclusive(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["compile", "--benchmark", "bv", "--qasm", "x.qasm"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["compile"])
+
+    def test_qasm_arguments(self):
+        args = build_parser().parse_args(
+            ["compile", "--qasm", "file.qasm", "--emit-qasm", "out.qasm"]
+        )
+        assert args.qasm == "file.qasm"
+        assert args.emit_qasm == "out.qasm"
+        assert args.benchmark is None
+
+    def test_new_workload_families_accepted(self):
+        args = build_parser().parse_args(
+            ["sweep", "--benchmarks", "qft", "ghz", "random_clifford_t", "--sizes", "8"]
+        )
+        assert args.benchmarks == ["qft", "ghz", "random_clifford_t"]
+
     def test_sweep_defaults(self):
         args = build_parser().parse_args(["sweep"])
         assert args.benchmarks == ["cuccaro", "cnu"]
@@ -98,16 +119,72 @@ class TestCommands:
                 "--json", str(target)]
         assert main(argv) == 0
         first = json.loads(target.read_text())
-        assert len(first) == 2
-        assert first[0]["benchmark"] == "bv"
-        assert {row["strategy"] for row in first} == {"qubit_only", "eqm"}
+        assert first["schema"] == 2
+        assert len(first["rows"]) == 2
+        assert first["rows"][0]["benchmark"] == "bv"
+        assert {row["strategy"] for row in first["rows"]} == {"qubit_only", "eqm"}
+        assert first["cache"] == {"enabled": True, "hits": 0, "misses": 2}
         capsys.readouterr()
 
-        # second run must be fully cache-served and byte-identical
+        # second run must be fully cache-served and row-identical
         assert main(argv) == 0
+        capsys.readouterr()
+        second = json.loads(target.read_text())
+        assert second["cache"] == {"enabled": True, "hits": 2, "misses": 0}
+        assert second["rows"] == first["rows"]
+
+    def test_sweep_json_without_cache(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "sweep.json"
+        assert main(["sweep", "--benchmarks", "ghz", "--sizes", "6",
+                     "--strategies", "qubit_only", "--json", str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert data["cache"] == {"enabled": False, "hits": 0, "misses": 0}
+        assert len(data["rows"]) == 1
+
+    def test_compile_qasm_file(self, capsys, tmp_path):
+        source = tmp_path / "bell.qasm"
+        source.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[2];\nh q[0];\ncx q[0],q[1];\n"
+        )
+        assert main(["compile", "--qasm", str(source)]) == 0
         output = capsys.readouterr().out
-        assert "2 hits, 0 misses" in output
-        assert json.loads(target.read_text()) == first
+        assert "bell" in output
+        assert "total EPS" in output
+
+    def test_compile_qasm_emit_roundtrip(self, capsys, tmp_path):
+        source = tmp_path / "ghz3.qasm"
+        source.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n"
+        )
+        routed = tmp_path / "routed.qasm"
+        assert main(["compile", "--qasm", str(source),
+                     "--emit-qasm", str(routed)]) == 0
+        text = routed.read_text()
+        assert "OPENQASM 2.0;" in text
+        assert "qreg u[" in text
+        assert "// t=" in text
+
+    def test_compile_qasm_missing_file(self, capsys):
+        assert main(["compile", "--qasm", "/nonexistent/x.qasm"]) == 2
+        assert "cannot compile" in capsys.readouterr().err
+
+    def test_compile_qasm_bad_program(self, capsys, tmp_path):
+        source = tmp_path / "bad.qasm"
+        source.write_text("OPENQASM 2.0;\nqreg q[1];\nif (c==0) x q[0];\n")
+        assert main(["compile", "--qasm", str(source)]) == 2
+        assert "classical control" in capsys.readouterr().err
+
+    def test_compile_benchmark_requires_qubits(self, capsys):
+        assert main(["compile", "--benchmark", "bv"]) == 2
+        assert "--qubits" in capsys.readouterr().err
+
+    def test_compile_new_family(self, capsys):
+        assert main(["compile", "--benchmark", "qft", "--qubits", "6"]) == 0
+        assert "qft-6" in capsys.readouterr().out
 
     def test_cache_info_and_clear(self, capsys, tmp_path):
         cache_dir = tmp_path / "cache"

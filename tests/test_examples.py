@@ -22,7 +22,16 @@ class TestExamples:
     def test_examples_directory_contents(self):
         names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         assert {"quickstart.py", "adder_compression.py", "qaoa_topologies.py",
-                "t1_crossover.py", "pulse_gates.py"} <= names
+                "t1_crossover.py", "pulse_gates.py", "qasm_roundtrip.py"} <= names
+        qasm_files = {path.name for path in EXAMPLES_DIR.glob("*.qasm")}
+        assert {"teleport.qasm", "qft4.qasm"} <= qasm_files
+
+    def test_qasm_roundtrip_runs(self, capsys):
+        module = _load_example("qasm_roundtrip")
+        module.main()
+        output = capsys.readouterr().out
+        assert "round-trip ok" in output
+        assert "opaque" in output
 
     def test_quickstart_runs(self, capsys):
         module = _load_example("quickstart")

@@ -1,0 +1,254 @@
+"""Tests for the OpenQASM 2.0 frontend and serializers."""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.circuits import (
+    QasmError,
+    QuantumCircuit,
+    circuit_to_qasm,
+    parse_qasm,
+    parse_qasm_file,
+)
+from repro.compiler.pipeline import QompressCompiler
+from repro.compression import get_strategy
+from repro.runner import make_device
+from repro.workloads import BENCHMARK_NAMES, MINIMUM_SIZES, build_benchmark
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestParserBasics:
+    def test_minimal_program(self):
+        circuit = parse_qasm(HEADER + "qreg q[2];\nh q[0];\ncx q[0],q[1];\n")
+        assert circuit.num_qubits == 2
+        assert [gate.name for gate in circuit] == ["h", "cx"]
+
+    def test_name_directive_and_override(self):
+        text = "// name: my-circuit\n" + HEADER + "qreg q[1];\nx q[0];\n"
+        assert parse_qasm(text).name == "my-circuit"
+        assert parse_qasm(text, name="forced").name == "forced"
+        assert parse_qasm(HEADER + "qreg q[1];\nx q[0];\n").name == "qasm"
+
+    def test_multiple_qregs_are_flattened(self):
+        circuit = parse_qasm(HEADER + "qreg a[2];\nqreg b[3];\ncx a[1],b[2];\n")
+        assert circuit.num_qubits == 5
+        assert circuit[0].qubits == (1, 4)
+
+    def test_builtin_u_and_cx(self):
+        circuit = parse_qasm("OPENQASM 2.0;\nqreg q[2];\nU(0.1,0.2,0.3) q[0];\nCX q[0],q[1];\n")
+        assert circuit[0].name == "u"
+        assert circuit[0].params == (0.1, 0.2, 0.3)
+        assert circuit[1].name == "cx"
+
+    def test_measure_and_barrier(self):
+        circuit = parse_qasm(
+            HEADER + "qreg q[3];\ncreg c[3];\nbarrier q[0],q[2];\nmeasure q[1] -> c[1];\n"
+        )
+        assert circuit[0].name == "barrier"
+        assert circuit[0].qubits == (0, 2)
+        assert circuit[1].name == "measure"
+        assert circuit[1].qubits == (1,)
+
+    def test_register_broadcast(self):
+        circuit = parse_qasm(HEADER + "qreg q[3];\ncreg c[3];\nh q;\nmeasure q -> c;\n")
+        assert [gate.name for gate in circuit] == ["h", "h", "h",
+                                                   "measure", "measure", "measure"]
+
+    def test_broadcast_register_against_scalar(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nqreg r[3];\ncx q[0],r;\n")
+        assert [gate.qubits for gate in circuit] == [(0, 1), (0, 2), (0, 3)]
+
+
+class TestParameterExpressions:
+    @pytest.mark.parametrize("expression,value", [
+        ("pi", math.pi),
+        ("pi/2", math.pi / 2),
+        ("-pi/4", -math.pi / 4),
+        ("2*pi-1", 2 * math.pi - 1),
+        ("pi^2", math.pi**2),
+        ("(1+2)*3", 9.0),
+        ("sin(pi/2)", 1.0),
+        ("sqrt(4)", 2.0),
+        ("ln(exp(1))", 1.0),
+        ("1.5e-1", 0.15),
+    ])
+    def test_expression_values(self, expression, value):
+        circuit = parse_qasm(HEADER + f"qreg q[1];\nrz({expression}) q[0];\n")
+        assert circuit[0].params[0] == pytest.approx(value)
+
+    def test_division_by_zero(self):
+        with pytest.raises(QasmError, match="division by zero"):
+            parse_qasm(HEADER + "qreg q[1];\nrz(1/0) q[0];\n")
+
+
+class TestGateLowering:
+    def test_u1_u2_u3_aliases(self):
+        circuit = parse_qasm(
+            HEADER + "qreg q[1];\nu1(0.5) q[0];\nu2(0.1,0.2) q[0];\nu3(1,2,3) q[0];\n"
+        )
+        assert circuit[0].name == "rz"
+        assert circuit[1].name == "u"
+        assert circuit[1].params == (math.pi / 2, 0.1, 0.2)
+        assert circuit[2].name == "u"
+
+    @pytest.mark.parametrize("application,names", [
+        ("cy q[0],q[1];", ["sdg", "cx", "s"]),
+        ("crz(0.4) q[0],q[1];", ["rz", "cx", "rz", "cx"]),
+        ("cu1(0.4) q[0],q[1];", ["rz", "cx", "rz", "cx", "rz"]),
+        ("cp(0.4) q[0],q[1];", ["rz", "cx", "rz", "cx", "rz"]),
+        ("cu3(0.1,0.2,0.3) q[0],q[1];", ["rz", "rz", "cx", "u", "cx", "u"]),
+        ("sx q[0];", ["rx"]),
+        ("id q[0];", ["i"]),
+        ("rzz(0.3) q[0],q[1];", ["rzz"]),
+        ("ccx q[0],q[1],q[2];", ["ccx"]),
+        ("cswap q[0],q[1],q[2];", ["cswap"]),
+    ])
+    def test_qelib1_gates_lower(self, application, names):
+        circuit = parse_qasm(HEADER + "qreg q[3];\n" + application + "\n")
+        assert [gate.name for gate in circuit] == names
+
+
+class TestGateDefinitions:
+    def test_macro_expansion(self):
+        text = HEADER + (
+            "gate bell a,b { h a; cx a,b; }\n"
+            "qreg q[2];\nbell q[0],q[1];\n"
+        )
+        circuit = parse_qasm(text)
+        assert [gate.name for gate in circuit] == ["h", "cx"]
+
+    def test_nested_macros_with_parameters(self):
+        text = HEADER + (
+            "gate half(theta) a { rz(theta/2) a; }\n"
+            "gate twice(theta) a { half(theta) a; half(theta) a; }\n"
+            "qreg q[1];\ntwice(pi) q[0];\n"
+        )
+        circuit = parse_qasm(text)
+        assert [gate.params[0] for gate in circuit] == [math.pi / 2, math.pi / 2]
+
+    def test_body_rejects_unknown_qubit(self):
+        with pytest.raises(QasmError, match="undeclared qubit"):
+            parse_qasm(HEADER + "gate bad a { h b; }\nqreg q[1];\n")
+
+    def test_wrong_arity_application(self):
+        text = HEADER + "gate bell a,b { h a; cx a,b; }\nqreg q[3];\nbell q[0];\n"
+        with pytest.raises(QasmError, match="expects 2 qubit"):
+            parse_qasm(text)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("body,match", [
+        ("qreg q[1];\nif (c==1) x q[0];\n", "classical control"),
+        ("qreg q[1];\nreset q[0];\n", "reset"),
+        ("qreg q[1];\nnope q[0];\n", "unknown gate"),
+        ("qreg q[2];\ncx q[0],q[5];\n", "out of range"),
+        ("qreg q[2];\ncx q,q;\n", "duplicate qubits"),
+        ("qreg q[2];\nqreg r[3];\ncx q,r;\n", "mismatched register sizes"),
+        ("qreg q[1];\nopaque mystery a;\nmystery q[0];\n", "opaque"),
+        ("qreg q[1];\nh r[0];\n", "unknown quantum register"),
+        ("", "no quantum registers"),
+        ("qreg q[x];\n", "expected an integer register size"),
+        ("qreg q[2];\nh q[a];\n", "expected an integer qubit index"),
+        ("qreg q[2];\nh q[-1];\n", "expected an integer qubit index"),
+        ("qreg q[3];\ncreg c[1];\nmeasure q -> c[0];\n", "measure operand sizes"),
+        ("qreg q[1];\ncreg c[3];\nmeasure q[0] -> c;\n", "measure operand sizes"),
+    ])
+    def test_rejected_programs(self, body, match):
+        with pytest.raises(QasmError, match=match):
+            parse_qasm(HEADER + body)
+
+    def test_unsupported_version(self):
+        with pytest.raises(QasmError, match="version"):
+            parse_qasm("OPENQASM 3.0;\nqreg q[1];\n")
+
+    def test_unsupported_include(self):
+        with pytest.raises(QasmError, match="qelib1"):
+            parse_qasm('OPENQASM 2.0;\ninclude "other.inc";\nqreg q[1];\n')
+
+
+class TestSerializer:
+    def test_header_and_registers(self):
+        circuit = QuantumCircuit(3, "demo")
+        circuit.h(0)
+        circuit.measure(2)
+        text = circuit_to_qasm(circuit)
+        assert "// name: demo" in text
+        assert "qreg q[3];" in text
+        assert "creg c[3];" in text
+        assert "measure q[2] -> c[2];" in text
+
+    def test_no_creg_without_measure(self):
+        circuit = QuantumCircuit(2, "demo").h(0)
+        assert "creg" not in circuit_to_qasm(circuit)
+
+    def test_every_ir_gate_serializes(self):
+        circuit = QuantumCircuit(3, "all-gates")
+        for name in ("i", "x", "y", "z", "h", "s", "sdg", "t", "tdg"):
+            circuit.add(name, 0)
+        circuit.rx(0.1, 0).ry(0.2, 1).rz(0.3, 2)
+        circuit.add("u", 0, params=(0.1, 0.2, 0.3))
+        circuit.cx(0, 1).cz(1, 2).swap(0, 2).rzz(0.4, 0, 1)
+        circuit.ccx(0, 1, 2).cswap(0, 1, 2)
+        circuit.barrier()
+        circuit.measure_all()
+        assert parse_qasm(circuit_to_qasm(circuit)) == circuit
+
+
+class TestRoundTrip:
+    """Satellite: every registry workload round-trips through QASM and
+    compiles to an identical physical op stream."""
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_workload_roundtrip_compiles_identically(self, name):
+        size = max(MINIMUM_SIZES[name], 8)
+        original = build_benchmark(name, size, seed=1)
+        reimported = parse_qasm(circuit_to_qasm(original))
+        assert reimported == original, "gate stream must survive the round-trip"
+        assert reimported.name == original.name
+
+        compiled_original = QompressCompiler(
+            make_device("grid", size), get_strategy("eqm")
+        ).compile(original)
+        compiled_reimported = QompressCompiler(
+            make_device("grid", size), get_strategy("eqm")
+        ).compile(reimported)
+        assert compiled_original.ops == compiled_reimported.ops
+        assert compiled_original.initial_placement == compiled_reimported.initial_placement
+        assert compiled_original.ququart_units == compiled_reimported.ququart_units
+
+
+class TestExampleFiles:
+    @pytest.mark.parametrize("filename", ["teleport.qasm", "qft4.qasm"])
+    def test_shipped_qasm_files_parse(self, filename):
+        circuit = parse_qasm_file(EXAMPLES_DIR / filename)
+        assert len(circuit) > 0
+        assert circuit.name == filename.removesuffix(".qasm")
+
+    def test_file_stem_fallback_name(self, tmp_path):
+        path = tmp_path / "external.qasm"
+        path.write_text(HEADER + "qreg q[1];\nx q[0];\n")
+        assert parse_qasm_file(path).name == "external"
+
+
+class TestPhysicalEmission:
+    def test_compiled_to_qasm(self):
+        circuit = build_benchmark("ghz", 6)
+        circuit.measure_all()
+        compiled = QompressCompiler(
+            make_device("grid", 6), get_strategy("eqm")
+        ).compile(circuit)
+        text = compiled.to_qasm()
+        lines = text.splitlines()
+        assert "OPENQASM 2.0;" in lines
+        assert any(line.startswith("opaque") for line in lines)
+        assert f"qreg u[{compiled.device.num_units}];" in lines
+        # every op appears, annotated with its schedule
+        op_lines = [line for line in lines if "// t=" in line]
+        assert len(op_lines) == len(compiled.ops)
+        # measures route to the classical register
+        assert any(line.startswith("measure u[") for line in lines)

@@ -7,6 +7,7 @@ import pytest
 from repro.circuits import QuantumCircuit, decompose_to_basis
 from repro.simulation import simulate_logical_circuit
 from repro.workloads import (
+    ALGORITHMIC_BENCHMARKS,
     BENCHMARK_NAMES,
     GRAPH_BENCHMARKS,
     STRUCTURED_BENCHMARKS,
@@ -16,8 +17,11 @@ from repro.workloads import (
     cuccaro_adder,
     cylinder_graph,
     generalized_toffoli,
+    ghz_state,
     qaoa_from_graph,
+    qft_circuit,
     qram_circuit,
+    random_clifford_t,
     random_graph,
     torus_graph,
 )
@@ -215,6 +219,90 @@ class TestQAOA:
         assert a != c
 
 
+class TestQFT:
+    def test_uniform_superposition_from_zero(self):
+        # QFT|0...0> is the uniform superposition: every amplitude 1/sqrt(N).
+        circuit = qft_circuit(4)
+        vector = simulate_logical_circuit(circuit)
+        assert np.allclose(np.abs(vector), 1 / 4.0)
+
+    def test_interaction_graph_is_complete(self):
+        circuit = qft_circuit(6)
+        pairs = set(circuit.interaction_pairs())
+        assert len(pairs) == 6 * 5 // 2
+
+    def test_swap_toggle(self):
+        with_swaps = qft_circuit(8)
+        without = qft_circuit(8, insert_swaps=False)
+        assert with_swaps.count_ops()["swap"] == 4
+        assert "swap" not in without.count_ops()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            qft_circuit(1)
+
+
+class TestGHZ:
+    @pytest.mark.parametrize("entangler", ["chain", "star"])
+    def test_state_is_ghz(self, entangler):
+        circuit = ghz_state(5, entangler=entangler)
+        vector = simulate_logical_circuit(circuit)
+        probabilities = np.abs(vector) ** 2
+        # only |00000> and |11111> are populated, each with probability 1/2
+        assert probabilities[0] == pytest.approx(0.5)
+        assert probabilities[-1] == pytest.approx(0.5)
+        assert probabilities[1:-1].sum() == pytest.approx(0.0)
+
+    def test_chain_interactions_are_local(self):
+        circuit = ghz_state(10)
+        assert set(circuit.interaction_pairs()) == {(q, q + 1) for q in range(9)}
+
+    def test_star_interactions_form_a_hub(self):
+        circuit = ghz_state(10, entangler="star")
+        assert set(circuit.interaction_pairs()) == {(0, q) for q in range(1, 10)}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ghz_state(1)
+        with pytest.raises(ValueError):
+            ghz_state(5, entangler="ring")
+
+
+class TestRandomCliffordT:
+    def test_deterministic_by_seed(self):
+        assert random_clifford_t(10, seed=7) == random_clifford_t(10, seed=7)
+        assert random_clifford_t(10, seed=7) != random_clifford_t(10, seed=8)
+
+    def test_every_qubit_is_active(self):
+        circuit = random_clifford_t(9, seed=0)
+        assert circuit.active_qubits() == set(range(9))
+
+    def test_gate_alphabet(self):
+        circuit = random_clifford_t(8, seed=3)
+        allowed = {"h", "s", "sdg", "t", "tdg", "x", "z", "cx"}
+        assert set(circuit.count_ops()) <= allowed
+        assert circuit.count_ops()["cx"] > 0
+
+    def test_two_qubit_probability_extremes(self):
+        none = random_clifford_t(8, two_qubit_probability=0.0, seed=0)
+        all_cx = random_clifford_t(8, two_qubit_probability=1.0, seed=0)
+        assert none.num_two_qubit_gates() == 0
+        assert all_cx.count_ops() == {"cx": all_cx.num_two_qubit_gates()}
+
+    def test_depth_scales_gate_count(self):
+        shallow = random_clifford_t(8, depth=2, seed=0)
+        deep = random_clifford_t(8, depth=20, seed=0)
+        assert len(deep) > len(shallow)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_clifford_t(1)
+        with pytest.raises(ValueError):
+            random_clifford_t(8, depth=0)
+        with pytest.raises(ValueError):
+            random_clifford_t(8, two_qubit_probability=1.5)
+
+
 class TestRegistry:
     @pytest.mark.parametrize("name", BENCHMARK_NAMES)
     @pytest.mark.parametrize("size", [8, 16, 25])
@@ -223,9 +311,11 @@ class TestRegistry:
         assert circuit.num_qubits == size
         assert len(circuit) > 0
 
-    def test_structured_and_graph_partition(self):
-        assert set(STRUCTURED_BENCHMARKS) | set(GRAPH_BENCHMARKS) == set(BENCHMARK_NAMES)
-        assert not set(STRUCTURED_BENCHMARKS) & set(GRAPH_BENCHMARKS)
+    def test_families_partition(self):
+        families = (STRUCTURED_BENCHMARKS, GRAPH_BENCHMARKS, ALGORITHMIC_BENCHMARKS)
+        union = set().union(*families)
+        assert union == set(BENCHMARK_NAMES)
+        assert sum(len(family) for family in families) == len(BENCHMARK_NAMES)
 
     def test_unknown_benchmark(self):
         with pytest.raises(KeyError):
