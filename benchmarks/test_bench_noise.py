@@ -1,0 +1,36 @@
+"""Benchmarks for the noise-simulation subsystem.
+
+Times the event-only trajectory sampler (the EPS-validation hot path) and a
+cache-served re-run of a chunked shot plan through the executor.  These are
+NEW relative to older baselines; the regression gate reports but does not
+fail on them until the next baseline refresh
+(``scripts/check_bench_regression.py --update-baseline``).
+"""
+
+from repro.noise import NoiseSpec, TrajectoryEngine, shot_plan
+from repro.runner import CompileCache, ParallelExecutor, SweepPoint
+
+POINT = SweepPoint("bv", 8, "eqm")
+TABLE1 = NoiseSpec.from_preset("table1")
+SHOTS = 2000
+
+
+def test_bench_trajectories_event_only(benchmark):
+    compiled = POINT.execute().compiled
+    engine = TrajectoryEngine(compiled, TABLE1)
+    chunk = benchmark.pedantic(
+        lambda: engine.run(SHOTS, seed=0), rounds=1, iterations=1
+    )
+    assert chunk.shots == SHOTS
+    assert 0 < chunk.no_error_shots < SHOTS
+
+
+def test_bench_shot_plan_cached(benchmark, tmp_path):
+    cache = CompileCache(root=tmp_path)
+    plan = shot_plan(POINT, TABLE1, shots=SHOTS, seed=0, chunk_size=250)
+    ParallelExecutor(workers=1, cache=cache).run(plan)  # populate
+
+    executor = ParallelExecutor(workers=1, cache=cache)
+    chunks = benchmark.pedantic(lambda: executor.run(plan), rounds=1, iterations=1)
+    assert executor.last_stats.executed == 0, "cached run must not resimulate"
+    assert sum(chunk.shots for chunk in chunks) == SHOTS

@@ -11,7 +11,16 @@ more than ``tolerance`` times its baseline mean (default 1.25, i.e. a
 not fail the check — adding a benchmark should not require touching the
 baseline in the same PR; the next baseline refresh picks it up.
 
-Regenerate the baseline after an intentional performance change with::
+To refresh the baseline from a run produced on the CI runner (download the
+``benchmark-results`` artifact first), add ``--update-baseline``: the
+comparison report is still printed, then the current JSON replaces the
+baseline file and the check exits 0 whatever the ratios were::
+
+    python scripts/check_bench_regression.py benchmarks/BENCH_baseline.json \
+        /path/to/artifact/bench.json --update-baseline
+
+Regenerating locally works too (but CI-runner timings are the ones the
+gate compares against)::
 
     PYTHONPATH=src python -m pytest benchmarks -q \
         --benchmark-json benchmarks/BENCH_baseline.json
@@ -68,17 +77,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("current", type=Path, help="freshly produced benchmark JSON")
     parser.add_argument("--tolerance", type=float, default=1.25,
                         help="max allowed current/baseline mean ratio (default 1.25)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="after reporting, overwrite the baseline file with the "
+                             "current run (e.g. a downloaded CI artifact) and exit 0")
     args = parser.parse_args(argv)
 
     if args.tolerance <= 1.0:
         parser.error("tolerance must be > 1.0")
-    baseline = load_means(args.baseline)
+    try:
+        baseline = load_means(args.baseline)
+    except (OSError, json.JSONDecodeError) as error:
+        # a missing or corrupt baseline is exactly what --update-baseline
+        # repairs; without the flag it is a hard error
+        if not args.update_baseline:
+            print(f"error: cannot read baseline {args.baseline}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"baseline {args.baseline} unreadable ({error}); treating as empty")
+        baseline = {}
     current = load_means(args.current)
     if not current:
         print("error: the current run contains no benchmarks", file=sys.stderr)
         return 1
     lines, regressions = compare(baseline, current, args.tolerance)
     print("\n".join(lines))
+    if args.update_baseline:
+        args.baseline.write_text(args.current.read_text())
+        print(f"\nbaseline updated: wrote {len(current)} benchmark(s) "
+              f"from {args.current} to {args.baseline}")
+        return 0
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed beyond "
               f"{args.tolerance:.2f}x:", file=sys.stderr)

@@ -8,6 +8,9 @@ writing Python::
     python -m repro compile --benchmark qft --qubits 12 --emit-qasm routed.qasm
     python -m repro sweep --benchmarks cuccaro qft ghz --sizes 8 12 --strategies qubit_only eqm
     python -m repro sweep --workers 4 --cache-dir .repro_cache --json results/sweep.json
+    python -m repro simulate --benchmark bv --qubits 6 --strategy eqm --shots 2000
+    python -m repro validate-eps --shots 2000 --workers 4
+    python -m repro validate-eps --smoke
     python -m repro table1
     python -m repro figure --name fig12 --output results/fig12.csv
     python -m repro cache --info
@@ -26,12 +29,14 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
-from repro.circuits.qasm import QasmError, parse_qasm_file
+from repro.circuits.qasm import QasmError
 from repro.compression import _STRATEGIES
-from repro.runner import CompileCache, default_cache_dir
+from repro.noise import NOISE_PRESETS, NoiseSpec, prime_compiled, simulate_point
+from repro.runner import CompileCache, DeviceSpec, SweepPlan, SweepPoint, default_cache_dir, execute_plan
+from repro.simulation.verify import VerificationError
 from repro.evaluation import (
-    compile_benchmark,
-    compile_circuit,
+    DEFAULT_VALIDATION_STRATEGIES,
+    VALIDATION_HEADERS,
     figure3_state_evolution,
     figure4_exhaustive,
     figure8_gate_distribution,
@@ -44,6 +49,8 @@ from repro.evaluation import (
     save_csv,
     strategy_sweep,
     table1_durations,
+    validate_eps,
+    validation_rows,
 )
 from repro.evaluation.reporting import SWEEP_HEADERS
 from repro.metrics import grouped_histogram
@@ -78,6 +85,9 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("--emit-qasm", metavar="FILE",
                                 help="write the routed physical program as OpenQASM 2.0 "
                                      "(Table 1 gates declared opaque)")
+    compile_parser.add_argument("--cache-dir", default=None,
+                                help="serve/populate the compile cache rooted here "
+                                     "(QASM files are content-keyed by text digest)")
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="run the Figure 7 / Figure 10 strategy sweep"
@@ -93,6 +103,55 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--json", dest="json_output",
                               help="write the sweep rows to this JSON file")
     _add_runner_arguments(sweep_parser)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="Monte Carlo noise simulation of one compiled circuit"
+    )
+    simulate_source = simulate_parser.add_mutually_exclusive_group(required=True)
+    simulate_source.add_argument("--benchmark", choices=sorted(BENCHMARK_NAMES))
+    simulate_source.add_argument("--qasm", metavar="FILE",
+                                 help="simulate this OpenQASM 2.0 file instead of a "
+                                      "registry benchmark")
+    simulate_parser.add_argument("--qubits", type=int,
+                                 help="circuit size (required with --benchmark)")
+    simulate_parser.add_argument("--strategy", choices=sorted(set(_STRATEGIES)), default="eqm")
+    simulate_parser.add_argument("--device", choices=("grid", "heavy_hex", "ring"),
+                                 default="grid")
+    simulate_parser.add_argument("--seed", type=int, default=0,
+                                 help="seed for both the compile and the trajectories")
+    simulate_parser.add_argument("--shots", type=int, default=2000)
+    simulate_parser.add_argument("--noise", choices=sorted(NOISE_PRESETS), default="table1")
+    simulate_parser.add_argument("--track-state", action="store_true",
+                                 help="also evolve the state vector for outcome-level "
+                                      "metrics (compiles with single-qubit merging "
+                                      "disabled; not available for fq)")
+    _add_runner_arguments(simulate_parser)
+
+    validate_parser = subparsers.add_parser(
+        "validate-eps",
+        help="sweep small workloads and check the analytic EPS model "
+             "against Monte Carlo simulation",
+    )
+    validate_parser.add_argument("--benchmarks", nargs="+", choices=sorted(BENCHMARK_NAMES),
+                                 default=None, help="(default: bv ghz qft)")
+    validate_parser.add_argument("--sizes", nargs="+", type=int, default=None,
+                                 help="(default: 4 6)")
+    validate_parser.add_argument("--strategies", nargs="+", choices=sorted(set(_STRATEGIES)),
+                                 default=None,
+                                 help=f"(default: {' '.join(DEFAULT_VALIDATION_STRATEGIES)})")
+    validate_parser.add_argument("--shots", type=int, default=None,
+                                 help="(default: 2000)")
+    validate_parser.add_argument("--noise", choices=sorted(NOISE_PRESETS), default="table1")
+    validate_parser.add_argument("--seed", type=int, default=0)
+    validate_parser.add_argument("--tolerance", type=float, default=0.10,
+                                 help="max relative deviation accepted when the CI "
+                                      "does not bracket the analytic value")
+    validate_parser.add_argument("--smoke", action="store_true",
+                                 help="tiny fixed configuration for CI: bv/ghz at 4 "
+                                      "qubits, qubit_only/eqm, 200 shots")
+    validate_parser.add_argument("--json", dest="json_output",
+                                 help="write the validation rows to this JSON file")
+    _add_runner_arguments(validate_parser)
 
     subparsers.add_parser("table1", help="print the Table 1 gate durations")
 
@@ -139,22 +198,38 @@ def _cache_from_args(args: argparse.Namespace) -> CompileCache | None:
 # ----------------------------------------------------------------------
 # subcommand implementations
 # ----------------------------------------------------------------------
-def _run_compile(args: argparse.Namespace) -> int:
+def _compile_point_from_args(
+    args: argparse.Namespace, compiler_kwargs: dict | None = None
+) -> SweepPoint | int:
+    """Build the declarative compile point a source-selecting subcommand asks
+    for, or an exit code on a user error."""
+    spec = DeviceSpec(kind=args.device)
     if args.qasm is not None:
         try:
-            circuit = parse_qasm_file(args.qasm)
+            return SweepPoint.from_qasm_file(
+                args.qasm, args.strategy, device=spec, seed=args.seed,
+                compiler_kwargs=compiler_kwargs,
+            )
         except (OSError, QasmError) as error:
             print(f"error: cannot compile {args.qasm}: {error}", file=sys.stderr)
             return 2
-        result = compile_circuit(circuit, args.strategy, device_kind=args.device)
-    else:
-        if args.qubits is None:
-            print("error: --qubits is required with --benchmark", file=sys.stderr)
-            return 2
-        result = compile_benchmark(
-            args.benchmark, args.qubits, args.strategy,
-            device_kind=args.device, seed=args.seed,
-        )
+    if args.qubits is None:
+        print("error: --qubits is required with --benchmark", file=sys.stderr)
+        return 2
+    from repro.runner import freeze_kwargs
+
+    return SweepPoint(
+        args.benchmark, args.qubits, args.strategy, device=spec, seed=args.seed,
+        compiler_kwargs=freeze_kwargs(compiler_kwargs),
+    )
+
+
+def _run_compile(args: argparse.Namespace) -> int:
+    point = _compile_point_from_args(args)
+    if isinstance(point, int):
+        return point
+    cache = _cache_from_args(args)
+    result = execute_plan(SweepPlan((point,)), cache=cache)[0]
     report = result.report
     rows = [
         ["circuit", result.compiled.circuit_name],
@@ -179,6 +254,114 @@ def _run_compile(args: argparse.Namespace) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(result.compiled.to_qasm())
         print(f"\nwrote {path}")
+    if cache is not None:
+        print(f"\ncache: {cache.stats.hits} hits, {cache.stats.misses} misses "
+              f"({cache.root})")
+    return 0
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    compiler_kwargs = {"merge_single_qubit_gates": False} if args.track_state else None
+    point = _compile_point_from_args(args, compiler_kwargs=compiler_kwargs)
+    if isinstance(point, int):
+        return point
+    cache = _cache_from_args(args)
+    noise = NoiseSpec.from_preset(args.noise)
+    compiled_result = execute_plan(SweepPlan((point,)), cache=cache)[0]
+    prime_compiled(point, compiled_result.compiled)
+    model = noise.build(compiled_result.compiled.device)
+    analytic = model.analytic_total_eps(compiled_result.compiled)
+    try:
+        noisy = simulate_point(
+            point, noise, args.shots, seed=args.seed,
+            track_state=args.track_state, workers=args.workers, cache=cache,
+        )
+    except VerificationError as error:
+        print(f"error: cannot track the state of this circuit: {error}",
+              file=sys.stderr)
+        return 2
+    low, high = noisy.confidence_interval()
+    rows = [
+        ["circuit", compiled_result.compiled.circuit_name],
+        ["strategy", point.strategy],
+        ["noise preset", args.noise],
+        ["shots", noisy.shots],
+        ["analytic EPS", analytic],
+        ["simulated success", noisy.success_probability],
+        ["95% CI low", low],
+        ["95% CI high", high],
+        ["gate error events", noisy.gate_events],
+        ["idle decay events", noisy.idle_events],
+    ]
+    if noisy.tracked:
+        rows.append(["outcome success", noisy.outcome_probability])
+        rows.append(["mean outcome fidelity", noisy.mean_outcome_fidelity])
+    print(format_table(["metric", "value"], rows))
+    if cache is not None:
+        print(f"\ncache: {cache.stats.hits} hits, {cache.stats.misses} misses "
+              f"({cache.root})")
+    return 0
+
+
+#: Fixed tiny configuration exercised by the CI smoke job.
+_SMOKE_VALIDATION = {
+    "benchmarks": ("bv", "ghz"),
+    "sizes": (4,),
+    "strategies": ("qubit_only", "eqm"),
+    "shots": 200,
+}
+
+
+def _run_validate_eps(args: argparse.Namespace) -> int:
+    cache = _cache_from_args(args)
+    explicit = [flag for flag, value in (
+        ("--benchmarks", args.benchmarks), ("--sizes", args.sizes),
+        ("--strategies", args.strategies), ("--shots", args.shots),
+    ) if value is not None]
+    if args.smoke and explicit:
+        print(f"error: --smoke fixes the validation configuration; "
+              f"remove {', '.join(explicit)}", file=sys.stderr)
+        return 2
+    if args.smoke:
+        benchmarks = _SMOKE_VALIDATION["benchmarks"]
+        sizes = _SMOKE_VALIDATION["sizes"]
+        strategies = _SMOKE_VALIDATION["strategies"]
+        shots = _SMOKE_VALIDATION["shots"]
+    else:
+        benchmarks = tuple(args.benchmarks or ("bv", "ghz", "qft"))
+        sizes = tuple(args.sizes or (4, 6))
+        strategies = tuple(args.strategies or DEFAULT_VALIDATION_STRATEGIES)
+        shots = args.shots if args.shots is not None else 2000
+    rows = validate_eps(
+        benchmarks=benchmarks, sizes=sizes, strategies=strategies,
+        noise=args.noise, shots=shots, seed=args.seed,
+        rel_tolerance=args.tolerance, workers=args.workers, cache=cache,
+    )
+    print(format_table(VALIDATION_HEADERS, validation_rows(rows)))
+    if args.json_output:
+        path = Path(args.json_output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": 1,
+            "noise": args.noise,
+            "shots": shots,
+            "seed": args.seed,
+            "rows": [row.as_dict() for row in rows],
+            "validated": all(row.validated for row in rows),
+        }
+        path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+        print(f"\nwrote {path}")
+    failures = [row for row in rows if not row.validated]
+    if failures:
+        print(f"\n{len(failures)} of {len(rows)} cells failed validation:",
+              file=sys.stderr)
+        for row in failures:
+            print(f"  {row.benchmark}-{row.num_qubits} {row.strategy}: "
+                  f"analytic {row.analytic_eps:.4f} vs simulated "
+                  f"{row.simulated_eps:.4f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} cells validated: the analytic EPS model matches "
+          "the Monte Carlo simulation")
     return 0
 
 
@@ -328,6 +511,8 @@ def _run_figure(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "compile": _run_compile,
     "sweep": _run_sweep,
+    "simulate": _run_simulate,
+    "validate-eps": _run_validate_eps,
     "table1": _run_table1,
     "figure": _run_figure,
     "cache": _run_cache,

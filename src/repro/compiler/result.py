@@ -123,40 +123,53 @@ class CompiledCircuit:
     # ------------------------------------------------------------------
     # residency accounting (used by the coherence EPS metric)
     # ------------------------------------------------------------------
-    def qubit_mode_times(self) -> dict[int, tuple[float, float]]:
-        """Per logical qubit: (time spent as a qubit, time spent in a ququart).
+    def residency_segments(self) -> dict[int, list[tuple[float, float, int]]]:
+        """Per logical qubit: ``(start_ns, end_ns, unit)`` residency spans.
 
         A logical qubit's radix at any instant is that of the physical unit
         currently holding it; the unit modes are fixed for the whole circuit,
         but qubits move between units when the router inserts SWAPs.  The
-        total per qubit always sums to the makespan, matching the paper's
+        spans per qubit always cover ``[0, makespan]``, matching the paper's
         worst-case assumption that every qubit is live for the entire
-        circuit.
+        circuit.  Zero-length spans are dropped.
         """
         makespan = self.makespan_ns
-        results: dict[int, tuple[float, float]] = {}
+        results: dict[int, list[tuple[float, float, int]]] = {}
         transitions: dict[int, list[tuple[float, int]]] = defaultdict(list)
         for op in self.ops:
             for logical, (unit, _slot) in op.moves.items():
                 transitions[logical].append((op.end_ns, unit))
         for logical, (unit, _slot) in self.initial_placement.items():
-            qubit_time = 0.0
-            ququart_time = 0.0
+            segments: list[tuple[float, float, int]] = []
             current_unit = unit
             current_time = 0.0
             for time, new_unit in sorted(transitions.get(logical, [])):
-                span = max(0.0, min(time, makespan) - current_time)
-                if current_unit in self.ququart_units:
-                    ququart_time += span
-                else:
-                    qubit_time += span
-                current_time = min(time, makespan)
+                end = min(time, makespan)
+                if end > current_time:
+                    segments.append((current_time, end, current_unit))
+                current_time = end
                 current_unit = new_unit
-            span = max(0.0, makespan - current_time)
-            if current_unit in self.ququart_units:
-                ququart_time += span
-            else:
-                qubit_time += span
+            if makespan > current_time:
+                segments.append((current_time, makespan, current_unit))
+            results[logical] = segments
+        return results
+
+    def qubit_mode_times(self) -> dict[int, tuple[float, float]]:
+        """Per logical qubit: (time spent as a qubit, time spent in a ququart).
+
+        Aggregates :meth:`residency_segments` by the mode of the unit holding
+        the qubit during each span; the total per qubit always sums to the
+        makespan.
+        """
+        results: dict[int, tuple[float, float]] = {}
+        for logical, segments in self.residency_segments().items():
+            qubit_time = 0.0
+            ququart_time = 0.0
+            for start, end, unit in segments:
+                if unit in self.ququart_units:
+                    ququart_time += end - start
+                else:
+                    qubit_time += end - start
             results[logical] = (qubit_time, ququart_time)
         return results
 

@@ -14,6 +14,7 @@ Function                     Paper artefact
 ``figure11_t1_improvement``  Figure 11 (10x better T1)
 ``figure12_t1_ratio_sweep``  Figure 12 (total EPS vs ququart T1 ratio)
 ``figure13_topologies``      Figure 13 (improvement ranges across topologies)
+``validate_eps``             analytic EPS vs Monte Carlo noise simulation
 ===========================  =================================================
 """
 
@@ -37,6 +38,15 @@ from repro.evaluation.experiments import (
     table1_durations,
 )
 from repro.evaluation.reporting import format_table, results_to_rows, save_csv
+from repro.evaluation.validate import (
+    DEFAULT_VALIDATION_BENCHMARKS,
+    DEFAULT_VALIDATION_SIZES,
+    DEFAULT_VALIDATION_STRATEGIES,
+    VALIDATION_HEADERS,
+    ValidationRow,
+    validate_eps,
+    validation_rows,
+)
 from repro.evaluation.ablations import (
     AblationResult,
     internal_gate_ablation,
@@ -67,4 +77,11 @@ __all__ = [
     "format_table",
     "results_to_rows",
     "save_csv",
+    "DEFAULT_VALIDATION_BENCHMARKS",
+    "DEFAULT_VALIDATION_SIZES",
+    "DEFAULT_VALIDATION_STRATEGIES",
+    "VALIDATION_HEADERS",
+    "ValidationRow",
+    "validate_eps",
+    "validation_rows",
 ]

@@ -1,0 +1,176 @@
+"""EPS-validation harness: analytic model vs Monte Carlo simulation.
+
+The paper's headline numbers all come from the closed-form EPS model in
+:mod:`repro.metrics.eps`.  This harness checks that closed form against the
+noise-simulation subsystem: for every (benchmark, size, strategy) cell it
+compiles the circuit, computes the analytic prediction under the noise
+model, simulates seeded Monte Carlo trajectories, and reports both side by
+side with a Wilson confidence interval and a pass/fail verdict.
+
+A cell *validates* when the confidence interval brackets the analytic value
+or the simulated estimate lands within ``rel_tolerance`` (default 10%)
+relative of it.
+
+Everything — compiles and shot chunks alike — is dispatched as one
+:class:`~repro.runner.SweepPlan` per stage through the shared executor, so
+``workers`` parallelises across every cell's shot batches at once and a
+``cache`` reuses both compiled circuits and simulated chunks across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noise.model import NoiseSpec
+from repro.noise.points import DEFAULT_CHUNK_SIZE, prime_compiled, shot_plan
+from repro.noise.result import NoisyResult
+from repro.runner import CompileCache, DeviceSpec, SweepPlan, execute_plan
+
+#: Default validation set: small instances of a local, a dense and a
+#: GHZ-style workload — big enough to exercise compression, small enough
+#: that 2000 shots per cell stay fast.
+DEFAULT_VALIDATION_BENCHMARKS: tuple[str, ...] = ("bv", "ghz", "qft")
+DEFAULT_VALIDATION_SIZES: tuple[int, ...] = (4, 6)
+DEFAULT_VALIDATION_STRATEGIES: tuple[str, ...] = (
+    "qubit_only", "fq", "eqm", "rb", "awe", "pp",
+)
+
+VALIDATION_HEADERS = [
+    "benchmark",
+    "qubits",
+    "strategy",
+    "shots",
+    "analytic_eps",
+    "simulated_eps",
+    "ci_low",
+    "ci_high",
+    "rel_error",
+    "validated",
+]
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """Analytic-vs-simulated comparison for one compiled cell."""
+
+    benchmark: str
+    num_qubits: int
+    strategy: str
+    analytic_eps: float
+    result: NoisyResult
+    rel_tolerance: float = 0.10
+
+    @property
+    def simulated_eps(self) -> float:
+        return self.result.success_probability
+
+    @property
+    def relative_error(self) -> float:
+        """|simulated - analytic| / analytic (inf when analytic is 0)."""
+        if self.analytic_eps == 0.0:
+            return 0.0 if self.simulated_eps == 0.0 else float("inf")
+        return abs(self.simulated_eps - self.analytic_eps) / self.analytic_eps
+
+    @property
+    def brackets(self) -> bool:
+        """True when the Wilson interval contains the analytic value."""
+        low, high = self.result.confidence_interval()
+        return low <= self.analytic_eps <= high
+
+    @property
+    def validated(self) -> bool:
+        """CI brackets the analytic EPS, or the estimate is within tolerance."""
+        return self.brackets or self.relative_error <= self.rel_tolerance
+
+    def as_row(self) -> list:
+        """Display row for the text table (see :data:`VALIDATION_HEADERS`)."""
+        low, high = self.result.confidence_interval()
+        return [
+            self.benchmark,
+            self.num_qubits,
+            self.strategy,
+            self.result.shots,
+            self.analytic_eps,
+            self.simulated_eps,
+            low,
+            high,
+            self.relative_error,
+            "yes" if self.validated else "NO",
+        ]
+
+    def as_dict(self) -> dict:
+        """Typed, machine-readable representation (JSON artifact rows)."""
+        low, high = self.result.confidence_interval()
+        return {
+            "benchmark": self.benchmark,
+            "qubits": self.num_qubits,
+            "strategy": self.strategy,
+            "shots": self.result.shots,
+            "analytic_eps": self.analytic_eps,
+            "simulated_eps": self.simulated_eps,
+            "ci_low": low,
+            "ci_high": high,
+            "rel_error": self.relative_error,
+            "validated": bool(self.validated),
+        }
+
+
+def validate_eps(
+    benchmarks: tuple[str, ...] = DEFAULT_VALIDATION_BENCHMARKS,
+    sizes: tuple[int, ...] = DEFAULT_VALIDATION_SIZES,
+    strategies: tuple[str, ...] = DEFAULT_VALIDATION_STRATEGIES,
+    noise: NoiseSpec | str = "table1",
+    shots: int = 2000,
+    seed: int = 0,
+    device_kind: str = "grid",
+    rel_tolerance: float = 0.10,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: int = 1,
+    cache: CompileCache | None = None,
+) -> list[ValidationRow]:
+    """Sweep the validation set and compare analytic EPS to simulation.
+
+    Returns one :class:`ValidationRow` per (benchmark, size, strategy) cell,
+    in compile-plan order.  The same ``seed`` produces bit-identical rows at
+    any worker count.
+    """
+    if isinstance(noise, str):
+        noise = NoiseSpec.from_preset(noise)
+    compile_plan = SweepPlan.cartesian(
+        benchmarks, sizes, strategies, device=DeviceSpec(kind=device_kind), seed=seed
+    )
+    compiled_results = execute_plan(compile_plan, workers=workers, cache=cache)
+    for point, result in zip(compile_plan, compiled_results):
+        prime_compiled(point, result.compiled)
+
+    # one combined shot plan across every cell: workers fan out over the
+    # whole product of (cell x chunk), not one cell at a time
+    cell_plans = [
+        shot_plan(point, noise, shots, seed=seed, chunk_size=chunk_size)
+        for point in compile_plan
+    ]
+    combined = SweepPlan(tuple(p for plan in cell_plans for p in plan))
+    chunks = execute_plan(combined, workers=workers, cache=cache)
+
+    rows: list[ValidationRow] = []
+    offset = 0
+    for point, compiled_result, cell_plan in zip(compile_plan, compiled_results, cell_plans):
+        cell_chunks = chunks[offset:offset + len(cell_plan)]
+        offset += len(cell_plan)
+        model = noise.build(compiled_result.compiled.device)
+        rows.append(
+            ValidationRow(
+                benchmark=point.benchmark,
+                num_qubits=point.num_qubits,
+                strategy=point.strategy,
+                analytic_eps=model.analytic_total_eps(compiled_result.compiled),
+                result=NoisyResult.from_chunks(cell_chunks, seed),
+                rel_tolerance=rel_tolerance,
+            )
+        )
+    return rows
+
+
+def validation_rows(rows: list[ValidationRow]) -> list[list]:
+    """Flatten validation rows for :func:`~repro.evaluation.format_table`."""
+    return [row.as_row() for row in rows]

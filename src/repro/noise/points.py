@@ -1,0 +1,147 @@
+"""Noisy shot batches as sweep-plan points.
+
+A :class:`NoisePoint` is one chunk of Monte Carlo shots for one compiled
+circuit under one noise spec — frozen, picklable and content-keyed, so shot
+batches fan out through the existing :class:`~repro.runner.ParallelExecutor`
+and land in the same on-disk cache as compile results.  Because every shot's
+RNG stream depends only on ``(seed, absolute shot index)``, the chunked
+results merge into a :class:`~repro.noise.result.NoisyResult` that is
+bit-identical whatever the worker count or chunk size.
+
+The compile request itself is carried declaratively (a
+:class:`~repro.runner.SweepPoint`); workers rebuild the compiled circuit on
+first use and memoise it per process, so a thousand chunks of the same
+circuit compile it once per worker.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.compiler.result import CompiledCircuit
+from repro.noise.model import NoiseSpec
+from repro.noise.result import NoisyResult, TrajectoryChunk
+from repro.noise.trajectory import TrajectoryEngine
+from repro.runner.cache import CompileCache
+from repro.runner.plan import SweepPlan
+from repro.runner.points import SweepPoint
+
+#: Default shots per plan point; small enough to load-balance a pool,
+#: large enough that per-chunk overhead (compile memo lookup, pickling)
+#: stays negligible.
+DEFAULT_CHUNK_SIZE = 500
+
+
+#: Process-local memo of compiled circuits for shot batches (bounded).
+_COMPILED_MEMO: dict[SweepPoint, CompiledCircuit] = {}
+_COMPILED_MEMO_LIMIT = 16
+
+
+def prime_compiled(point: SweepPoint, compiled: CompiledCircuit) -> None:
+    """Seed the compile memo so callers that already compiled a point do
+    not pay for a second compile when its shot chunks execute in-process."""
+    if len(_COMPILED_MEMO) >= _COMPILED_MEMO_LIMIT:
+        _COMPILED_MEMO.clear()
+    _COMPILED_MEMO[point] = compiled
+
+
+def _compiled_for(point: SweepPoint) -> CompiledCircuit:
+    """Process-local memo of compiled circuits for shot batches."""
+    compiled = _COMPILED_MEMO.get(point)
+    if compiled is None:
+        compiled = point.execute().compiled
+        prime_compiled(point, compiled)
+    return compiled
+
+
+@functools.lru_cache(maxsize=16)
+def _engine_for(point: SweepPoint, noise: NoiseSpec, track_state: bool) -> TrajectoryEngine:
+    """Process-local memo of trajectory engines (op probabilities etc.)."""
+    return TrajectoryEngine(_compiled_for(point), noise, track_state=track_state)
+
+
+@dataclass(frozen=True)
+class NoisePoint:
+    """One seeded batch of noisy trajectories for one compiled circuit."""
+
+    compile_point: SweepPoint
+    noise: NoiseSpec
+    shots: int
+    base_shot: int = 0
+    seed: int = 0
+    track_state: bool = False
+
+    def payload(self) -> dict:
+        """JSON-serialisable representation used for cache keying."""
+        return {
+            "kind": "noise_shots",
+            "compile": self.compile_point.payload(),
+            "noise": self.noise.payload(),
+            "shots": self.shots,
+            "base_shot": self.base_shot,
+            "seed": self.seed,
+            "track_state": self.track_state,
+        }
+
+    def execute(self) -> TrajectoryChunk:
+        """Run this batch of trajectories (the process-pool worker body)."""
+        engine = _engine_for(self.compile_point, self.noise, self.track_state)
+        return engine.run(self.shots, self.seed, base_shot=self.base_shot)
+
+
+def shot_plan(
+    compile_point: SweepPoint,
+    noise: NoiseSpec,
+    shots: int,
+    seed: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    track_state: bool = False,
+) -> SweepPlan:
+    """Split ``shots`` into chunked :class:`NoisePoint` plan entries."""
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    points = []
+    base = 0
+    while base < shots:
+        count = min(chunk_size, shots - base)
+        points.append(
+            NoisePoint(
+                compile_point=compile_point,
+                noise=noise,
+                shots=count,
+                base_shot=base,
+                seed=seed,
+                track_state=track_state,
+            )
+        )
+        base += count
+    return SweepPlan(tuple(points))
+
+
+def simulate_point(
+    compile_point: SweepPoint,
+    noise: NoiseSpec,
+    shots: int,
+    seed: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    track_state: bool = False,
+    workers: int = 1,
+    cache: CompileCache | None = None,
+) -> NoisyResult:
+    """Simulate one declarative compile point under noise, with fan-out.
+
+    Chunks ride the :class:`~repro.runner.ParallelExecutor`; results merge
+    in plan order, so ``workers=1`` and ``workers=N`` (and cache-served
+    re-runs) return bit-identical :class:`NoisyResult` values.
+    """
+    from repro.runner.executor import execute_plan
+
+    plan = shot_plan(
+        compile_point, noise, shots,
+        seed=seed, chunk_size=chunk_size, track_state=track_state,
+    )
+    chunks = execute_plan(plan, workers=workers, cache=cache)
+    return NoisyResult.from_chunks(chunks, seed)

@@ -1,0 +1,271 @@
+"""Monte Carlo quantum-trajectory engine over the mixed-radix simulator.
+
+Each trajectory (shot) replays a compiled circuit's scheduled physical ops
+and stochastically injects the noise a :class:`~repro.noise.model.NoiseModel`
+prescribes:
+
+* after each physical op, with the op's calibrated error probability, a
+  uniformly random non-identity Pauli string on the encoded qubits the op
+  touched (stochastic depolarizing), and
+* amplitude-damping decay charged against every logical qubit's residency —
+  qubit-mode time at the qubit T1, ququart-mode time at the ququart T1 —
+  following the paper's worst-case assumption that every qubit is live for
+  the whole makespan.  Jumps are applied at the end of the op stream (the
+  timing of a jump does not change the event statistics the EPS model
+  predicts, and it keeps the channel composition identical to the
+  density-matrix reference path).
+
+Determinism: shot ``i`` of seed ``s`` always draws from the RNG stream
+``default_rng((s, i))``, so results are bit-identical however the shots are
+chunked across workers.
+
+Shots where *no* event fired estimate the analytic EPS; with
+``track_state=True`` the engine additionally evolves the state vector and
+reports outcome-level success (which the analytic model lower-bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.result import CompiledCircuit
+from repro.noise.model import NoiseModel, NoiseSpec, resolve_model
+from repro.noise.result import NoisyResult, TrajectoryChunk
+from repro.pulses.unitaries import qubit_gate
+from repro.simulation.statevector import MixedRadixState
+from repro.simulation.verify import (
+    VerificationError,
+    embed_on_slots,
+    physical_op_unitary,
+    register_dims,
+)
+
+#: Pauli codes used when a depolarizing event fires (0 = identity).
+_PAULI_NAMES = ("i", "x", "y", "z")
+
+
+@dataclass(frozen=True)
+class _ShotOutcome:
+    gate_events: int
+    idle_events: int
+    vector: np.ndarray | None
+
+
+class TrajectoryEngine:
+    """Reusable sampler for one (compiled circuit, noise model) pair.
+
+    Parameters
+    ----------
+    compiled:
+        The scheduled physical program to simulate.
+    model:
+        A :class:`NoiseModel` (or a :class:`NoiseSpec`, built against the
+        compiled circuit's device).
+    track_state:
+        ``False`` samples error events only — enough for the EPS estimate
+        and available for *any* compiled circuit.  ``True`` additionally
+        replays the state vector with the sampled noise injected, enabling
+        the outcome-level metrics; it requires a replayable op stream
+        (compile with ``merge_single_qubit_gates=False``, non-FQ strategy).
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledCircuit,
+        model: NoiseModel | NoiseSpec,
+        track_state: bool = False,
+    ) -> None:
+        self.compiled = compiled
+        self.model = resolve_model(model, compiled.device)
+        self.track_state = bool(track_state)
+        self.dims = register_dims(compiled)
+        self.op_probs = np.array(
+            [self.model.op_error_probability(op) for op in compiled.ops]
+        )
+        exponents = self.model.residency_decay_exponent(compiled)
+        self.idle_qubits = sorted(exponents)
+        self.idle_gammas = np.array(
+            [-np.expm1(-exponents[qubit]) for qubit in self.idle_qubits]
+        )
+        self._draws = len(compiled.ops) + len(self.idle_qubits)
+        self._ideal_vector: np.ndarray | None = None
+        self._op_unitaries: list[tuple[np.ndarray, tuple[int, ...]] | None] = []
+        self._pauli_cache: dict[tuple[int, int, int], tuple[np.ndarray, tuple[int, ...]]] = {}
+        if self.track_state:
+            self._prepare_replay()
+
+    # ------------------------------------------------------------------
+    # replay preparation (state-tracking mode)
+    # ------------------------------------------------------------------
+    def _prepare_replay(self) -> None:
+        lowered = self.compiled.lowered_circuit
+        if not isinstance(lowered, QuantumCircuit):
+            raise VerificationError(
+                "state tracking needs the lowered source circuit; "
+                "this compiled circuit does not carry one"
+            )
+        self._op_unitaries = [
+            physical_op_unitary(op, self.dims, lowered) for op in self.compiled.ops
+        ]
+        state = MixedRadixState(self.dims)
+        for embedded in self._op_unitaries:
+            if embedded is not None:
+                state.apply(*embedded)
+        self._ideal_vector = state.vector
+
+    def _embedded_pauli(self, unit: int, slot: int, code: int) -> tuple[np.ndarray, tuple[int, ...]]:
+        key = (unit, slot, code)
+        cached = self._pauli_cache.get(key)
+        if cached is None:
+            matrix = qubit_gate(_PAULI_NAMES[code])
+            cached = embed_on_slots(self.dims, matrix, ((unit, slot),))
+            self._pauli_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # state helpers
+    # ------------------------------------------------------------------
+    def _excited_population(self, state: MixedRadixState, unit: int, slot: int) -> float:
+        """Population of the encoded qubit's |1> level at (unit, slot)."""
+        populations = state.unit_populations(unit)
+        if self.dims[unit] == 2:
+            return float(populations[1])
+        if slot == 0:
+            return float(populations[2] + populations[3])
+        return float(populations[1] + populations[3])
+
+    def _apply_damping_jump(self, state: MixedRadixState, unit: int, slot: int) -> None:
+        """Project the encoded qubit's |1> amplitude to |0> and renormalise.
+
+        If the qubit carries no excited amplitude the jump cannot fire
+        physically and the state is left unchanged (the shot is still
+        counted as failed under the worst-case policy).
+        """
+        jump = np.array([[0.0, 1.0], [0.0, 0.0]], dtype=complex)
+        matrix, units = embed_on_slots(self.dims, jump, ((unit, slot),))
+        state.apply_kraus(matrix, units)
+
+    def _apply_damping_survival(self, state: MixedRadixState, unit: int, slot: int, gamma: float) -> None:
+        """Apply the no-jump Kraus operator K0 = diag(1, sqrt(1-gamma))."""
+        k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(max(0.0, 1.0 - gamma))]], dtype=complex)
+        matrix, units = embed_on_slots(self.dims, k0, ((unit, slot),))
+        state.apply_kraus(matrix, units)
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _run_shot(self, rng: np.random.Generator) -> _ShotOutcome:
+        draws = rng.random(self._draws) if self._draws else np.empty(0)
+        num_ops = len(self.compiled.ops)
+        gate_mask = draws[:num_ops] < self.op_probs
+        gate_events = int(gate_mask.sum())
+        idle_events = 0
+        if not self.track_state:
+            if self.model.idle_policy == "worst_case":
+                idle_events = int((draws[num_ops:] < self.idle_gammas).sum())
+            else:
+                raise VerificationError(
+                    "the kraus idle policy is state-dependent; run with track_state=True"
+                )
+            return _ShotOutcome(gate_events, idle_events, None)
+
+        state = MixedRadixState(self.dims)
+        for index, op in enumerate(self.compiled.ops):
+            embedded = self._op_unitaries[index]
+            if embedded is not None:
+                state.apply(*embedded)
+            if gate_mask[index] and op.slots:
+                string = int(rng.integers(1, 4 ** len(op.slots)))
+                for position, (unit, slot) in enumerate(op.slots):
+                    code = (string >> (2 * (len(op.slots) - 1 - position))) & 3
+                    if code == 0:
+                        continue
+                    state.apply(*self._embedded_pauli(unit, slot, code))
+        # idle decay, applied per logical qubit at its final position
+        for position, qubit in enumerate(self.idle_qubits):
+            gamma = float(self.idle_gammas[position])
+            if gamma <= 0.0:
+                continue
+            unit, slot = self.compiled.final_placement[qubit]
+            draw = float(draws[num_ops + position])
+            if self.model.idle_policy == "worst_case":
+                if draw < gamma:
+                    idle_events += 1
+                    self._apply_damping_jump(state, unit, slot)
+            else:  # kraus: jump probability scales with the excited population
+                jump_probability = gamma * self._excited_population(state, unit, slot)
+                if draw < jump_probability:
+                    idle_events += 1
+                    self._apply_damping_jump(state, unit, slot)
+                else:
+                    self._apply_damping_survival(state, unit, slot, gamma)
+        return _ShotOutcome(gate_events, idle_events, state.vector)
+
+    def run(self, shots: int, seed: int, base_shot: int = 0) -> TrajectoryChunk:
+        """Sample ``shots`` trajectories starting at absolute index ``base_shot``."""
+        if shots <= 0:
+            raise ValueError("shots must be positive")
+        no_error = 0
+        gate_events = 0
+        idle_events = 0
+        outcome_successes = 0
+        fidelity_sum = 0.0
+        for offset in range(shots):
+            shot_index = base_shot + offset
+            rng = np.random.default_rng((seed, shot_index))
+            outcome = self._run_shot(rng)
+            gate_events += outcome.gate_events
+            idle_events += outcome.idle_events
+            if outcome.gate_events == 0 and outcome.idle_events == 0:
+                no_error += 1
+            if outcome.vector is not None:
+                fidelity = float(abs(np.vdot(self._ideal_vector, outcome.vector)) ** 2)
+                fidelity_sum += fidelity
+                if rng.random() < fidelity:
+                    outcome_successes += 1
+        return TrajectoryChunk(
+            shots=shots,
+            base_shot=base_shot,
+            no_error_shots=no_error,
+            gate_events=gate_events,
+            idle_events=idle_events,
+            tracked=self.track_state,
+            outcome_successes=outcome_successes,
+            outcome_fidelity_sum=fidelity_sum,
+        )
+
+    def final_vectors(self, shots: int, seed: int, base_shot: int = 0) -> list[np.ndarray]:
+        """Final state vector of each trajectory (state-tracking mode only).
+
+        Used by the density-matrix agreement tests; re-runs the same
+        deterministic streams :meth:`run` would use.
+        """
+        if not self.track_state:
+            raise VerificationError("final_vectors requires track_state=True")
+        vectors = []
+        for offset in range(shots):
+            rng = np.random.default_rng((seed, base_shot + offset))
+            vectors.append(self._run_shot(rng).vector)
+        return vectors
+
+
+def simulate_noisy(
+    compiled: CompiledCircuit,
+    model: NoiseModel | NoiseSpec,
+    shots: int,
+    seed: int = 0,
+    track_state: bool = False,
+) -> NoisyResult:
+    """Monte Carlo estimate of a compiled circuit's success probability.
+
+    Returns a :class:`NoisyResult` whose ``success_probability`` (fraction
+    of error-free trajectories) estimates the analytic EPS, with a Wilson
+    confidence interval.  The same ``seed`` always produces a bit-identical
+    result.
+    """
+    engine = TrajectoryEngine(compiled, model, track_state=track_state)
+    chunk = engine.run(shots, seed)
+    return NoisyResult.from_chunks([chunk], seed)

@@ -65,6 +65,16 @@ class GateDurationTable:
         except KeyError:
             raise KeyError(f"no fidelity registered for physical gate {gate_name!r}") from None
 
+    def error_rate(self, gate_name: str) -> float:
+        """Error probability of a physical gate (one minus its fidelity).
+
+        This is the per-operation channel strength the noise subsystem
+        derives its stochastic-Pauli rates from, so a recalibrated table
+        (see :mod:`repro.pulses.calibration`) changes the simulated noise
+        exactly as it changes the analytic EPS.
+        """
+        return 1.0 - self.fidelity(gate_name)
+
     def style(self, gate_name: str) -> GateStyle:
         """The :class:`GateStyle` of a physical gate."""
         return PHYSICAL_GATES[gate_name].style

@@ -10,6 +10,12 @@ pieces:
 * :class:`CompileCache` — a content-keyed on-disk store so repeated sweeps
   (and experiments sharing points) never recompile the same circuit twice.
 
+A plan point is any picklable value with ``execute()`` and ``payload()``:
+compile requests (:class:`SweepPoint`, including content-keyed external
+QASM programs via :meth:`SweepPoint.from_qasm`) and the noise subsystem's
+shot batches (:class:`repro.noise.points.NoisePoint`) share the same
+executor and cache.
+
 Typical use::
 
     from repro.runner import CompileCache, ParallelExecutor, SweepPlan

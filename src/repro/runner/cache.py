@@ -101,7 +101,8 @@ class CompileCache:
     # lookup / store
     # ------------------------------------------------------------------
     def get(self, point: SweepPoint) -> StrategyResult | None:
-        """Return the cached result for ``point``, or None on a miss.
+        """Return the cached result for ``point`` (any payload()-bearing
+        plan point), or None on a miss.
 
         Unreadable entries (truncated writes, pickle-format drift) are
         removed and counted as misses rather than raised.

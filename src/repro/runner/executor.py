@@ -8,7 +8,7 @@ from dataclasses import dataclass, field
 
 from repro.runner.cache import CompileCache
 from repro.runner.plan import SweepPlan
-from repro.runner.points import StrategyResult, SweepPoint, execute_point
+from repro.runner.points import SweepPoint, execute_point
 
 
 @dataclass
@@ -46,10 +46,15 @@ class ParallelExecutor:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, plan: SweepPlan | Iterable[SweepPoint]) -> list[StrategyResult]:
-        """Execute every point and return results in plan order."""
+    def run(self, plan: SweepPlan | Iterable[SweepPoint]) -> list:
+        """Execute every point and return results in plan order.
+
+        Points are any values with ``execute()``/``payload()`` — compiled
+        sweep points yield :class:`StrategyResult`, noise shot batches yield
+        :class:`~repro.noise.result.TrajectoryChunk`.
+        """
         points = list(plan)
-        results: list[StrategyResult | None] = [None] * len(points)
+        results: list = [None] * len(points)
         pending: list[int] = []
         for index, point in enumerate(points):
             cached = self.cache.get(point) if self.cache is not None else None
@@ -68,9 +73,9 @@ class ParallelExecutor:
             cache_hits=len(points) - len(pending),
             executed=len(pending),
         )
-        return results  # type: ignore[return-value]
+        return results
 
-    def _execute(self, points: Sequence[SweepPoint]) -> list[StrategyResult]:
+    def _execute(self, points: Sequence[SweepPoint]) -> list:
         workers = min(self.workers, len(points))
         if workers <= 1:
             return [execute_point(point) for point in points]
@@ -84,6 +89,6 @@ def execute_plan(
     plan: SweepPlan | Iterable[SweepPoint],
     workers: int = 1,
     cache: CompileCache | None = None,
-) -> list[StrategyResult]:
+) -> list:
     """One-shot convenience wrapper around :class:`ParallelExecutor`."""
     return ParallelExecutor(workers=workers, cache=cache).run(plan)

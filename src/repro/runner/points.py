@@ -115,7 +115,14 @@ class DeviceSpec:
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (benchmark, size, strategy, device, seed) compile request."""
+    """One (benchmark, size, strategy, device, seed) compile request.
+
+    External OpenQASM programs become sweep points through
+    :meth:`from_qasm`: the QASM text rides along in the (picklable) point so
+    workers can rebuild the circuit, while the cache key carries only its
+    SHA-256 digest — two files with identical text share a cache entry, any
+    edit invalidates it.
+    """
 
     benchmark: str
     num_qubits: int
@@ -128,9 +135,65 @@ class SweepPoint:
     #: Extra keyword arguments for :class:`QompressCompiler` (e.g. the
     #: ``merge_single_qubit_gates`` ablation flag).
     compiler_kwargs: tuple[tuple[str, object], ...] = ()
+    #: OpenQASM 2.0 source for external circuits; ``None`` for registry
+    #: benchmarks.
+    qasm: str | None = None
+
+    @classmethod
+    def from_qasm(
+        cls,
+        text: str,
+        strategy: str,
+        device: DeviceSpec | str = "grid",
+        seed: int = 0,
+        name: str | None = None,
+        strategy_kwargs: dict | None = None,
+        compiler_kwargs: dict | None = None,
+    ) -> "SweepPoint":
+        """Content-keyed compile request for an external OpenQASM program.
+
+        Parses ``text`` once to size the device and name the point; the
+        parse is repeated in the worker, which keeps the point itself a
+        plain value.
+        """
+        from repro.circuits.qasm import parse_qasm
+
+        circuit = parse_qasm(text, name=name)
+        spec = device if isinstance(device, DeviceSpec) else DeviceSpec(kind=device)
+        return cls(
+            benchmark=circuit.name,
+            num_qubits=circuit.num_qubits,
+            strategy=strategy,
+            device=spec,
+            seed=seed,
+            strategy_kwargs=freeze_kwargs(strategy_kwargs),
+            compiler_kwargs=freeze_kwargs(compiler_kwargs),
+            qasm=text,
+        )
+
+    @classmethod
+    def from_qasm_file(cls, path, strategy: str, **kwargs) -> "SweepPoint":
+        """Like :meth:`from_qasm`, naming the circuit after the file stem
+        (unless the source carries a ``// name:`` directive).
+
+        The file is read exactly once, so the text the point carries is the
+        text the name and size were derived from.
+        """
+        from pathlib import Path
+
+        from repro.circuits.qasm import parse_qasm
+
+        path = Path(path)
+        text = path.read_text()
+        name = parse_qasm(text).name
+        if name == "qasm":  # no directive in the source: fall back to the stem
+            name = path.stem
+        return cls.from_qasm(text, strategy, name=name, **kwargs)
 
     def payload(self) -> dict:
         """JSON-serialisable representation used for cache keying."""
+        import hashlib
+
         return {
             "benchmark": self.benchmark,
             "num_qubits": self.num_qubits,
@@ -139,7 +202,30 @@ class SweepPoint:
             "seed": self.seed,
             "strategy_kwargs": [list(pair) for pair in self.strategy_kwargs],
             "compiler_kwargs": [list(pair) for pair in self.compiler_kwargs],
+            "qasm_sha256": hashlib.sha256(self.qasm.encode("utf-8")).hexdigest()
+            if self.qasm is not None
+            else None,
         }
+
+    def execute(self) -> "StrategyResult":
+        """Build, compile and evaluate this point (see :func:`execute_point`)."""
+        if self.qasm is not None:
+            from repro.circuits.qasm import parse_qasm
+
+            circuit = parse_qasm(self.qasm, name=self.benchmark)
+        else:
+            circuit = build_benchmark(self.benchmark, self.num_qubits, seed=self.seed)
+        device = self.device.build(self.num_qubits)
+        strategy = get_strategy(self.strategy, **dict(self.strategy_kwargs))
+        compiler = QompressCompiler(device, strategy, **dict(self.compiler_kwargs))
+        compiled = compiler.compile(circuit)
+        return StrategyResult(
+            benchmark=self.benchmark,
+            num_qubits=self.num_qubits,
+            strategy=self.strategy,
+            report=evaluate_eps(compiled),
+            compiled=compiled,
+        )
 
 
 @dataclass(frozen=True)
@@ -153,22 +239,14 @@ class StrategyResult:
     compiled: CompiledCircuit
 
 
-def execute_point(point: SweepPoint) -> StrategyResult:
-    """Build, compile and evaluate one sweep point.
+def execute_point(point) -> object:
+    """Execute one plan point.
 
-    This is the process-pool worker: it takes only the picklable point, and
-    reconstructs the circuit, device and strategy deterministically so the
-    serial and parallel paths produce bit-identical results.
+    This is the process-pool worker: it takes only a picklable point and
+    calls its ``execute()`` method, which reconstructs everything
+    deterministically so the serial and parallel paths produce bit-identical
+    results.  Any object with ``execute()`` (and ``payload()`` for caching)
+    can ride a plan — compile requests (:class:`SweepPoint`) and noisy shot
+    batches (:class:`repro.noise.points.NoisePoint`) both do.
     """
-    circuit = build_benchmark(point.benchmark, point.num_qubits, seed=point.seed)
-    device = point.device.build(point.num_qubits)
-    strategy = get_strategy(point.strategy, **dict(point.strategy_kwargs))
-    compiler = QompressCompiler(device, strategy, **dict(point.compiler_kwargs))
-    compiled = compiler.compile(circuit)
-    return StrategyResult(
-        benchmark=point.benchmark,
-        num_qubits=point.num_qubits,
-        strategy=point.strategy,
-        report=evaluate_eps(compiled),
-        compiled=compiled,
-    )
+    return point.execute()

@@ -91,6 +91,23 @@ class MixedRadixState:
         inverse_axes = np.argsort(list(units) + others)
         self._vector = np.transpose(permuted, axes=inverse_axes).reshape(self.dimension)
 
+    def apply_kraus(self, operator: np.ndarray, units: tuple[int, ...] | list[int]) -> float:
+        """Apply a (possibly non-unitary) Kraus operator and renormalise.
+
+        Returns the pre-normalisation squared norm — the probability weight
+        of this Kraus branch given the current state.  If the branch has
+        (near-)zero weight the state is left unchanged and 0.0 is returned,
+        so callers can treat an impossible jump as a no-op.
+        """
+        before = self._vector
+        self.apply(operator, units)
+        weight = float(np.vdot(self._vector, self._vector).real)
+        if weight < 1e-18:
+            self._vector = before
+            return 0.0
+        self._vector = self._vector / np.sqrt(weight)
+        return weight
+
     # ------------------------------------------------------------------
     # measurement-style queries (non-destructive)
     # ------------------------------------------------------------------

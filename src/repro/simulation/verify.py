@@ -29,7 +29,8 @@ class VerificationError(AssertionError):
     """Raised when a compiled circuit is not equivalent to its source."""
 
 
-def _register_dims(compiled: CompiledCircuit) -> tuple[int, ...]:
+def register_dims(compiled: CompiledCircuit) -> tuple[int, ...]:
+    """Per-unit dimensions (2 or 4) of the compiled circuit's register."""
     return tuple(
         4 if unit in compiled.ququart_units else 2
         for unit in range(compiled.device.num_units)
@@ -64,6 +65,28 @@ def _embed_logical_state(
     return register
 
 
+def embed_on_slots(
+    dims: tuple[int, ...],
+    matrix: np.ndarray,
+    slots: tuple[tuple[int, int], ...],
+) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Embed a k-qubit logical matrix onto encoded slots of the register.
+
+    Returns the embedded operator together with the distinct physical units
+    it acts on (in first-appearance order), ready for
+    :meth:`MixedRadixState.apply`.
+    """
+    units: list[int] = []
+    for unit, _position in slots:
+        if unit not in units:
+            units.append(unit)
+    operands = []
+    for unit, position in slots:
+        operands.append((units.index(unit), position))
+    embedded = embed_operator(matrix, tuple(dims[u] for u in units), operands)
+    return embedded, tuple(units)
+
+
 def _apply_on_slots(
     state: MixedRadixState,
     dims: tuple[int, ...],
@@ -71,15 +94,37 @@ def _apply_on_slots(
     slots: tuple[tuple[int, int], ...],
 ) -> None:
     """Apply a k-qubit logical matrix onto encoded slots of the register."""
-    units = []
-    for unit, _position in slots:
-        if unit not in units:
-            units.append(unit)
-    operands = []
-    for unit, position in slots:
-        operands.append((units.index(unit), position))
-    unitary = embed_operator(matrix, tuple(dims[u] for u in units), operands)
-    state.apply(unitary, tuple(units))
+    embedded, units = embed_on_slots(dims, matrix, slots)
+    state.apply(embedded, units)
+
+
+def physical_op_unitary(
+    op: PhysicalOp,
+    dims: tuple[int, ...],
+    lowered: QuantumCircuit,
+) -> tuple[np.ndarray, tuple[int, ...]] | None:
+    """Embedded unitary of one physical op, or ``None`` for measurements.
+
+    Shared by the equivalence checker and the noise-simulation subsystem.
+    Raises :class:`VerificationError` for ops that cannot be replayed
+    (merged ``x01`` ops, ops without slot information, dangling source-gate
+    references).
+    """
+    if op.gate == "measure":
+        return None
+    if op.gate == "x01":
+        raise VerificationError(
+            "merged x01 ops cannot be verified; compile with merge_single_qubit_gates=False"
+        )
+    if not op.slots:
+        raise VerificationError(f"op {op.gate} carries no slot information")
+    if op.style.is_swap_like:
+        return embed_on_slots(dims, SWAP_MATRIX, op.slots)
+    if op.source_gate < 0 or op.source_gate >= len(lowered):
+        raise VerificationError(f"op {op.gate} does not reference a source gate")
+    gate = lowered[op.source_gate]
+    matrix = qubit_gate(gate.name, gate.params)
+    return embed_on_slots(dims, matrix, op.slots)
 
 
 def _replay_op(
@@ -89,24 +134,14 @@ def _replay_op(
     lowered: QuantumCircuit,
     slot_of: dict[int, tuple[int, int]],
 ) -> None:
-    if op.gate == "measure":
+    embedded = physical_op_unitary(op, dims, lowered)
+    if embedded is None:
         return
-    if op.gate == "x01":
-        raise VerificationError(
-            "merged x01 ops cannot be verified; compile with merge_single_qubit_gates=False"
-        )
-    if not op.slots:
-        raise VerificationError(f"op {op.gate} carries no slot information")
+    matrix, units = embedded
+    state.apply(matrix, units)
     if op.style.is_swap_like:
-        _apply_on_slots(state, dims, SWAP_MATRIX, op.slots)
         for qubit, new_slot in op.moves.items():
             slot_of[qubit] = new_slot
-        return
-    if op.source_gate < 0 or op.source_gate >= len(lowered):
-        raise VerificationError(f"op {op.gate} does not reference a source gate")
-    gate = lowered[op.source_gate]
-    matrix = qubit_gate(gate.name, gate.params)
-    _apply_on_slots(state, dims, matrix, op.slots)
 
 
 def replay_compiled(compiled: CompiledCircuit) -> MixedRadixState:
@@ -114,7 +149,7 @@ def replay_compiled(compiled: CompiledCircuit) -> MixedRadixState:
     lowered = compiled.lowered_circuit
     if not isinstance(lowered, QuantumCircuit):
         raise VerificationError("the compiled circuit does not carry its lowered source")
-    dims = _register_dims(compiled)
+    dims = register_dims(compiled)
     state = MixedRadixState(dims)
     slot_of = dict(compiled.initial_placement)
     for op in compiled.ops:
@@ -131,7 +166,7 @@ def compiled_state_fidelity(compiled: CompiledCircuit, reference: QuantumCircuit
     final_state = replay_compiled(compiled)
     logical = simulate_logical_circuit(reference.without_meta())
     expected = _embed_logical_state(
-        logical, compiled.final_placement, _register_dims(compiled), reference.num_qubits
+        logical, compiled.final_placement, register_dims(compiled), reference.num_qubits
     )
     overlap = np.vdot(expected, final_state.vector)
     return float(abs(overlap) ** 2)

@@ -1,0 +1,112 @@
+"""Tests for scripts/check_bench_regression.py, including --update-baseline."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "check_bench_regression.py"
+
+
+def _bench_json(means: dict[str, float]) -> str:
+    return json.dumps({
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    })
+
+
+def _run(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *argv],
+        capture_output=True, text=True,
+    )
+
+
+class TestRegressionGate:
+    def test_ok_within_tolerance(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(_bench_json({"bench_a": 1.0}))
+        current.write_text(_bench_json({"bench_a": 1.1}))
+        result = _run(str(baseline), str(current))
+        assert result.returncode == 0
+        assert "no regressions" in result.stdout
+
+    def test_regression_fails(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(_bench_json({"bench_a": 1.0}))
+        current.write_text(_bench_json({"bench_a": 2.0}))
+        result = _run(str(baseline), str(current))
+        assert result.returncode == 1
+        assert "REGRESSION" in result.stdout
+
+    def test_new_benchmark_does_not_fail(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(_bench_json({"bench_a": 1.0}))
+        current.write_text(_bench_json({"bench_a": 1.0, "bench_new": 5.0}))
+        result = _run(str(baseline), str(current))
+        assert result.returncode == 0
+        assert "NEW" in result.stdout
+
+
+class TestUpdateBaseline:
+    def test_rewrites_the_baseline_file(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "artifact.json"
+        baseline.write_text(_bench_json({"bench_a": 1.0}))
+        current.write_text(_bench_json({"bench_a": 3.0, "bench_new": 2.0}))
+        result = _run(str(baseline), str(current), "--update-baseline")
+        assert result.returncode == 0, result.stderr
+        assert "baseline updated" in result.stdout
+        assert baseline.read_text() == current.read_text()
+
+    def test_exits_zero_even_with_regressions(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "artifact.json"
+        baseline.write_text(_bench_json({"bench_a": 1.0}))
+        current.write_text(_bench_json({"bench_a": 10.0}))
+        result = _run(str(baseline), str(current), "--update-baseline")
+        assert result.returncode == 0
+        # the comparison report is still printed before updating
+        assert "REGRESSION" in result.stdout
+
+    def test_still_reports_before_updating(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "artifact.json"
+        baseline.write_text(_bench_json({"bench_a": 1.0}))
+        current.write_text(_bench_json({"bench_a": 1.0}))
+        result = _run(str(baseline), str(current), "--update-baseline")
+        assert result.returncode == 0
+        assert "benchmark" in result.stdout
+        assert "wrote 1 benchmark(s)" in result.stdout
+
+    def test_recovers_a_missing_baseline(self, tmp_path):
+        baseline = tmp_path / "missing.json"
+        current = tmp_path / "artifact.json"
+        current.write_text(_bench_json({"bench_a": 1.0}))
+        result = _run(str(baseline), str(current), "--update-baseline")
+        assert result.returncode == 0, result.stderr
+        assert "unreadable" in result.stdout
+        assert baseline.read_text() == current.read_text()
+
+    def test_missing_baseline_without_update_is_a_clean_error(self, tmp_path):
+        current = tmp_path / "artifact.json"
+        current.write_text(_bench_json({"bench_a": 1.0}))
+        result = _run(str(tmp_path / "missing.json"), str(current))
+        assert result.returncode == 1
+        assert "cannot read baseline" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_empty_current_run_still_fails(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "artifact.json"
+        baseline.write_text(_bench_json({"bench_a": 1.0}))
+        current.write_text(json.dumps({"benchmarks": []}))
+        result = _run(str(baseline), str(current), "--update-baseline")
+        assert result.returncode == 1
+        # an empty artifact must never wipe the baseline
+        assert baseline.read_text() == _bench_json({"bench_a": 1.0})

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -62,6 +64,36 @@ class TestParser:
         assert args.workers == 4
         assert args.cache_dir == "/tmp/c"
         assert args.json_output == "out.json"
+
+    def test_simulate_arguments(self):
+        args = build_parser().parse_args(
+            ["simulate", "--benchmark", "bv", "--qubits", "6",
+             "--shots", "500", "--noise", "pessimistic", "--track-state"]
+        )
+        assert args.command == "simulate"
+        assert args.shots == 500
+        assert args.noise == "pessimistic"
+        assert args.track_state
+
+    def test_simulate_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--shots", "10"])
+
+    def test_simulate_unknown_noise_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--benchmark", "bv", "--qubits", "4", "--noise", "nope"]
+            )
+
+    def test_validate_eps_defaults(self):
+        args = build_parser().parse_args(["validate-eps"])
+        assert args.command == "validate-eps"
+        # None = "use the documented default"; lets --smoke detect conflicts
+        assert args.benchmarks is None
+        assert args.sizes is None
+        assert args.shots is None
+        assert args.noise == "table1"
+        assert not args.smoke
 
 
 class TestCommands:
@@ -185,6 +217,98 @@ class TestCommands:
     def test_compile_new_family(self, capsys):
         assert main(["compile", "--benchmark", "qft", "--qubits", "6"]) == 0
         assert "qft-6" in capsys.readouterr().out
+
+    def test_compile_qasm_is_cacheable(self, capsys, tmp_path):
+        source = tmp_path / "bell.qasm"
+        source.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[2];\nh q[0];\ncx q[0],q[1];\n"
+        )
+        cache_dir = tmp_path / "cache"
+        argv = ["compile", "--qasm", str(source), "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache: 0 hits, 1 misses" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache: 1 hits, 0 misses" in second
+        # identical EPS lines whether compiled or cache-served
+        assert [line for line in first.splitlines() if "EPS" in line] == [
+            line for line in second.splitlines() if "EPS" in line
+        ]
+
+    def test_compile_qasm_cache_invalidates_on_edit(self, capsys, tmp_path):
+        source = tmp_path / "bell.qasm"
+        source.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[2];\nh q[0];\ncx q[0],q[1];\n"
+        )
+        cache_dir = tmp_path / "cache"
+        argv = ["compile", "--qasm", str(source), "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        source.write_text(source.read_text() + "x q[1];\n")
+        assert main(argv) == 0
+        assert "cache: 0 hits, 1 misses" in capsys.readouterr().out
+
+    def test_simulate_benchmark(self, capsys):
+        code = main(["simulate", "--benchmark", "bv", "--qubits", "4",
+                     "--strategy", "eqm", "--shots", "200"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "analytic EPS" in output
+        assert "simulated success" in output
+        assert "95% CI low" in output
+
+    def test_simulate_track_state(self, capsys):
+        code = main(["simulate", "--benchmark", "ghz", "--qubits", "3",
+                     "--shots", "100", "--strategy", "qubit_only", "--track-state"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "outcome success" in output
+        assert "mean outcome fidelity" in output
+
+    def test_simulate_track_state_rejects_fq(self, capsys):
+        code = main(["simulate", "--benchmark", "ghz", "--qubits", "3",
+                     "--shots", "10", "--strategy", "fq", "--track-state"])
+        assert code == 2
+        assert "cannot track" in capsys.readouterr().err
+
+    def test_simulate_qasm(self, capsys, tmp_path):
+        source = tmp_path / "bell.qasm"
+        source.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[2];\nh q[0];\ncx q[0],q[1];\n"
+        )
+        assert main(["simulate", "--qasm", str(source), "--shots", "100"]) == 0
+        assert "bell" in capsys.readouterr().out
+
+    def test_validate_eps_smoke_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "validate.json"
+        code = main(["validate-eps", "--smoke", "--json", str(target)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "all 4 cells validated" in output
+        data = json.loads(target.read_text())
+        assert data["schema"] == 1
+        assert data["validated"] is True
+        assert len(data["rows"]) == 4
+        assert all(row["validated"] is True for row in data["rows"])
+        assert all(isinstance(row["rel_error"], float) for row in data["rows"])
+
+    def test_validate_eps_smoke_rejects_explicit_flags(self, capsys):
+        code = main(["validate-eps", "--smoke", "--shots", "500"])
+        assert code == 2
+        assert "--smoke fixes" in capsys.readouterr().err
+
+    def test_validate_eps_workers_identical_json(self, capsys, tmp_path):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert main(["validate-eps", "--smoke", "--json", str(serial)]) == 0
+        assert main(["validate-eps", "--smoke", "--workers", "2",
+                     "--json", str(parallel)]) == 0
+        capsys.readouterr()
+        assert json.loads(serial.read_text()) == json.loads(parallel.read_text())
 
     def test_cache_info_and_clear(self, capsys, tmp_path):
         cache_dir = tmp_path / "cache"

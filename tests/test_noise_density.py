@@ -1,0 +1,129 @@
+"""Trajectory-vs-density-matrix agreement on small (1-3 unit) systems.
+
+The density path evolves the exact channel composition; the trajectory
+engine (kraus idle policy) unravels it stochastically.  These tests check
+that the Monte Carlo estimator converges to the exact channel result within
+the reported confidence interval, including property-based sweeps over the
+noise knobs via hypothesis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import Device, linear_topology
+from repro.compiler.pipeline import QompressCompiler
+from repro.compression import get_strategy
+from repro.noise import (
+    NoiseSpec,
+    exact_outcome_probability,
+    reference_density,
+    simulate_noisy,
+    trajectory_mean_density,
+    wilson_interval,
+)
+from repro.simulation.verify import VerificationError
+from repro.workloads.registry import build_benchmark
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+KRAUS = NoiseSpec(idle_policy="kraus")
+
+
+def _compiled(benchmark: str, qubits: int, strategy: str = "qubit_only", units: int | None = None):
+    """Compile on a line device of at most 3 units (the reference path's cap)."""
+    device = Device(topology=linear_topology(units or qubits))
+    compiler = QompressCompiler(
+        device, get_strategy(strategy), merge_single_qubit_gates=False
+    )
+    return compiler.compile(build_benchmark(benchmark, qubits))
+
+
+@pytest.fixture(scope="module")
+def ghz3():
+    return _compiled("ghz", 3)
+
+
+@pytest.fixture(scope="module")
+def ghz3_compressed():
+    # 3 logical qubits on 2 units forces a ququart encoding
+    return _compiled("ghz", 3, "eqm", units=2)
+
+
+class TestReferenceDensity:
+    def test_is_a_density_matrix(self, ghz3):
+        rho = reference_density(ghz3, KRAUS)
+        assert np.isclose(np.trace(rho).real, 1.0)
+        assert np.allclose(rho, rho.conj().T)
+        eigenvalues = np.linalg.eigvalsh(rho)
+        assert eigenvalues.min() > -1e-10
+
+    def test_ideal_model_gives_the_pure_state(self, ghz3):
+        rho = reference_density(ghz3, NoiseSpec.from_preset("ideal"))
+        # purity 1 <=> pure state
+        assert np.isclose(np.trace(rho @ rho).real, 1.0)
+        assert np.isclose(exact_outcome_probability(ghz3, NoiseSpec.from_preset("ideal")), 1.0)
+
+    def test_noise_mixes_the_state(self, ghz3):
+        rho = reference_density(ghz3, KRAUS)
+        assert np.trace(rho @ rho).real < 1.0
+
+    def test_large_registers_rejected(self):
+        compiled = _compiled("ghz", 5, units=5)
+        with pytest.raises(VerificationError):
+            reference_density(compiled, KRAUS)
+
+    def test_mean_density_requires_kraus(self, ghz3):
+        with pytest.raises(ValueError):
+            trajectory_mean_density(ghz3, NoiseSpec(), shots=5)
+
+
+class TestTrajectoryAgreement:
+    def test_mean_density_converges(self, ghz3):
+        exact = reference_density(ghz3, KRAUS)
+        sampled = trajectory_mean_density(ghz3, KRAUS, shots=500, seed=0)
+        # trace distance: half the sum of singular values of the difference
+        distance = 0.5 * np.linalg.svd(exact - sampled, compute_uv=False).sum()
+        assert distance < 0.08
+
+    def test_mean_density_converges_with_a_ququart(self, ghz3_compressed):
+        assert ghz3_compressed.ququart_units, "eqm should compress ghz-3"
+        exact = reference_density(ghz3_compressed, KRAUS)
+        sampled = trajectory_mean_density(ghz3_compressed, KRAUS, shots=500, seed=0)
+        distance = 0.5 * np.linalg.svd(exact - sampled, compute_uv=False).sum()
+        assert distance < 0.08
+
+    def test_outcome_probability_within_ci(self, ghz3):
+        exact = exact_outcome_probability(ghz3, KRAUS)
+        result = simulate_noisy(ghz3, KRAUS, shots=800, seed=0, track_state=True)
+        low, high = wilson_interval(result.outcome_successes, result.shots, z=3.29)
+        assert low <= exact <= high
+
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    @given(
+        gate_scale=st.floats(min_value=0.0, max_value=8.0),
+        t1_scale=st.floats(min_value=0.2, max_value=10.0),
+    )
+    def test_outcome_estimator_converges_over_noise_knobs(self, gate_scale, t1_scale):
+        """For any channel strength the sampled outcome probability must
+        agree with the exact channel result within a 99.9% Wilson CI."""
+        compiled = _compiled("ghz", 2)
+        spec = NoiseSpec(
+            gate_error_scale=gate_scale, t1_scale=t1_scale, idle_policy="kraus"
+        )
+        exact = exact_outcome_probability(compiled, spec)
+        result = simulate_noisy(compiled, spec, shots=600, seed=0, track_state=True)
+        low, high = wilson_interval(result.outcome_successes, result.shots, z=3.29)
+        assert low <= exact <= high
+
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    @given(gate_scale=st.floats(min_value=0.0, max_value=8.0))
+    def test_no_error_estimator_matches_analytic(self, gate_scale):
+        """The no-error fraction converges to the model's closed form
+        (worst-case policy, 1-3 unit system)."""
+        compiled = _compiled("bv", 3, "eqm")
+        spec = NoiseSpec(gate_error_scale=gate_scale)
+        analytic = spec.build(compiled.device).analytic_total_eps(compiled)
+        result = simulate_noisy(compiled, spec, shots=1500, seed=0)
+        low, high = result.confidence_interval(z=3.29)
+        assert low <= analytic <= high

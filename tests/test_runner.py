@@ -146,6 +146,66 @@ class TestCompileCache:
         assert len(cache) == 0
 
 
+BELL_QASM = (
+    'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+    "qreg q[2];\nh q[0];\ncx q[0],q[1];\n"
+)
+
+
+class TestQasmPoints:
+    def test_from_qasm_sizes_and_names_the_point(self):
+        point = SweepPoint.from_qasm(BELL_QASM, "eqm", name="bell")
+        assert point.benchmark == "bell"
+        assert point.num_qubits == 2
+        assert point.qasm == BELL_QASM
+
+    def test_payload_carries_a_digest_not_the_text(self):
+        payload = SweepPoint.from_qasm(BELL_QASM, "eqm").payload()
+        assert payload["qasm_sha256"] is not None
+        assert len(payload["qasm_sha256"]) == 64
+        assert BELL_QASM not in str(payload)
+        assert SweepPoint("bv", 6, "eqm").payload()["qasm_sha256"] is None
+
+    def test_identical_text_shares_a_key_and_edits_invalidate(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        base = SweepPoint.from_qasm(BELL_QASM, "eqm", name="bell")
+        twin = SweepPoint.from_qasm(BELL_QASM, "eqm", name="bell")
+        edited = SweepPoint.from_qasm(BELL_QASM + "x q[0];\n", "eqm", name="bell")
+        assert cache.key(base) == cache.key(twin)
+        assert cache.key(base) != cache.key(edited)
+
+    def test_qasm_points_execute_and_cache(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        point = SweepPoint.from_qasm(BELL_QASM, "qubit_only", name="bell")
+        executor = ParallelExecutor(workers=1, cache=cache)
+        first = executor.run(SweepPlan((point,)))
+        assert executor.last_stats.executed == 1
+        second = executor.run(SweepPlan((point,)))
+        assert executor.last_stats.cache_hits == 1
+        assert first[0].report == second[0].report
+        assert first[0].compiled.circuit_name == "bell"
+
+    def test_qasm_points_are_picklable(self):
+        point = SweepPoint.from_qasm(BELL_QASM, "eqm", name="bell")
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone == point
+        assert clone.execute().report == point.execute().report
+
+    def test_from_qasm_file_uses_the_stem(self, tmp_path):
+        source = tmp_path / "teleport_demo.qasm"
+        source.write_text(BELL_QASM)
+        point = SweepPoint.from_qasm_file(source, "eqm")
+        assert point.benchmark == "teleport_demo"
+
+    def test_qasm_and_benchmark_points_mix_in_one_plan(self):
+        plan = SweepPlan((
+            SweepPoint.from_qasm(BELL_QASM, "qubit_only", name="bell"),
+            SweepPoint("bv", 4, "qubit_only"),
+        ))
+        results = execute_plan(plan, workers=2)
+        assert [r.benchmark for r in results] == ["bell", "bv"]
+
+
 class TestParallelExecutor:
     PLAN = SweepPlan.cartesian(("bv", "cuccaro"), (6, 8), ("qubit_only", "eqm"))
 

@@ -1,0 +1,218 @@
+"""Tests for the Monte Carlo trajectory engine and its runner integration."""
+
+import pickle
+
+import pytest
+
+from repro.metrics.eps import total_eps
+from repro.noise import (
+    NoisePoint,
+    NoiseSpec,
+    NoisyResult,
+    TrajectoryEngine,
+    shot_plan,
+    simulate_noisy,
+    simulate_point,
+    wilson_interval,
+)
+from repro.runner import CompileCache, ParallelExecutor, SweepPoint, execute_plan
+from repro.simulation.verify import VerificationError
+
+TABLE1 = NoiseSpec.from_preset("table1")
+IDEAL = NoiseSpec.from_preset("ideal")
+
+
+@pytest.fixture(scope="module")
+def compiled_bv6():
+    return SweepPoint("bv", 6, "eqm").execute().compiled
+
+
+@pytest.fixture(scope="module")
+def replayable_ghz3():
+    point = SweepPoint(
+        "ghz", 3, "eqm", compiler_kwargs=(("merge_single_qubit_gates", False),)
+    )
+    return point.execute().compiled
+
+
+class TestWilsonInterval:
+    def test_requires_trials(self):
+        with pytest.raises(ValueError):
+            wilson_interval(0, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_stays_inside_unit_interval(self):
+        low, high = wilson_interval(0, 100)
+        assert low == 0.0 and 0.0 < high < 0.1
+        low, high = wilson_interval(100, 100)
+        assert 0.9 < low < 1.0 and high == 1.0
+
+    def test_contains_the_point_estimate(self):
+        low, high = wilson_interval(73, 200)
+        assert low < 73 / 200 < high
+
+    def test_narrows_with_more_trials(self):
+        narrow = wilson_interval(800, 1000)
+        wide = wilson_interval(80, 100)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self, compiled_bv6):
+        one = simulate_noisy(compiled_bv6, TABLE1, shots=400, seed=11)
+        two = simulate_noisy(compiled_bv6, TABLE1, shots=400, seed=11)
+        assert one == two
+
+    def test_different_seed_differs(self, compiled_bv6):
+        one = simulate_noisy(compiled_bv6, TABLE1, shots=400, seed=0)
+        two = simulate_noisy(compiled_bv6, TABLE1, shots=400, seed=1)
+        assert one.no_error_shots != two.no_error_shots or one != two
+
+    def test_chunk_split_is_irrelevant(self, compiled_bv6):
+        engine = TrajectoryEngine(compiled_bv6, TABLE1)
+        whole = engine.run(300, seed=5)
+        first = engine.run(120, seed=5, base_shot=0)
+        second = engine.run(180, seed=5, base_shot=120)
+        assert whole.no_error_shots == first.no_error_shots + second.no_error_shots
+        assert whole.gate_events == first.gate_events + second.gate_events
+        assert whole.idle_events == first.idle_events + second.idle_events
+
+    def test_workers_and_chunk_size_bit_identical(self):
+        point = SweepPoint("bv", 6, "eqm")
+        serial = simulate_point(point, TABLE1, 600, seed=2, chunk_size=600, workers=1)
+        parallel = simulate_point(point, TABLE1, 600, seed=2, chunk_size=97, workers=2)
+        assert serial == parallel
+
+
+class TestEngineBehaviour:
+    def test_ideal_noise_never_fails(self, compiled_bv6):
+        result = simulate_noisy(compiled_bv6, IDEAL, shots=50, seed=0)
+        assert result.success_probability == 1.0
+        assert result.gate_events == 0
+        assert result.idle_events == 0
+
+    def test_estimate_near_analytic(self, compiled_bv6):
+        result = simulate_noisy(compiled_bv6, TABLE1, shots=4000, seed=0)
+        low, high = result.confidence_interval(z=3.29)
+        assert low <= total_eps(compiled_bv6) <= high
+
+    def test_event_only_rejects_kraus_policy(self, compiled_bv6):
+        with pytest.raises(VerificationError):
+            simulate_noisy(compiled_bv6, TABLE1.with_idle_policy("kraus"),
+                           shots=5, seed=0)
+
+    def test_tracked_mode_reports_outcome_metrics(self, replayable_ghz3):
+        result = simulate_noisy(replayable_ghz3, TABLE1, shots=300, seed=0,
+                                track_state=True)
+        assert result.tracked
+        assert result.outcome_probability is not None
+        assert result.mean_outcome_fidelity is not None
+        # an error event can still leave the outcome intact, never the reverse
+        assert result.outcome_probability >= result.success_probability - 1e-12
+
+    def test_tracked_and_untracked_count_the_same_events(self, replayable_ghz3):
+        tracked = simulate_noisy(replayable_ghz3, TABLE1, shots=200, seed=4,
+                                 track_state=True)
+        untracked = simulate_noisy(replayable_ghz3, TABLE1, shots=200, seed=4)
+        assert tracked.no_error_shots == untracked.no_error_shots
+        assert tracked.gate_events == untracked.gate_events
+        assert tracked.idle_events == untracked.idle_events
+
+    def test_tracked_mode_rejects_merged_circuits(self, compiled_bv6):
+        # the default compile merges single-qubit gates into x01 ops
+        with pytest.raises(VerificationError):
+            TrajectoryEngine(compiled_bv6, TABLE1, track_state=True)
+
+    def test_tracked_mode_rejects_fq(self):
+        compiled = SweepPoint(
+            "ghz", 4, "fq", compiler_kwargs=(("merge_single_qubit_gates", False),)
+        ).execute().compiled
+        with pytest.raises(VerificationError):
+            TrajectoryEngine(compiled, TABLE1, track_state=True)
+
+    def test_event_only_handles_fq(self):
+        compiled = SweepPoint("ghz", 4, "fq").execute().compiled
+        result = simulate_noisy(compiled, TABLE1, shots=500, seed=0)
+        low, high = result.confidence_interval(z=3.29)
+        assert low <= total_eps(compiled) <= high
+
+    def test_rejects_non_positive_shots(self, compiled_bv6):
+        with pytest.raises(ValueError):
+            simulate_noisy(compiled_bv6, TABLE1, shots=0)
+
+    def test_summary_fields(self, compiled_bv6):
+        summary = simulate_noisy(compiled_bv6, TABLE1, shots=100, seed=0).summary()
+        assert set(summary) >= {"shots", "seed", "success_probability",
+                                "ci_low", "ci_high"}
+
+
+class TestNoisyResultMerge:
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyResult.from_chunks([], seed=0)
+
+    def test_results_pickle(self, compiled_bv6):
+        result = simulate_noisy(compiled_bv6, TABLE1, shots=50, seed=0)
+        assert pickle.loads(pickle.dumps(result)) == result
+
+
+class TestShotPlan:
+    def test_chunking(self):
+        point = SweepPoint("bv", 4, "qubit_only")
+        plan = shot_plan(point, TABLE1, shots=1050, chunk_size=500)
+        assert [p.shots for p in plan] == [500, 500, 50]
+        assert [p.base_shot for p in plan] == [0, 500, 1000]
+
+    def test_invalid_arguments(self):
+        point = SweepPoint("bv", 4, "qubit_only")
+        with pytest.raises(ValueError):
+            shot_plan(point, TABLE1, shots=0)
+        with pytest.raises(ValueError):
+            shot_plan(point, TABLE1, shots=10, chunk_size=0)
+
+    def test_points_are_hashable_and_picklable(self):
+        point = NoisePoint(SweepPoint("bv", 4, "qubit_only"), TABLE1, shots=10)
+        assert pickle.loads(pickle.dumps(point)) == point
+        assert hash(point) == hash(pickle.loads(pickle.dumps(point)))
+
+    def test_payload_keys(self):
+        point = NoisePoint(SweepPoint("bv", 4, "qubit_only"), TABLE1,
+                           shots=10, base_shot=20, seed=3)
+        payload = point.payload()
+        assert payload["kind"] == "noise_shots"
+        assert payload["shots"] == 10
+        assert payload["base_shot"] == 20
+        assert payload["compile"]["benchmark"] == "bv"
+        assert payload["noise"] == TABLE1.payload()
+
+
+class TestRunnerIntegration:
+    def test_chunks_cache_and_replay(self, tmp_path):
+        point = SweepPoint("bv", 4, "qubit_only")
+        plan = shot_plan(point, TABLE1, shots=400, seed=9, chunk_size=100)
+        cache = CompileCache(root=tmp_path)
+        executor = ParallelExecutor(workers=1, cache=cache)
+        first = executor.run(plan)
+        assert executor.last_stats.executed == 4
+        second = executor.run(plan)
+        assert executor.last_stats.executed == 0
+        assert executor.last_stats.cache_hits == 4
+        assert first == second
+
+    def test_cached_and_fresh_merges_agree(self, tmp_path):
+        point = SweepPoint("bv", 4, "qubit_only")
+        cache = CompileCache(root=tmp_path)
+        fresh = simulate_point(point, TABLE1, 300, seed=1, chunk_size=100,
+                               cache=cache)
+        served = simulate_point(point, TABLE1, 300, seed=1, chunk_size=100,
+                                cache=cache)
+        assert fresh == served
+
+    def test_noise_and_compile_points_share_a_plan(self):
+        compile_point = SweepPoint("bv", 4, "qubit_only")
+        plan = shot_plan(compile_point, TABLE1, shots=100, chunk_size=100)
+        mixed = list(plan) + [compile_point]
+        results = execute_plan(mixed)
+        assert results[0].shots == 100
+        assert results[1].benchmark == "bv"

@@ -1,0 +1,154 @@
+"""Acceptance tests: the analytic EPS model vs the Monte Carlo engine.
+
+The headline guarantee: for every workload in the validation set (bv, ghz
+and qft at <= 6 qubits, across every compression strategy) the simulated
+success probability at 2000 seeded shots either falls inside the Wilson
+confidence interval around the analytic ``total_eps`` or within 10%
+relative of it — and identical seeds give bit-identical results whatever
+the worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.evaluation import (
+    DEFAULT_VALIDATION_BENCHMARKS,
+    DEFAULT_VALIDATION_SIZES,
+    DEFAULT_VALIDATION_STRATEGIES,
+    VALIDATION_HEADERS,
+    ValidationRow,
+    validate_eps,
+    validation_rows,
+)
+from repro.metrics.eps import total_eps
+from repro.noise import NoiseSpec, NoisyResult
+
+
+class TestAcceptance:
+    """The PR's acceptance criterion, verbatim."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return validate_eps(
+            benchmarks=DEFAULT_VALIDATION_BENCHMARKS,
+            sizes=DEFAULT_VALIDATION_SIZES,
+            strategies=DEFAULT_VALIDATION_STRATEGIES,
+            noise="table1",
+            shots=2000,
+            seed=0,
+        )
+
+    def test_covers_the_full_product(self, rows):
+        assert len(rows) == (
+            len(DEFAULT_VALIDATION_BENCHMARKS)
+            * len(DEFAULT_VALIDATION_SIZES)
+            * len(DEFAULT_VALIDATION_STRATEGIES)
+        )
+        assert all(row.num_qubits <= 6 for row in rows)
+        assert {row.strategy for row in rows} == set(DEFAULT_VALIDATION_STRATEGIES)
+
+    def test_every_cell_brackets_or_is_within_ten_percent(self, rows):
+        for row in rows:
+            assert row.validated, (
+                f"{row.benchmark}-{row.num_qubits} {row.strategy}: analytic "
+                f"{row.analytic_eps:.4f} vs simulated {row.simulated_eps:.4f} "
+                f"(CI {row.result.confidence_interval()}, "
+                f"rel {row.relative_error:.3f})"
+            )
+
+    def test_analytic_column_is_the_paper_formula(self, rows):
+        from repro.runner import SweepPoint
+
+        row = rows[0]
+        compiled = SweepPoint(row.benchmark, row.num_qubits, row.strategy).execute().compiled
+        assert row.analytic_eps == pytest.approx(total_eps(compiled), rel=1e-12)
+
+
+class TestDeterminism:
+    CONFIG = {
+        "benchmarks": ("bv", "ghz"),
+        "sizes": (4,),
+        "strategies": ("qubit_only", "eqm"),
+        "shots": 600,
+        "seed": 3,
+    }
+
+    def test_workers_do_not_change_the_rows(self):
+        serial = validate_eps(workers=1, **self.CONFIG)
+        parallel = validate_eps(workers=2, **self.CONFIG)
+        assert [row.result for row in serial] == [row.result for row in parallel]
+        assert [row.analytic_eps for row in serial] == [
+            row.analytic_eps for row in parallel
+        ]
+
+    def test_cache_round_trip_is_identical(self, tmp_path):
+        from repro.runner import CompileCache
+
+        cache = CompileCache(root=tmp_path)
+        fresh = validate_eps(cache=cache, **self.CONFIG)
+        served = validate_eps(cache=cache, **self.CONFIG)
+        assert [row.result for row in fresh] == [row.result for row in served]
+
+
+class TestValidationRow:
+    def _row(self, analytic, successes, shots=1000, tolerance=0.10):
+        result = NoisyResult(
+            shots=shots, seed=0, no_error_shots=successes,
+            gate_events=0, idle_events=0,
+        )
+        return ValidationRow(
+            benchmark="bv", num_qubits=4, strategy="eqm",
+            analytic_eps=analytic, result=result, rel_tolerance=tolerance,
+        )
+
+    def test_bracketing_validates(self):
+        row = self._row(analytic=0.50, successes=505)
+        assert row.brackets
+        assert row.validated
+
+    def test_within_tolerance_validates_without_bracketing(self):
+        # 0.56 vs 0.60: far outside the CI at 10k shots, within 10% relative
+        row = self._row(analytic=0.60, successes=5600, shots=10000)
+        assert not row.brackets
+        assert row.relative_error == pytest.approx(0.4 / 6.0)
+        assert row.validated
+
+    def test_large_deviation_fails(self):
+        row = self._row(analytic=0.80, successes=500, shots=1000)
+        assert not row.validated
+
+    def test_zero_analytic_edge_case(self):
+        assert self._row(analytic=0.0, successes=0).relative_error == 0.0
+        assert self._row(analytic=0.0, successes=900).relative_error == float("inf")
+
+    def test_rows_flatten_against_headers(self):
+        flattened = validation_rows([self._row(0.5, 500)])
+        assert len(flattened) == 1
+        assert len(flattened[0]) == len(VALIDATION_HEADERS)
+        assert json.dumps(dict(zip(VALIDATION_HEADERS, flattened[0])))
+
+    def test_as_dict_is_typed(self):
+        payload = self._row(0.5, 505).as_dict()
+        assert payload["validated"] is True
+        assert isinstance(payload["rel_error"], float)
+        assert isinstance(payload["simulated_eps"], float)
+        assert set(payload) == set(VALIDATION_HEADERS)
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestNoisePresetsFlow:
+    def test_heterogeneous_preset_runs_and_diverges_from_table1(self):
+        spec = NoiseSpec.from_preset("pessimistic")
+        rows = validate_eps(
+            benchmarks=("bv",), sizes=(4,), strategies=("eqm",),
+            noise=spec, shots=400, seed=0,
+        )
+        assert len(rows) == 1
+        # pessimistic noise must predict (and measure) a lower success rate
+        # than the paper's closed form under table1 numbers
+        from repro.runner import SweepPoint
+
+        compiled = SweepPoint("bv", 4, "eqm").execute().compiled
+        assert rows[0].analytic_eps < total_eps(compiled)
+        assert rows[0].validated
