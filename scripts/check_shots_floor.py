@@ -1,0 +1,79 @@
+"""Assert a minimum trajectory throughput from a pytest-benchmark JSON.
+
+Usage::
+
+    python scripts/check_shots_floor.py results/bench_noise.json \
+        --min-shots-per-sec 50000
+
+Looks up the vectorised event-only trajectory benchmark (any entry whose
+``extra_info`` says ``engine: vectorised``, by default), divides its
+recorded shot count by the mean runtime and fails (exit 1) if the
+resulting shots/s rate is below the floor.  This is the CI smoke gate that
+keeps the chunk-batched engine from silently regressing back toward
+scalar-loop throughput — the regression gate alone cannot catch that,
+because it compares against whatever baseline is committed.
+
+The benchmark must record ``extra_info["shots"]``; entries without it are
+skipped (they have no throughput interpretation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def throughput_rates(path: Path, engine: str) -> dict[str, float]:
+    """Map benchmark fullname -> shots/s for matching entries."""
+    data = json.loads(path.read_text())
+    rates: dict[str, float] = {}
+    for entry in data.get("benchmarks", []):
+        extra = entry.get("extra_info", {})
+        shots = extra.get("shots")
+        if shots is None or extra.get("engine") != engine:
+            continue
+        mean = entry["stats"]["mean"]
+        if mean > 0:
+            rates[entry["fullname"]] = shots / mean
+    return rates
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path, help="pytest-benchmark JSON file")
+    parser.add_argument("--min-shots-per-sec", type=float, required=True,
+                        help="fail if any matching benchmark runs slower than this")
+    parser.add_argument("--engine", default="vectorised",
+                        help="extra_info.engine tag to gate on (default: vectorised)")
+    args = parser.parse_args(argv)
+
+    if args.min_shots_per_sec <= 0:
+        parser.error("--min-shots-per-sec must be positive")
+    try:
+        rates = throughput_rates(args.results, args.engine)
+    except (OSError, json.JSONDecodeError, KeyError) as error:
+        print(f"error: cannot read benchmark JSON {args.results}: {error}",
+              file=sys.stderr)
+        return 1
+    if not rates:
+        print(f"error: no benchmark in {args.results} carries "
+              f"extra_info.engine == {args.engine!r} with a shot count",
+              file=sys.stderr)
+        return 1
+    failures = []
+    for name, rate in sorted(rates.items()):
+        verdict = "ok" if rate >= args.min_shots_per_sec else "BELOW FLOOR"
+        print(f"{name}: {rate:,.0f} shots/s  (floor {args.min_shots_per_sec:,.0f})  {verdict}")
+        if rate < args.min_shots_per_sec:
+            failures.append(name)
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) below the throughput floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

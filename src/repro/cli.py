@@ -35,6 +35,7 @@ from repro.noise import NOISE_PRESETS, NoiseSpec, prime_compiled, simulate_point
 from repro.runner import CompileCache, DeviceSpec, SweepPlan, SweepPoint, default_cache_dir, execute_plan
 from repro.simulation.verify import VerificationError
 from repro.evaluation import (
+    DEFAULT_VALIDATION_SHOTS,
     DEFAULT_VALIDATION_STRATEGIES,
     VALIDATION_HEADERS,
     figure3_state_evolution,
@@ -119,12 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  default="grid")
     simulate_parser.add_argument("--seed", type=int, default=0,
                                  help="seed for both the compile and the trajectories")
-    simulate_parser.add_argument("--shots", type=int, default=2000)
+    simulate_parser.add_argument("--shots", type=int, default=8000)
     simulate_parser.add_argument("--noise", choices=sorted(NOISE_PRESETS), default="table1")
     simulate_parser.add_argument("--track-state", action="store_true",
                                  help="also evolve the state vector for outcome-level "
                                       "metrics (compiles with single-qubit merging "
-                                      "disabled; not available for fq)")
+                                      "disabled; covers every strategy, fq included)")
     _add_runner_arguments(simulate_parser)
 
     validate_parser = subparsers.add_parser(
@@ -140,7 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  default=None,
                                  help=f"(default: {' '.join(DEFAULT_VALIDATION_STRATEGIES)})")
     validate_parser.add_argument("--shots", type=int, default=None,
-                                 help="(default: 2000)")
+                                 help=f"(default: {DEFAULT_VALIDATION_SHOTS})")
     validate_parser.add_argument("--noise", choices=sorted(NOISE_PRESETS), default="table1")
     validate_parser.add_argument("--seed", type=int, default=0)
     validate_parser.add_argument("--tolerance", type=float, default=0.10,
@@ -148,7 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
                                       "does not bracket the analytic value")
     validate_parser.add_argument("--smoke", action="store_true",
                                  help="tiny fixed configuration for CI: bv/ghz at 4 "
-                                      "qubits, qubit_only/eqm, 200 shots")
+                                      "qubits, qubit_only/eqm, 2000 shots")
     validate_parser.add_argument("--json", dest="json_output",
                                  help="write the validation rows to this JSON file")
     _add_runner_arguments(validate_parser)
@@ -261,6 +262,11 @@ def _run_compile(args: argparse.Namespace) -> int:
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
+    if args.shots <= 0:
+        # zero-shot batches are valid plumbing (empty plans merge cleanly)
+        # but there is nothing to report about one
+        print("error: --shots must be positive", file=sys.stderr)
+        return 2
     compiler_kwargs = {"merge_single_qubit_gates": False} if args.track_state else None
     point = _compile_point_from_args(args, compiler_kwargs=compiler_kwargs)
     if isinstance(point, int):
@@ -303,16 +309,21 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Fixed tiny configuration exercised by the CI smoke job.
+#: Fixed tiny configuration exercised by the CI smoke job.  The shot
+#: budget rides the vectorised engine: 2000 shots per cell cost what 200
+#: used to, and make the smoke verdicts far less borderline.
 _SMOKE_VALIDATION = {
     "benchmarks": ("bv", "ghz"),
     "sizes": (4,),
     "strategies": ("qubit_only", "eqm"),
-    "shots": 200,
+    "shots": 2000,
 }
 
 
 def _run_validate_eps(args: argparse.Namespace) -> int:
+    if args.shots is not None and args.shots <= 0:
+        print("error: --shots must be positive", file=sys.stderr)
+        return 2
     cache = _cache_from_args(args)
     explicit = [flag for flag, value in (
         ("--benchmarks", args.benchmarks), ("--sizes", args.sizes),
@@ -331,7 +342,7 @@ def _run_validate_eps(args: argparse.Namespace) -> int:
         benchmarks = tuple(args.benchmarks or ("bv", "ghz", "qft"))
         sizes = tuple(args.sizes or (4, 6))
         strategies = tuple(args.strategies or DEFAULT_VALIDATION_STRATEGIES)
-        shots = args.shots if args.shots is not None else 2000
+        shots = args.shots if args.shots is not None else DEFAULT_VALIDATION_SHOTS
     rows = validate_eps(
         benchmarks=benchmarks, sizes=sizes, strategies=strategies,
         noise=args.noise, shots=shots, seed=args.seed,

@@ -136,7 +136,7 @@ class QompressCompiler:
 
         def emit(gate: str, units: tuple[int, ...], logical: tuple[int, ...],
                  communication: bool = False, moves: dict[int, Slot] | None = None,
-                 source: int = -1) -> None:
+                 source: int = -1, slots: tuple[Slot, ...] = ()) -> None:
             ops.append(
                 PhysicalOp(
                     gate=gate,
@@ -147,18 +147,17 @@ class QompressCompiler:
                     is_communication=communication,
                     moves=dict(moves or {}),
                     source_gate=source,
+                    slots=slots,
                 )
             )
 
-        def ancilla_for(unit: int) -> int:
-            neighbors = self.device.topology.neighbors(unit)
-            bare = [n for n in neighbors if n not in ququart_units]
-            return bare[0] if bare else neighbors[0]
-
-        # Initial encoding of every pair.
+        # Initial encoding of every pair: qubit b joins a on the ququart
+        # (the slot-level transport the state replayer models).
         for a, b in pairs:
             unit = unit_of[a]
-            emit("enc", (unit, ancilla_for(unit)), (a, b), communication=True)
+            ancilla = self._fq_ancilla(unit, ququart_units)
+            emit("enc", (unit, ancilla), (a, b), communication=True,
+                 slots=(slot_of[b], (ancilla, 0)))
 
         partner: dict[int, int] = {}
         for a, b in pairs:
@@ -176,9 +175,10 @@ class QompressCompiler:
                 qubit = gate.qubits[0]
                 unit = unit_of[qubit]
                 if unit in ququart_units:
-                    emit("x0" if slot_of[qubit][1] == 0 else "x1", (unit,), (qubit,), source=index)
+                    emit("x0" if slot_of[qubit][1] == 0 else "x1", (unit,), (qubit,),
+                         source=index, slots=(slot_of[qubit],))
                 else:
-                    emit("x", (unit,), (qubit,), source=index)
+                    emit("x", (unit,), (qubit,), source=index, slots=(slot_of[qubit],))
                 continue
             control, target = gate.qubits
             if partner.get(control) == target:
@@ -186,7 +186,8 @@ class QompressCompiler:
                 gate_name = "swap_in" if gate.name == "swap" else (
                     "cx0_in" if slot_of[control][1] == 0 else "cx1_in"
                 )
-                emit(gate_name, (unit_of[control],), (control, target), source=index)
+                emit(gate_name, (unit_of[control],), (control, target), source=index,
+                     slots=(slot_of[control], slot_of[target]))
                 continue
             # External operation: route ququarts adjacent, decode, act, re-encode.
             self._fq_external_op(
@@ -240,28 +241,58 @@ class QompressCompiler:
                 for qubit in occupants_there:
                     moved[qubit] = (here, slot_of[qubit][1])
                 emit("swap4", (here, there), tuple(occupants_here + occupants_there),
-                     communication=True, moves=moved, source=source)
+                     communication=True, moves=moved, source=source,
+                     slots=((here, 0), (here, 1), (there, 0), (there, 1)))
                 for qubit, new_slot in moved.items():
                     unit_of[qubit] = new_slot[0]
                     slot_of[qubit] = new_slot
             unit_c = unit_of[control]
             unit_t = unit_of[target]
-        # Decode both operand ququarts (if encoded), run the bare gate, re-encode.
-        decoded: list[tuple[int, int, int]] = []  # (unit, partner_a, partner_b)
+        # Decode both operand ququarts (if encoded), run the bare gate,
+        # re-encode.  Ancillas must avoid the gate's own operand units (a
+        # decode may not park a partner where the bare gate acts) and each
+        # other; re-encodes unwind in reverse order so a shared fallback
+        # ancilla still round-trips correctly.
+        decoded: list[tuple[int, int, int, int]] = []  # (unit, qubit, partner, ancilla)
+        operand_units = frozenset((unit_of[control], unit_of[target]))
+        used_ancillas: set[int] = set()
         for qubit in (control, target):
             unit = unit_of[qubit]
             if unit in ququart_units:
                 other = partner[qubit]
-                ancilla = self._fq_ancilla(unit, ququart_units)
-                emit("dec", (unit, ancilla), (qubit, other), communication=True, source=source)
-                decoded.append((unit, qubit, other))
+                ancilla = self._fq_ancilla(
+                    unit, ququart_units, exclude=operand_units | used_ancillas
+                )
+                used_ancillas.add(ancilla)
+                emit("dec", (unit, ancilla), (qubit, other), communication=True,
+                     source=source, slots=(slot_of[other], (ancilla, 0)))
+                decoded.append((unit, qubit, other, ancilla))
         bare_gate = "swap2" if name == "swap" else "cx2"
-        emit(bare_gate, (unit_of[control], unit_of[target]), (control, target), source=source)
-        for unit, qubit, other in decoded:
-            ancilla = self._fq_ancilla(unit, ququart_units)
-            emit("enc", (unit, ancilla), (qubit, other), communication=True, source=source)
+        emit(bare_gate, (unit_of[control], unit_of[target]), (control, target),
+             source=source, slots=(slot_of[control], slot_of[target]))
+        for unit, qubit, other, ancilla in reversed(decoded):
+            emit("enc", (unit, ancilla), (qubit, other), communication=True,
+                 source=source, slots=(slot_of[other], (ancilla, 0)))
 
-    def _fq_ancilla(self, unit: int, ququart_units: frozenset[int]) -> int:
+    def _fq_ancilla(
+        self,
+        unit: int,
+        ququart_units: frozenset[int],
+        exclude: frozenset[int] | set[int] = frozenset(),
+    ) -> int:
+        """Unit that temporarily holds a decoded partner qubit.
+
+        Prefers bare neighbours, skipping ``exclude`` (the surrounding
+        gate's operand units and already-claimed ancillas) so the parked
+        qubit can never collide with the operation being performed; falls
+        back to any non-excluded neighbour, then to the original
+        first-neighbour choice on degenerate topologies.
+        """
         neighbors = self.device.topology.neighbors(unit)
-        bare = [n for n in neighbors if n not in ququart_units]
-        return bare[0] if bare else neighbors[0]
+        bare = [n for n in neighbors if n not in ququart_units and n not in exclude]
+        if bare:
+            return bare[0]
+        free = [n for n in neighbors if n not in exclude]
+        if free:
+            return free[0]
+        return neighbors[0]

@@ -5,9 +5,34 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.arch.device import Device
 from repro.gates.library import gate_spec
 from repro.gates.styles import GateStyle
+
+
+@dataclass(frozen=True)
+class ErrorSiteSchedule:
+    """Flat per-op arrays describing a compiled circuit's error sites.
+
+    Pre-extracted once per :class:`CompiledCircuit` (and cached there) so
+    noise models can turn the op stream into channel-strength vectors
+    without touching the :class:`PhysicalOp` objects again — the
+    trajectory engine's chunk-batched path consumes these arrays directly.
+    """
+
+    #: Physical gate name of each op, in schedule order.
+    gates: tuple[str, ...]
+    #: ``1 - fidelity`` per op — the fallback error probability for gates
+    #: missing from a model's calibration table.
+    fallback_error: np.ndarray
+    #: Sorted ``(unit, unit)`` key per two-unit op, ``None`` elsewhere;
+    #: indexes the per-edge error multipliers of heterogeneous models.
+    edge_keys: tuple[tuple[int, int] | None, ...]
+
+    def __len__(self) -> int:
+        return len(self.gates)
 
 
 @dataclass
@@ -121,6 +146,29 @@ class CompiledCircuit:
         return sum(1 for op in self.ops if op.style.is_two_qudit)
 
     # ------------------------------------------------------------------
+    # flat schedules (cached; compiled circuits are immutable post-compile)
+    # ------------------------------------------------------------------
+    def error_site_schedule(self) -> ErrorSiteSchedule:
+        """Flat per-op error-site arrays, computed once and cached.
+
+        The cache assumes ``ops`` is not mutated after compilation — true
+        for every pipeline output; callers constructing circuits by hand
+        must finish editing before querying.
+        """
+        cached = getattr(self, "_error_site_cache", None)
+        if cached is None:
+            cached = ErrorSiteSchedule(
+                gates=tuple(op.gate for op in self.ops),
+                fallback_error=np.array([1.0 - op.fidelity for op in self.ops]),
+                edge_keys=tuple(
+                    tuple(sorted(op.units)) if len(op.units) == 2 else None
+                    for op in self.ops
+                ),
+            )
+            self._error_site_cache = cached
+        return cached
+
+    # ------------------------------------------------------------------
     # residency accounting (used by the coherence EPS metric)
     # ------------------------------------------------------------------
     def residency_segments(self) -> dict[int, list[tuple[float, float, int]]]:
@@ -132,7 +180,14 @@ class CompiledCircuit:
         spans per qubit always cover ``[0, makespan]``, matching the paper's
         worst-case assumption that every qubit is live for the entire
         circuit.  Zero-length spans are dropped.
+
+        Computed once and cached (treat the returned structure as
+        read-only); both EPS metrics and every trajectory-engine
+        construction query it.
         """
+        cached = getattr(self, "_residency_cache", None)
+        if cached is not None:
+            return cached
         makespan = self.makespan_ns
         results: dict[int, list[tuple[float, float, int]]] = {}
         transitions: dict[int, list[tuple[float, int]]] = defaultdict(list)
@@ -152,6 +207,7 @@ class CompiledCircuit:
             if makespan > current_time:
                 segments.append((current_time, makespan, current_unit))
             results[logical] = segments
+        self._residency_cache = results
         return results
 
     def qubit_mode_times(self) -> dict[int, tuple[float, float]]:

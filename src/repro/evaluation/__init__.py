@@ -40,6 +40,7 @@ from repro.evaluation.experiments import (
 from repro.evaluation.reporting import format_table, results_to_rows, save_csv
 from repro.evaluation.validate import (
     DEFAULT_VALIDATION_BENCHMARKS,
+    DEFAULT_VALIDATION_SHOTS,
     DEFAULT_VALIDATION_SIZES,
     DEFAULT_VALIDATION_STRATEGIES,
     VALIDATION_HEADERS,
@@ -78,6 +79,7 @@ __all__ = [
     "results_to_rows",
     "save_csv",
     "DEFAULT_VALIDATION_BENCHMARKS",
+    "DEFAULT_VALIDATION_SHOTS",
     "DEFAULT_VALIDATION_SIZES",
     "DEFAULT_VALIDATION_STRATEGIES",
     "VALIDATION_HEADERS",

@@ -11,7 +11,10 @@ Layers:
 * :mod:`repro.noise.model` — :class:`NoiseModel` built from device
   calibration, with the declarative :class:`NoiseSpec` recipe and named
   presets (``ideal``, ``table1``, ``pessimistic``, ``heterogeneous``).
-* :mod:`repro.noise.trajectory` — the per-shot sampler and
+* :mod:`repro.noise.rng` — batched bit-exact replication of the per-shot
+  ``default_rng((seed, shot))`` streams, the engine's vectorised core.
+* :mod:`repro.noise.trajectory` — the trajectory sampler (chunk-batched
+  event-only path plus the scalar ``_reference`` loop) and
   :func:`simulate_noisy`.
 * :mod:`repro.noise.density` — an exact density-matrix reference path
   (registers of up to 3 units) the trajectory sampler is unit-tested
@@ -43,7 +46,8 @@ from repro.noise.result import (
     merge_chunks,
     wilson_interval,
 )
-from repro.noise.trajectory import TrajectoryEngine, simulate_noisy
+from repro.noise.rng import uniform_streams
+from repro.noise.trajectory import EVENT_BLOCK_SHOTS, TrajectoryEngine, simulate_noisy
 from repro.noise.density import (
     MAX_REFERENCE_UNITS,
     exact_outcome_probability,
@@ -68,8 +72,10 @@ __all__ = [
     "TrajectoryChunk",
     "merge_chunks",
     "wilson_interval",
+    "EVENT_BLOCK_SHOTS",
     "TrajectoryEngine",
     "simulate_noisy",
+    "uniform_streams",
     "MAX_REFERENCE_UNITS",
     "exact_outcome_probability",
     "reference_density",

@@ -216,6 +216,49 @@ class NoiseModel:
             base *= self.edge_error_factor.get(tuple(sorted(op.units)), 1.0)
         return min(1.0, max(0.0, base))
 
+    def op_error_probabilities(self, compiled: CompiledCircuit) -> np.ndarray:
+        """Depolarizing-event probability of every scheduled op, as one array.
+
+        The vectorised trajectory engine consumes this flat export instead
+        of calling :meth:`op_error_probability` per op; entries are computed
+        with the identical arithmetic (memoised per distinct error site),
+        so the two views are bit-equal.
+        """
+        sites = compiled.error_site_schedule()
+        memo: dict[tuple[str, tuple[int, int] | None], float] = {}
+        probabilities = np.empty(len(sites), dtype=np.float64)
+        for index, (gate, edge_key) in enumerate(zip(sites.gates, sites.edge_keys)):
+            base = self.gate_error.get(gate)
+            if base is None:
+                # uncalibrated gate: per-op fidelity fallback, not memoisable
+                base = float(sites.fallback_error[index])
+                if edge_key is not None:
+                    base *= self.edge_error_factor.get(edge_key, 1.0)
+                probabilities[index] = min(1.0, max(0.0, base))
+                continue
+            key = (gate, edge_key)
+            value = memo.get(key)
+            if value is None:
+                if edge_key is not None:
+                    base *= self.edge_error_factor.get(edge_key, 1.0)
+                value = min(1.0, max(0.0, base))
+                memo[key] = value
+            probabilities[index] = value
+        return probabilities
+
+    def idle_decay_channels(self, compiled: CompiledCircuit) -> tuple[list[int], np.ndarray]:
+        """Per-qubit amplitude-damping hazards as flat arrays.
+
+        Returns the sorted logical qubits and, aligned with them, each
+        qubit's whole-circuit decay probability ``1 - exp(-t / T1)``
+        accumulated over its residency — the thresholds the worst-case idle
+        policy samples against.
+        """
+        exponents = self.residency_decay_exponent(compiled)
+        qubits = sorted(exponents)
+        gammas = -np.expm1(-np.array([exponents[qubit] for qubit in qubits]))
+        return qubits, np.atleast_1d(gammas)
+
     def decay_rate(self, unit: int, is_ququart: bool) -> float:
         """Amplitude-damping rate (1/ns) of one unit in its operating mode."""
         rate = self.ququart_decay_rate if is_ququart else self.qubit_decay_rate

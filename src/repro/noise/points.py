@@ -17,7 +17,7 @@ circuit compile it once per worker.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.compiler.result import CompiledCircuit
 from repro.noise.model import NoiseSpec
@@ -27,10 +27,13 @@ from repro.runner.cache import CompileCache
 from repro.runner.plan import SweepPlan
 from repro.runner.points import SweepPoint
 
-#: Default shots per plan point; small enough to load-balance a pool,
-#: large enough that per-chunk overhead (compile memo lookup, pickling)
-#: stays negligible.
-DEFAULT_CHUNK_SIZE = 500
+#: Default shots per plan point.  Sized for the chunk-batched vectorised
+#: engine: thousands of shots per chunk amortise the per-chunk overhead
+#: (compile memo lookup, pickling) to nothing and keep each chunk inside
+#: one vectorised block (:data:`repro.noise.trajectory.EVENT_BLOCK_SHOTS`),
+#: while staying small enough that multi-cell plans load-balance a pool.
+#: Raised from 500 when the event-only path was vectorised (PR 4).
+DEFAULT_CHUNK_SIZE = 4096
 
 
 #: Process-local memo of compiled circuits for shot batches (bounded).
@@ -98,9 +101,13 @@ def shot_plan(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     track_state: bool = False,
 ) -> SweepPlan:
-    """Split ``shots`` into chunked :class:`NoisePoint` plan entries."""
-    if shots <= 0:
-        raise ValueError("shots must be positive")
+    """Split ``shots`` into chunked :class:`NoisePoint` plan entries.
+
+    ``shots=0`` is a valid degenerate request and yields an empty plan
+    (which merges into the zero-shot :class:`NoisyResult`).
+    """
+    if shots < 0:
+        raise ValueError("shots must be non-negative")
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
     points = []
@@ -144,4 +151,10 @@ def simulate_point(
         seed=seed, chunk_size=chunk_size, track_state=track_state,
     )
     chunks = execute_plan(plan, workers=workers, cache=cache)
-    return NoisyResult.from_chunks(chunks, seed)
+    result = NoisyResult.from_chunks(chunks, seed)
+    if not chunks and track_state:
+        # a zero-shot plan has no chunks to vote on trackedness; preserve
+        # the request so the zero-shot outcome estimators raise instead of
+        # answering None ("not a tracked run")
+        result = replace(result, tracked=True)
+    return result

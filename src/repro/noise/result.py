@@ -82,9 +82,14 @@ class NoisyResult:
 
     @classmethod
     def from_chunks(cls, chunks: Sequence[TrajectoryChunk], seed: int) -> "NoisyResult":
-        """Merge chunks (in plan order) into one result."""
+        """Merge chunks (in plan order) into one result.
+
+        An empty chunk list (a zero-shot plan) merges into the well-defined
+        zero-shot result; estimates that divide by the shot count raise on
+        it, but the counters are all validly zero.
+        """
         if not chunks:
-            raise ValueError("cannot merge an empty chunk list")
+            return cls(shots=0, seed=seed, no_error_shots=0, gate_events=0, idle_events=0)
         tracked = all(chunk.tracked for chunk in chunks)
         return cls(
             shots=sum(chunk.shots for chunk in chunks),
@@ -110,10 +115,14 @@ class NoisyResult:
         model counts *any* gate error or decay as a failure, so success is
         "no error event fired during the trajectory".
         """
+        if self.shots == 0:
+            raise ValueError("success probability is undefined for a zero-shot result")
         return self.no_error_shots / self.shots
 
     def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
         """Wilson interval around :attr:`success_probability`."""
+        if self.shots == 0:
+            raise ValueError("confidence interval is undefined for a zero-shot result")
         return wilson_interval(self.no_error_shots, self.shots, z=z)
 
     @property
@@ -128,6 +137,8 @@ class NoisyResult:
         """
         if not self.tracked:
             return None
+        if self.shots == 0:
+            raise ValueError("outcome probability is undefined for a zero-shot result")
         return self.outcome_successes / self.shots
 
     @property
@@ -135,6 +146,8 @@ class NoisyResult:
         """Mean |<ideal | noisy>|^2 across shots (state-tracked runs only)."""
         if not self.tracked:
             return None
+        if self.shots == 0:
+            raise ValueError("outcome fidelity is undefined for a zero-shot result")
         return self.outcome_fidelity_sum / self.shots
 
     def summary(self) -> dict:

@@ -19,9 +19,21 @@ Determinism: shot ``i`` of seed ``s`` always draws from the RNG stream
 ``default_rng((s, i))``, so results are bit-identical however the shots are
 chunked across workers.
 
+The event-only path (``track_state=False``, all the EPS estimate needs) is
+chunk-batched: the circuit's error-site schedule is pre-extracted into flat
+probability arrays once per engine, and all stochastic draws for a whole
+block of shots are generated in one vectorised pass through
+:mod:`repro.noise.rng` — an order of magnitude faster than one Python
+``Generator`` per shot, yet bit-identical to it.  The original scalar loop
+is retained as the ``_reference`` implementation (:meth:`run_reference`)
+and the golden-equivalence tests compare the two draw for draw.
+
 Shots where *no* event fired estimate the analytic EPS; with
 ``track_state=True`` the engine additionally evolves the state vector and
 reports outcome-level success (which the analytic model lower-bounds).
+State tracking replays every strategy, including the Full-Ququart baseline
+whose encode/decode ops are modelled as slot transports (see
+:func:`repro.simulation.verify.physical_op_unitary`).
 """
 
 from __future__ import annotations
@@ -34,6 +46,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.result import CompiledCircuit
 from repro.noise.model import NoiseModel, NoiseSpec, resolve_model
 from repro.noise.result import NoisyResult, TrajectoryChunk
+from repro.noise.rng import uniform_streams
 from repro.pulses.unitaries import qubit_gate
 from repro.simulation.statevector import MixedRadixState
 from repro.simulation.verify import (
@@ -45,6 +58,11 @@ from repro.simulation.verify import (
 
 #: Pauli codes used when a depolarizing event fires (0 = identity).
 _PAULI_NAMES = ("i", "x", "y", "z")
+
+#: Shots per vectorised block in the event-only path.  Bounds the size of
+#: the per-block draw matrix (``block x draws_per_shot`` float64) while
+#: keeping the batch large enough that per-block overhead is negligible.
+EVENT_BLOCK_SHOTS = 8192
 
 
 @dataclass(frozen=True)
@@ -66,10 +84,12 @@ class TrajectoryEngine:
         compiled circuit's device).
     track_state:
         ``False`` samples error events only — enough for the EPS estimate
-        and available for *any* compiled circuit.  ``True`` additionally
-        replays the state vector with the sampled noise injected, enabling
-        the outcome-level metrics; it requires a replayable op stream
-        (compile with ``merge_single_qubit_gates=False``, non-FQ strategy).
+        and available for *any* compiled circuit, on the fast chunk-batched
+        path.  ``True`` additionally replays the state vector with the
+        sampled noise injected, enabling the outcome-level metrics; it
+        requires a replayable op stream (compile with
+        ``merge_single_qubit_gates=False``; the FQ baseline always
+        schedules unmerged).
     """
 
     def __init__(
@@ -82,14 +102,8 @@ class TrajectoryEngine:
         self.model = resolve_model(model, compiled.device)
         self.track_state = bool(track_state)
         self.dims = register_dims(compiled)
-        self.op_probs = np.array(
-            [self.model.op_error_probability(op) for op in compiled.ops]
-        )
-        exponents = self.model.residency_decay_exponent(compiled)
-        self.idle_qubits = sorted(exponents)
-        self.idle_gammas = np.array(
-            [-np.expm1(-exponents[qubit]) for qubit in self.idle_qubits]
-        )
+        self.op_probs = self.model.op_error_probabilities(compiled)
+        self.idle_qubits, self.idle_gammas = self.model.idle_decay_channels(compiled)
         self._draws = len(compiled.ops) + len(self.idle_qubits)
         self._ideal_vector: np.ndarray | None = None
         self._op_unitaries: list[tuple[np.ndarray, tuple[int, ...]] | None] = []
@@ -155,7 +169,7 @@ class TrajectoryEngine:
         state.apply_kraus(matrix, units)
 
     # ------------------------------------------------------------------
-    # sampling
+    # scalar sampling (the _reference implementation, and state tracking)
     # ------------------------------------------------------------------
     def _run_shot(self, rng: np.random.Generator) -> _ShotOutcome:
         draws = rng.random(self._draws) if self._draws else np.empty(0)
@@ -204,10 +218,16 @@ class TrajectoryEngine:
                     self._apply_damping_survival(state, unit, slot, gamma)
         return _ShotOutcome(gate_events, idle_events, state.vector)
 
-    def run(self, shots: int, seed: int, base_shot: int = 0) -> TrajectoryChunk:
-        """Sample ``shots`` trajectories starting at absolute index ``base_shot``."""
-        if shots <= 0:
-            raise ValueError("shots must be positive")
+    def run_reference(self, shots: int, seed: int, base_shot: int = 0) -> TrajectoryChunk:
+        """Sample trajectories with the original one-``Generator``-per-shot loop.
+
+        This is the retained ``_reference`` implementation: slower than
+        :meth:`run` but trivially correct against the documented RNG-stream
+        contract.  The golden-equivalence tests assert ``run`` returns
+        bit-identical chunks; production callers should use :meth:`run`.
+        """
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
         no_error = 0
         gate_events = 0
         idle_events = 0
@@ -236,6 +256,63 @@ class TrajectoryEngine:
             outcome_successes=outcome_successes,
             outcome_fidelity_sum=fidelity_sum,
         )
+
+    # ------------------------------------------------------------------
+    # chunk-batched sampling (the production event-only path)
+    # ------------------------------------------------------------------
+    def _run_event_batch(self, shots: int, seed: int, base_shot: int) -> TrajectoryChunk:
+        """Vectorised event-only sampling over blocks of shots.
+
+        Generates every shot's private ``default_rng((seed, shot))`` stream
+        in batch (:func:`repro.noise.rng.uniform_streams`) and compares the
+        whole draw matrix against the flat per-op / per-qubit thresholds at
+        once.  The thresholds and the draws are the same floats the scalar
+        loop uses, compared with the same IEEE predicates, so the event
+        counts are bit-identical at any block or chunk split.
+        """
+        num_ops = len(self.compiled.ops)
+        no_error = 0
+        gate_events = 0
+        idle_events = 0
+        for start in range(0, shots, EVENT_BLOCK_SHOTS):
+            count = min(EVENT_BLOCK_SHOTS, shots - start)
+            draws = uniform_streams(seed, base_shot + start, count, self._draws)
+            gate_mask = draws[:, :num_ops] < self.op_probs
+            idle_mask = draws[:, num_ops:] < self.idle_gammas
+            per_shot_gate = gate_mask.sum(axis=1)
+            per_shot_idle = idle_mask.sum(axis=1)
+            no_error += int(((per_shot_gate == 0) & (per_shot_idle == 0)).sum())
+            gate_events += int(per_shot_gate.sum())
+            idle_events += int(per_shot_idle.sum())
+        return TrajectoryChunk(
+            shots=shots,
+            base_shot=base_shot,
+            no_error_shots=no_error,
+            gate_events=gate_events,
+            idle_events=idle_events,
+            tracked=False,
+        )
+
+    def run(self, shots: int, seed: int, base_shot: int = 0) -> TrajectoryChunk:
+        """Sample ``shots`` trajectories starting at absolute index ``base_shot``.
+
+        Event-only engines take the chunk-batched vectorised path;
+        state-tracking engines fall back to the scalar replay loop.  Both
+        honour the per-shot ``(seed, shot)`` RNG-stream contract, so the
+        two paths — and any chunk split of either — are bit-identical
+        (asserted by :meth:`run_reference` comparisons in the test suite).
+
+        A zero-shot batch is valid and returns an empty chunk.
+        """
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
+        if self.track_state:
+            return self.run_reference(shots, seed, base_shot=base_shot)
+        if self.model.idle_policy != "worst_case":
+            raise VerificationError(
+                "the kraus idle policy is state-dependent; run with track_state=True"
+            )
+        return self._run_event_batch(shots, seed, base_shot)
 
     def final_vectors(self, shots: int, seed: int, base_shot: int = 0) -> list[np.ndarray]:
         """Final state vector of each trajectory (state-tracking mode only).

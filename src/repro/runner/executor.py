@@ -75,11 +75,19 @@ class ParallelExecutor:
         )
         return results
 
+    #: Cap on the auto-picked dispatch chunk: huge plans (tens of
+    #: thousands of shot chunks) would otherwise serialise into a handful
+    #: of giant worker tasks, losing load balancing and delaying cache
+    #: writes until the very end of the run.
+    MAX_AUTO_CHUNKSIZE = 64
+
     def _execute(self, points: Sequence[SweepPoint]) -> list:
         workers = min(self.workers, len(points))
         if workers <= 1:
             return [execute_point(point) for point in points]
-        chunksize = self.chunksize or max(1, len(points) // (workers * 4))
+        chunksize = self.chunksize or min(
+            self.MAX_AUTO_CHUNKSIZE, max(1, len(points) // (workers * 4))
+        )
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # map preserves input order, so plan order survives the fan-out.
             return list(pool.map(execute_point, points, chunksize=chunksize))
@@ -89,6 +97,11 @@ def execute_plan(
     plan: SweepPlan | Iterable[SweepPoint],
     workers: int = 1,
     cache: CompileCache | None = None,
+    chunksize: int | None = None,
 ) -> list:
-    """One-shot convenience wrapper around :class:`ParallelExecutor`."""
-    return ParallelExecutor(workers=workers, cache=cache).run(plan)
+    """One-shot convenience wrapper around :class:`ParallelExecutor`.
+
+    ``chunksize`` overrides the executor's auto-picked points-per-worker-task
+    dispatch granularity (it does not change results, only scheduling).
+    """
+    return ParallelExecutor(workers=workers, cache=cache, chunksize=chunksize).run(plan)

@@ -11,8 +11,16 @@ The check is exact (fidelity ~ 1.0) for circuits compiled with single-qubit
 merging disabled, because merged ``x01`` operations lose the identity of the
 two source gates they combine.  Compile with
 ``QompressCompiler(device, strategy, merge_single_qubit_gates=False)`` when
-verifying.  The Full-Ququart baseline uses encode/decode semantics that the
-replayer does not model and is therefore out of scope.
+verifying.
+
+The Full-Ququart baseline is replayable too: its ``enc``/``dec`` ops are
+modelled as slot transports — a SWAP between the partner qubit's encoded
+slot and the ancilla unit it is parked on — which is exactly the unitary
+content of encode/decode once the error cost has been charged, and its
+``swap4`` ops exchange the full contents of two units.  Units that ever
+host a full-ququart SWAP are promoted to dimension 4 in the replay
+register (:func:`register_dims`), since FQ routing may park an encoded
+pair on a unit that operates bare the rest of the time.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.result import CompiledCircuit, PhysicalOp
+from repro.gates.styles import GateStyle
 from repro.pulses.unitaries import SWAP_MATRIX, embed_operator, qubit_gate
 from repro.simulation.statevector import MixedRadixState
 
@@ -29,11 +38,38 @@ class VerificationError(AssertionError):
     """Raised when a compiled circuit is not equivalent to its source."""
 
 
+def _double_swap_matrix() -> np.ndarray:
+    """4-qubit permutation |a b c d> -> |c d a b> (full ququart SWAP).
+
+    Acting on slots ``((here, 0), (here, 1), (there, 0), (there, 1))`` it
+    exchanges the complete encoded contents of two units, which is the
+    ``swap4`` semantics the FQ router relies on.
+    """
+    matrix = np.zeros((16, 16), dtype=complex)
+    for source in range(16):
+        a, b = (source >> 3) & 1, (source >> 2) & 1
+        c, d = (source >> 1) & 1, source & 1
+        matrix[(c << 3) | (d << 2) | (a << 1) | b, source] = 1.0
+    return matrix
+
+
+_DOUBLE_SWAP = _double_swap_matrix()
+
+
 def register_dims(compiled: CompiledCircuit) -> tuple[int, ...]:
-    """Per-unit dimensions (2 or 4) of the compiled circuit's register."""
+    """Per-unit dimensions (2 or 4) of the compiled circuit's register.
+
+    A unit is four-dimensional when it is operated in ququart mode — or
+    when any full-ququart ``swap4`` ever touches it: FQ routing moves whole
+    encoded pairs through intermediate units, so those units must carry
+    two encoded slots during replay even if no qubit rests there.
+    """
+    quad = set(compiled.ququart_units)
+    for op in compiled.ops:
+        if op.style is GateStyle.FULL_QUQUART_SWAP:
+            quad.update(op.units)
     return tuple(
-        4 if unit in compiled.ququart_units else 2
-        for unit in range(compiled.device.num_units)
+        4 if unit in quad else 2 for unit in range(compiled.device.num_units)
     )
 
 
@@ -118,6 +154,16 @@ def physical_op_unitary(
         )
     if not op.slots:
         raise VerificationError(f"op {op.gate} carries no slot information")
+    if op.style in (GateStyle.ENCODE, GateStyle.DECODE):
+        # encode/decode transport the partner qubit between its encoded
+        # slot and the ancilla unit: unitarily, a SWAP of those two slots.
+        if len(op.slots) != 2:
+            raise VerificationError(f"op {op.gate} needs exactly two slots, got {op.slots}")
+        return embed_on_slots(dims, SWAP_MATRIX, op.slots)
+    if op.style is GateStyle.FULL_QUQUART_SWAP:
+        if len(op.slots) != 4:
+            raise VerificationError(f"op {op.gate} needs exactly four slots, got {op.slots}")
+        return embed_on_slots(dims, _DOUBLE_SWAP, op.slots)
     if op.style.is_swap_like:
         return embed_on_slots(dims, SWAP_MATRIX, op.slots)
     if op.source_gate < 0 or op.source_gate >= len(lowered):

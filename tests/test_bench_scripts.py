@@ -110,3 +110,73 @@ class TestUpdateBaseline:
         assert result.returncode == 1
         # an empty artifact must never wipe the baseline
         assert baseline.read_text() == _bench_json({"bench_a": 1.0})
+
+
+FLOOR_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "check_shots_floor.py"
+
+
+def _throughput_json(entries: list[dict]) -> str:
+    return json.dumps({"benchmarks": entries})
+
+
+def _entry(name: str, mean: float, shots: int | None, engine: str = "vectorised") -> dict:
+    extra = {"engine": engine}
+    if shots is not None:
+        extra["shots"] = shots
+    return {"fullname": name, "stats": {"mean": mean}, "extra_info": extra}
+
+
+def _run_floor(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(FLOOR_SCRIPT), *argv],
+        capture_output=True, text=True,
+    )
+
+
+class TestShotsFloorGate:
+    def test_fast_engine_passes(self, tmp_path):
+        results = tmp_path / "bench.json"
+        # 20000 shots in 0.02 s = 1M shots/s
+        results.write_text(_throughput_json([_entry("bench_vec", 0.02, 20000)]))
+        result = _run_floor(str(results), "--min-shots-per-sec", "50000")
+        assert result.returncode == 0, result.stderr
+        assert "ok" in result.stdout
+
+    def test_slow_engine_fails(self, tmp_path):
+        results = tmp_path / "bench.json"
+        # 1000 shots in 1 s = 1k shots/s, far below any sensible floor
+        results.write_text(_throughput_json([_entry("bench_vec", 1.0, 1000)]))
+        result = _run_floor(str(results), "--min-shots-per-sec", "50000")
+        assert result.returncode == 1
+        assert "BELOW FLOOR" in result.stdout
+
+    def test_reference_entries_are_not_gated(self, tmp_path):
+        results = tmp_path / "bench.json"
+        results.write_text(_throughput_json([
+            _entry("bench_vec", 0.02, 20000),
+            _entry("bench_ref", 1.0, 1000, engine="reference"),
+        ]))
+        result = _run_floor(str(results), "--min-shots-per-sec", "50000")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "bench_ref" not in result.stdout
+
+    def test_missing_tagged_benchmark_is_an_error(self, tmp_path):
+        results = tmp_path / "bench.json"
+        results.write_text(_throughput_json([_entry("untagged", 0.5, None)]))
+        result = _run_floor(str(results), "--min-shots-per-sec", "50000")
+        assert result.returncode == 1
+        assert "no benchmark" in result.stderr
+
+    def test_real_artifact_shape(self, tmp_path):
+        # the real benchmark run emits this via pytest-benchmark; assert the
+        # script reads the same JSON the CI smoke job uploads
+        results = tmp_path / "bench.json"
+        results.write_text(json.dumps({
+            "benchmarks": [{
+                "fullname": "benchmarks/test_bench_noise.py::test_bench_trajectories_event_only",
+                "stats": {"mean": 0.025, "stddev": 0.001},
+                "extra_info": {"shots": 20000, "engine": "vectorised"},
+            }]
+        }))
+        result = _run_floor(str(results), "--min-shots-per-sec", "100000")
+        assert result.returncode == 0, result.stdout + result.stderr

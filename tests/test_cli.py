@@ -268,11 +268,13 @@ class TestCommands:
         assert "outcome success" in output
         assert "mean outcome fidelity" in output
 
-    def test_simulate_track_state_rejects_fq(self, capsys):
+    def test_simulate_track_state_covers_fq(self, capsys):
+        # FQ encode/decode semantics are modelled since PR 4
         code = main(["simulate", "--benchmark", "ghz", "--qubits", "3",
                      "--shots", "10", "--strategy", "fq", "--track-state"])
-        assert code == 2
-        assert "cannot track" in capsys.readouterr().err
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outcome success" in out
 
     def test_simulate_qasm(self, capsys, tmp_path):
         source = tmp_path / "bell.qasm"
@@ -319,3 +321,10 @@ class TestCommands:
         assert "entries" in capsys.readouterr().out
         assert main(["cache", "--dir", str(cache_dir), "--clear"]) == 0
         assert "removed 1 cached results" in capsys.readouterr().out
+
+
+class TestValidateEpsShotGuard:
+    def test_zero_shots_is_a_clean_error(self, capsys):
+        code = main(["validate-eps", "--shots", "0"])
+        assert code == 2
+        assert "--shots must be positive" in capsys.readouterr().err

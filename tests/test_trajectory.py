@@ -124,22 +124,26 @@ class TestEngineBehaviour:
         with pytest.raises(VerificationError):
             TrajectoryEngine(compiled_bv6, TABLE1, track_state=True)
 
-    def test_tracked_mode_rejects_fq(self):
-        compiled = SweepPoint(
-            "ghz", 4, "fq", compiler_kwargs=(("merge_single_qubit_gates", False),)
-        ).execute().compiled
-        with pytest.raises(VerificationError):
-            TrajectoryEngine(compiled, TABLE1, track_state=True)
-
     def test_event_only_handles_fq(self):
         compiled = SweepPoint("ghz", 4, "fq").execute().compiled
         result = simulate_noisy(compiled, TABLE1, shots=500, seed=0)
         low, high = result.confidence_interval(z=3.29)
         assert low <= total_eps(compiled) <= high
 
-    def test_rejects_non_positive_shots(self, compiled_bv6):
+    def test_tracked_mode_covers_fq(self):
+        # the FQ baseline always schedules unmerged, so its encode/decode
+        # op stream replays directly — the last scenario gap of PR 3
+        compiled = SweepPoint("ghz", 4, "fq").execute().compiled
+        tracked = simulate_noisy(compiled, TABLE1, shots=200, seed=4, track_state=True)
+        untracked = simulate_noisy(compiled, TABLE1, shots=200, seed=4)
+        assert tracked.no_error_shots == untracked.no_error_shots
+        assert tracked.gate_events == untracked.gate_events
+        assert tracked.idle_events == untracked.idle_events
+        assert tracked.outcome_probability >= tracked.success_probability - 1e-12
+
+    def test_rejects_negative_shots(self, compiled_bv6):
         with pytest.raises(ValueError):
-            simulate_noisy(compiled_bv6, TABLE1, shots=0)
+            simulate_noisy(compiled_bv6, TABLE1, shots=-1)
 
     def test_summary_fields(self, compiled_bv6):
         summary = simulate_noisy(compiled_bv6, TABLE1, shots=100, seed=0).summary()
@@ -148,9 +152,13 @@ class TestEngineBehaviour:
 
 
 class TestNoisyResultMerge:
-    def test_empty_merge_rejected(self):
+    def test_empty_merge_is_the_zero_shot_result(self):
+        result = NoisyResult.from_chunks([], seed=7)
+        assert result.shots == 0
+        assert result.seed == 7
+        assert result.gate_events == result.idle_events == result.no_error_shots == 0
         with pytest.raises(ValueError):
-            NoisyResult.from_chunks([], seed=0)
+            result.success_probability
 
     def test_results_pickle(self, compiled_bv6):
         result = simulate_noisy(compiled_bv6, TABLE1, shots=50, seed=0)
@@ -167,9 +175,13 @@ class TestShotPlan:
     def test_invalid_arguments(self):
         point = SweepPoint("bv", 4, "qubit_only")
         with pytest.raises(ValueError):
-            shot_plan(point, TABLE1, shots=0)
+            shot_plan(point, TABLE1, shots=-5)
         with pytest.raises(ValueError):
             shot_plan(point, TABLE1, shots=10, chunk_size=0)
+
+    def test_zero_shots_is_an_empty_plan(self):
+        point = SweepPoint("bv", 4, "qubit_only")
+        assert list(shot_plan(point, TABLE1, shots=0)) == []
 
     def test_points_are_hashable_and_picklable(self):
         point = NoisePoint(SweepPoint("bv", 4, "qubit_only"), TABLE1, shots=10)
@@ -216,3 +228,240 @@ class TestRunnerIntegration:
         results = execute_plan(mixed)
         assert results[0].shots == 100
         assert results[1].benchmark == "bv"
+
+
+# ----------------------------------------------------------------------
+# PR 4: chunk-batched vectorised engine vs the scalar _reference path
+# ----------------------------------------------------------------------
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+import repro.noise.trajectory as trajectory_module  # noqa: E402
+from repro.noise.rng import uniform_streams  # noqa: E402
+
+#: Small compile pool the property tests draw from: every strategy family,
+#: FQ included, compiled once per test session.
+_POOL_SPECS = (
+    ("bv", 6, "eqm"),
+    ("ghz", 5, "fq"),
+    ("qft", 4, "rb"),
+    ("random_clifford_t", 6, "pp"),
+)
+_PRESETS = ("table1", "pessimistic", "heterogeneous", "ideal")
+_ENGINES: dict[tuple, TrajectoryEngine] = {}
+
+
+def _pooled_engine(spec_index: int, preset: str) -> TrajectoryEngine:
+    key = (spec_index, preset)
+    engine = _ENGINES.get(key)
+    if engine is None:
+        bench, size, strategy = _POOL_SPECS[spec_index]
+        compiled = SweepPoint(bench, size, strategy).execute().compiled
+        engine = TrajectoryEngine(compiled, NoiseSpec.from_preset(preset))
+        _ENGINES[key] = engine
+    return engine
+
+
+class TestGoldenEquivalence:
+    """The vectorised path must be bit-identical to the scalar reference."""
+
+    @given(
+        spec_index=st.integers(0, len(_POOL_SPECS) - 1),
+        preset=st.sampled_from(_PRESETS),
+        seed=st.one_of(st.integers(0, 2**8), st.integers(0, 2**40)),
+        base_shot=st.one_of(
+            st.integers(0, 5000),
+            st.sampled_from([2**32 - 7, 2**32, 2**33 + 11]),
+        ),
+        shots=st.integers(0, 160),
+    )
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_run_matches_reference(self, spec_index, preset, seed, base_shot, shots):
+        engine = _pooled_engine(spec_index, preset)
+        assert engine.run(shots, seed, base_shot=base_shot) == engine.run_reference(
+            shots, seed, base_shot=base_shot
+        )
+
+    def test_block_splitting_is_invisible(self, compiled_bv6, monkeypatch):
+        whole = TrajectoryEngine(compiled_bv6, TABLE1).run(100, seed=3)
+        monkeypatch.setattr(trajectory_module, "EVENT_BLOCK_SHOTS", 7)
+        blocked = TrajectoryEngine(compiled_bv6, TABLE1).run(100, seed=3)
+        assert whole == blocked
+
+    def test_uniform_streams_are_bit_exact(self):
+        import numpy as np
+
+        for seed, base, shots, draws in [
+            (0, 0, 9, 6), (11, 123, 5, 40), (2**40 + 3, 0, 4, 8),
+            (5, 2**32 - 2, 5, 7), (0, 2**33, 3, 3),
+        ]:
+            batched = uniform_streams(seed, base, shots, draws)
+            reference = np.stack([
+                np.random.default_rng((seed, base + i)).random(draws)
+                for i in range(shots)
+            ])
+            assert (batched == reference).all()
+
+    @given(seed=st.integers(0, 2**70), base=st.integers(0, 2**34),
+           shots=st.integers(0, 12), draws=st.integers(0, 24))
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_streams_property(self, seed, base, shots, draws):
+        import numpy as np
+
+        batched = uniform_streams(seed, base, shots, draws)
+        assert batched.shape == (shots, draws)
+        for i in range(shots):
+            reference = np.random.default_rng((seed, base + i)).random(draws)
+            assert (batched[i] == reference).all()
+
+
+class TestChunkGeometryInvariance:
+    """Any (workers, chunk_size) split of one (seed, shots) batch is identical."""
+
+    SHOTS = 180
+    SEED = 13
+
+    @pytest.fixture(scope="class")
+    def reference_result(self, compiled_bv6):
+        chunk = TrajectoryEngine(compiled_bv6, TABLE1).run_reference(self.SHOTS, self.SEED)
+        return NoisyResult.from_chunks([chunk], self.SEED)
+
+    @given(workers=st.integers(1, 2), chunk_size=st.integers(1, 200))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture,
+                                     HealthCheck.too_slow])
+    def test_any_split_matches_the_scalar_whole(self, reference_result, workers, chunk_size):
+        split = simulate_point(
+            SweepPoint("bv", 6, "eqm"), TABLE1, self.SHOTS,
+            seed=self.SEED, chunk_size=chunk_size, workers=workers,
+        )
+        assert split == reference_result
+
+    @given(boundary=st.integers(0, 180))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_two_way_engine_split(self, compiled_bv6, boundary):
+        engine = TrajectoryEngine(compiled_bv6, TABLE1)
+        whole = engine.run(self.SHOTS, self.SEED)
+        first = engine.run(boundary, self.SEED, base_shot=0)
+        second = engine.run(self.SHOTS - boundary, self.SEED, base_shot=boundary)
+        assert whole.no_error_shots == first.no_error_shots + second.no_error_shots
+        assert whole.gate_events == first.gate_events + second.gate_events
+        assert whole.idle_events == first.idle_events + second.idle_events
+
+
+class TestDegenerateInputs:
+    """Zero-shot batches, single-op circuits and all-zero noise are well-defined."""
+
+    def test_zero_shot_run_is_an_empty_chunk(self, compiled_bv6):
+        engine = TrajectoryEngine(compiled_bv6, TABLE1)
+        for chunk in (engine.run(0, seed=0), engine.run_reference(0, seed=0)):
+            assert chunk.shots == 0
+            assert chunk.no_error_shots == 0
+            assert chunk.gate_events == chunk.idle_events == 0
+
+    def test_zero_shot_simulate_point(self, compiled_bv6):
+        result = simulate_point(SweepPoint("bv", 6, "eqm"), TABLE1, 0, seed=1)
+        assert result == NoisyResult.from_chunks([], seed=1)
+        with pytest.raises(ValueError):
+            result.success_probability
+
+    def test_single_op_circuit(self):
+        from repro.arch import Device, linear_topology
+        from repro.circuits import QuantumCircuit
+        from repro.compiler import QompressCompiler
+        from repro.compression import get_strategy
+
+        circuit = QuantumCircuit(1, name="one_x").x(0)
+        compiled = QompressCompiler(
+            Device(topology=linear_topology(2)), get_strategy("qubit_only")
+        ).compile(circuit)
+        assert len(compiled.ops) == 1
+        engine = TrajectoryEngine(compiled, TABLE1)
+        assert engine.run(300, seed=0) == engine.run_reference(300, seed=0)
+
+    def test_ideal_noise_counts_exactly_zero_events(self, compiled_bv6):
+        # all-zero thresholds may never fire, in either path, for any seed
+        engine = TrajectoryEngine(compiled_bv6, IDEAL)
+        for seed in (0, 1, 999):
+            chunk = engine.run(512, seed=seed)
+            assert chunk.gate_events == 0
+            assert chunk.idle_events == 0
+            assert chunk.no_error_shots == 512
+        assert engine.run(512, seed=0) == engine.run_reference(512, seed=0)
+
+    def test_negative_arguments_still_raise(self, compiled_bv6):
+        engine = TrajectoryEngine(compiled_bv6, TABLE1)
+        with pytest.raises(ValueError):
+            engine.run(-1, seed=0)
+        with pytest.raises(ValueError):
+            engine.run_reference(-2, seed=0)
+        with pytest.raises(ValueError):
+            uniform_streams(0, 0, -1, 4)
+        with pytest.raises(ValueError):
+            uniform_streams(0, 0, 4, -1)
+
+
+class TestFlatChannelExports:
+    """The array exports feeding the vectorised engine match the op stream."""
+
+    def test_op_error_probabilities_match_scalar_queries(self, compiled_bv6):
+        import numpy as np
+
+        for preset in _PRESETS:
+            model = NoiseSpec.from_preset(preset).build(compiled_bv6.device)
+            flat = model.op_error_probabilities(compiled_bv6)
+            scalar = np.array([
+                model.op_error_probability(op) for op in compiled_bv6.ops
+            ])
+            assert (flat == scalar).all()
+
+    def test_idle_decay_channels_match_exponents(self, compiled_bv6):
+        import numpy as np
+
+        model = TABLE1.build(compiled_bv6.device)
+        qubits, gammas = model.idle_decay_channels(compiled_bv6)
+        exponents = model.residency_decay_exponent(compiled_bv6)
+        assert qubits == sorted(exponents)
+        expected = np.array([-np.expm1(-exponents[q]) for q in qubits])
+        assert (gammas == expected).all()
+
+    def test_error_site_schedule_is_cached(self, compiled_bv6):
+        assert compiled_bv6.error_site_schedule() is compiled_bv6.error_site_schedule()
+        assert len(compiled_bv6.error_site_schedule()) == len(compiled_bv6.ops)
+        assert compiled_bv6.residency_segments() is compiled_bv6.residency_segments()
+
+
+class TestZeroShotGuards:
+    """Zero-shot results are valid containers, but estimates refuse them clearly."""
+
+    def test_confidence_interval_refuses_zero_shots(self):
+        result = NoisyResult.from_chunks([], seed=0)
+        with pytest.raises(ValueError, match="zero-shot"):
+            result.confidence_interval()
+
+    def test_cli_simulate_rejects_zero_shots(self, capsys):
+        from repro.cli import main
+
+        code = main(["simulate", "--benchmark", "bv", "--qubits", "4", "--shots", "0"])
+        assert code == 2
+        assert "--shots must be positive" in capsys.readouterr().err
+
+    def test_validate_eps_rejects_zero_shots(self):
+        from repro.evaluation import validate_eps
+
+        with pytest.raises(ValueError, match="positive shot budget"):
+            validate_eps(benchmarks=("bv",), sizes=(4,),
+                         strategies=("eqm",), shots=0)
+
+    def test_zero_shot_tracked_request_stays_tracked(self):
+        point = SweepPoint(
+            "ghz", 3, "eqm", compiler_kwargs=(("merge_single_qubit_gates", False),)
+        )
+        result = simulate_point(point, TABLE1, 0, seed=1, track_state=True)
+        assert result.shots == 0
+        assert result.tracked
+        with pytest.raises(ValueError, match="zero-shot"):
+            result.outcome_probability

@@ -152,3 +152,62 @@ class TestNoisePresetsFlow:
         compiled = SweepPoint("bv", 4, "eqm").execute().compiled
         assert rows[0].analytic_eps < total_eps(compiled)
         assert rows[0].validated
+
+
+class TestFQReplayAgreement:
+    """FQ state-tracking replays agree with event-only EPS (PR 4 satellite).
+
+    Event-only simulation covered FQ since PR 3; these tests close the
+    remaining scenario gap by asserting the state-tracking replay counts
+    the same events and that its outcome-level estimate respects the
+    analytic model's lower-bound role.
+    """
+
+    @pytest.fixture(scope="class")
+    def fq_compiled(self):
+        from repro.runner import SweepPoint
+
+        return SweepPoint("qft", 4, "fq").execute().compiled
+
+    def test_replay_counts_the_same_events_as_event_only(self, fq_compiled):
+        from repro.noise import simulate_noisy
+
+        table1 = NoiseSpec.from_preset("table1")
+        tracked = simulate_noisy(fq_compiled, table1, shots=150, seed=2,
+                                 track_state=True)
+        event_only = simulate_noisy(fq_compiled, table1, shots=150, seed=2)
+        assert tracked.no_error_shots == event_only.no_error_shots
+        assert tracked.gate_events == event_only.gate_events
+        assert tracked.idle_events == event_only.idle_events
+        assert tracked.success_probability == event_only.success_probability
+
+    def test_event_only_eps_brackets_the_analytic_model(self, fq_compiled):
+        from repro.noise import simulate_noisy
+
+        result = simulate_noisy(fq_compiled, NoiseSpec.from_preset("table1"),
+                                shots=4000, seed=0)
+        low, high = result.confidence_interval(z=3.29)
+        assert low <= total_eps(fq_compiled) <= high
+
+    def test_outcome_probability_upper_bounds_eps(self, fq_compiled):
+        from repro.noise import simulate_noisy
+
+        tracked = simulate_noisy(fq_compiled, NoiseSpec.from_preset("table1"),
+                                 shots=150, seed=0, track_state=True)
+        assert tracked.tracked
+        assert tracked.outcome_probability >= tracked.success_probability - 1e-12
+
+    def test_fq_validates_in_the_harness(self):
+        rows = validate_eps(
+            benchmarks=("ghz",), sizes=(4,), strategies=("fq",),
+            noise="table1", shots=4000, seed=0,
+        )
+        assert len(rows) == 1
+        assert rows[0].validated
+
+
+class TestDefaultShotBudget:
+    def test_default_rides_the_vectorised_engine(self):
+        from repro.evaluation import DEFAULT_VALIDATION_SHOTS
+
+        assert DEFAULT_VALIDATION_SHOTS >= 8000

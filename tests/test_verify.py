@@ -94,3 +94,51 @@ class TestVerificationFailures:
                 op.slots = (op.slots[1], op.slots[0])
                 break
         assert compiled_state_fidelity(compiled, ghz_circuit) < 1.0 - 1e-6
+
+
+class TestFullQuquartReplay:
+    """FQ encode/decode semantics are modelled, closing the last strategy gap."""
+
+    @pytest.mark.parametrize("bench,size", [
+        ("bv", 4), ("bv", 5), ("ghz", 6), ("qft", 5), ("qft", 6),
+    ])
+    def test_fq_compiles_replay_exactly(self, bench, size):
+        from repro.runner import SweepPoint
+
+        compiled = SweepPoint(bench, size, "fq").execute().compiled
+        assert_equivalent(compiled, compiled.lowered_circuit)
+
+    def test_fq_random_circuits_equivalent(self, device):
+        for seed in range(3):
+            circuit = make_random_circuit(6, 18, seed=seed, include_swaps=False)
+            compiler = QompressCompiler(device, get_strategy("fq"))
+            compiled = compiler.compile(circuit)
+            assert_equivalent(compiled, circuit)
+
+    def test_swap4_units_are_promoted_to_ququarts(self):
+        # qft-6 FQ routing parks an encoded pair on an otherwise-bare unit;
+        # the replay register must carry both encoded slots there
+        from repro.runner import SweepPoint
+        from repro.simulation.verify import register_dims
+
+        compiled = SweepPoint("qft", 6, "fq").execute().compiled
+        swap4_units = {
+            unit for op in compiled.ops if op.gate == "swap4" for unit in op.units
+        }
+        assert swap4_units, "qft-6 FQ is expected to route with swap4"
+        dims = register_dims(compiled)
+        for unit in swap4_units:
+            assert dims[unit] == 4
+
+    def test_fq_ops_carry_slots(self):
+        from repro.runner import SweepPoint
+
+        compiled = SweepPoint("ghz", 4, "fq").execute().compiled
+        for op in compiled.ops:
+            if op.gate == "measure":
+                continue
+            assert op.slots, f"{op.gate} op lost its slot annotation"
+            if op.gate in ("enc", "dec"):
+                assert len(op.slots) == 2
+            if op.gate == "swap4":
+                assert len(op.slots) == 4
