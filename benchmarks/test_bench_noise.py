@@ -1,16 +1,18 @@
 """Benchmarks for the noise-simulation subsystem.
 
-Times the chunk-batched (vectorised) event-only trajectory sampler — the
-EPS-validation hot path — against the retained scalar ``_reference``
-implementation, and a cache-served re-run of a chunked shot plan through
-the executor.  The vectorised benchmark records its shot count in
-``extra_info`` so the CI smoke job can assert a minimum shots/s floor
-straight from the uploaded pytest-benchmark JSON artifact
-(``scripts/check_shots_floor.py``).
+Times the chunk-batched (vectorised) trajectory samplers — event-only (the
+EPS-validation hot path) and state-tracking (the outcome-level hot path) —
+against the retained scalar ``_reference`` implementation, and a
+cache-served re-run of a chunked shot plan through the executor.  The
+vectorised benchmarks record their shot counts in ``extra_info`` so the CI
+smoke job can assert minimum shots/s floors straight from the uploaded
+pytest-benchmark JSON artifact (``scripts/check_shots_floor.py``).
 
 ``test_vectorised_speedup_floor`` is the PR-4 acceptance assertion: the
-vectorised path must clear 10x the scalar reference's throughput on this
-workload (it measures ~15-20x in practice, so the gate has headroom).
+vectorised event-only path must clear 10x the scalar reference's
+throughput on this workload (it measures ~15-20x in practice, so the gate
+has headroom).  ``test_tracked_speedup_floor`` is the PR-5 counterpart for
+the batched state-tracking path (~20-25x measured).
 """
 
 import time
@@ -19,13 +21,22 @@ from repro.noise import NoiseSpec, TrajectoryEngine, shot_plan
 from repro.runner import CompileCache, ParallelExecutor, SweepPoint
 
 POINT = SweepPoint("bv", 8, "eqm")
+#: State-tracking benchmark workload: a default validation cell, compiled
+#: replayable (single-qubit merging disabled) as tracking requires.
+TRACKED_POINT = SweepPoint(
+    "qft", 4, "rb", compiler_kwargs=(("merge_single_qubit_gates", False),)
+)
 TABLE1 = NoiseSpec.from_preset("table1")
 #: Shot budget of the vectorised benchmark; at >500k shots/s this is still
 #: a sub-100ms benchmark, and large enough to amortise per-run overhead.
 SHOTS = 20000
 #: Shot budget of the scalar reference benchmark (~30-50k shots/s).
 REFERENCE_SHOTS = 1000
-#: Minimum vectorised / reference throughput ratio (the PR's target).
+#: Shot budget of the batched state-tracking benchmark (~20-40k shots/s).
+TRACKED_SHOTS = 4000
+#: Shot budget of the scalar tracked reference (~1-2k shots/s).
+TRACKED_REFERENCE_SHOTS = 300
+#: Minimum vectorised / reference throughput ratio (both engine modes).
 SPEEDUP_FLOOR = 10.0
 
 
@@ -79,6 +90,51 @@ def test_vectorised_speedup_floor():
     vectorised_rate = _shots_per_second(engine.run, SHOTS)
     assert vectorised_rate >= SPEEDUP_FLOOR * reference_rate, (
         f"vectorised path delivers {vectorised_rate:,.0f} shots/s vs "
+        f"{reference_rate:,.0f} reference — below the {SPEEDUP_FLOOR:.0f}x floor"
+    )
+
+
+def test_bench_trajectories_tracked(benchmark):
+    compiled = TRACKED_POINT.execute().compiled
+    engine = TrajectoryEngine(compiled, TABLE1, track_state=True)
+    benchmark.extra_info["shots"] = TRACKED_SHOTS
+    benchmark.extra_info["engine"] = "tracked"
+    chunk = benchmark.pedantic(
+        lambda: engine.run(TRACKED_SHOTS, seed=0), rounds=1, iterations=1
+    )
+    assert chunk.shots == TRACKED_SHOTS
+    assert chunk.tracked
+    assert 0 < chunk.no_error_shots < TRACKED_SHOTS
+
+
+def test_bench_trajectories_tracked_reference(benchmark):
+    compiled = TRACKED_POINT.execute().compiled
+    engine = TrajectoryEngine(compiled, TABLE1, track_state=True)
+    benchmark.extra_info["shots"] = TRACKED_REFERENCE_SHOTS
+    benchmark.extra_info["engine"] = "tracked_reference"
+    chunk = benchmark.pedantic(
+        lambda: engine.run_reference(TRACKED_REFERENCE_SHOTS, seed=0),
+        rounds=1, iterations=1,
+    )
+    assert chunk.shots == TRACKED_REFERENCE_SHOTS
+
+
+def test_tracked_speedup_floor():
+    """PR-5 acceptance: >=10x tracked shots/s over the scalar reference.
+
+    Same shape as the event-only gate: equivalence first (a fast-but-wrong
+    engine can never pass), then best-of-5 on both sides.  Measured ~20-25x
+    locally, leaving the 10x floor headroom against loaded CI runners.
+    """
+    compiled = TRACKED_POINT.execute().compiled
+    engine = TrajectoryEngine(compiled, TABLE1, track_state=True)
+    assert engine.run(TRACKED_REFERENCE_SHOTS, seed=0) == engine.run_reference(
+        TRACKED_REFERENCE_SHOTS, seed=0
+    )
+    reference_rate = _shots_per_second(engine.run_reference, TRACKED_REFERENCE_SHOTS)
+    tracked_rate = _shots_per_second(engine.run, TRACKED_SHOTS)
+    assert tracked_rate >= SPEEDUP_FLOOR * reference_rate, (
+        f"batched tracked path delivers {tracked_rate:,.0f} shots/s vs "
         f"{reference_rate:,.0f} reference — below the {SPEEDUP_FLOOR:.0f}x floor"
     )
 

@@ -1,17 +1,18 @@
-"""Assert a minimum trajectory throughput from a pytest-benchmark JSON.
+"""Assert minimum trajectory throughputs from a pytest-benchmark JSON.
 
 Usage::
 
     python scripts/check_shots_floor.py results/bench_noise.json \
-        --min-shots-per-sec 50000
+        --floor vectorised=50000 --floor tracked=3000
 
-Looks up the vectorised event-only trajectory benchmark (any entry whose
-``extra_info`` says ``engine: vectorised``, by default), divides its
-recorded shot count by the mean runtime and fails (exit 1) if the
-resulting shots/s rate is below the floor.  This is the CI smoke gate that
-keeps the chunk-batched engine from silently regressing back toward
-scalar-loop throughput — the regression gate alone cannot catch that,
-because it compares against whatever baseline is committed.
+Each ``--floor engine=rate`` looks up the benchmarks whose ``extra_info``
+carries that ``engine`` tag (``vectorised`` = the event-only batched path,
+``tracked`` = the batched state-tracking path), divides the recorded shot
+count by the mean runtime and fails (exit 1) if the resulting shots/s rate
+is below the floor.  This is the CI smoke gate that keeps the chunk-batched
+engines from silently regressing back toward scalar-loop throughput — the
+regression gate alone cannot catch that, because it compares against
+whatever baseline is committed.
 
 The benchmark must record ``extra_info["shots"]``; entries without it are
 skipped (they have no throughput interpretation).
@@ -25,9 +26,8 @@ import sys
 from pathlib import Path
 
 
-def throughput_rates(path: Path, engine: str) -> dict[str, float]:
-    """Map benchmark fullname -> shots/s for matching entries."""
-    data = json.loads(path.read_text())
+def throughput_rates(data: dict, engine: str) -> dict[str, float]:
+    """Map benchmark fullname -> shots/s for entries tagged with ``engine``."""
     rates: dict[str, float] = {}
     for entry in data.get("benchmarks", []):
         extra = entry.get("extra_info", {})
@@ -40,34 +40,66 @@ def throughput_rates(path: Path, engine: str) -> dict[str, float]:
     return rates
 
 
+def _parse_floor(text: str) -> tuple[str, float]:
+    engine, separator, rate_text = text.partition("=")
+    if not separator or not engine:
+        raise argparse.ArgumentTypeError(
+            f"--floor expects engine=rate, got {text!r}"
+        )
+    try:
+        rate = float(rate_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--floor rate must be numeric, got {rate_text!r}"
+        ) from None
+    if rate <= 0:
+        raise argparse.ArgumentTypeError("--floor rate must be positive")
+    return engine, rate
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", type=Path, help="pytest-benchmark JSON file")
-    parser.add_argument("--min-shots-per-sec", type=float, required=True,
-                        help="fail if any matching benchmark runs slower than this")
-    parser.add_argument("--engine", default="vectorised",
-                        help="extra_info.engine tag to gate on (default: vectorised)")
+    parser.add_argument("--floor", type=_parse_floor, action="append", default=[],
+                        metavar="ENGINE=RATE",
+                        help="fail if any benchmark tagged with this "
+                             "extra_info.engine runs below RATE shots/s "
+                             "(repeatable)")
     args = parser.parse_args(argv)
 
-    if args.min_shots_per_sec <= 0:
-        parser.error("--min-shots-per-sec must be positive")
+    floors: dict[str, float] = {}
+    for engine, rate in args.floor:
+        if engine in floors:
+            parser.error(f"duplicate --floor for engine {engine!r} "
+                         f"({floors[engine]:g} and {rate:g}); keep one")
+        floors[engine] = rate
+    if not floors:
+        parser.error("provide at least one --floor engine=rate")
+
     try:
-        rates = throughput_rates(args.results, args.engine)
-    except (OSError, json.JSONDecodeError, KeyError) as error:
+        data = json.loads(args.results.read_text())
+    except (OSError, json.JSONDecodeError) as error:
         print(f"error: cannot read benchmark JSON {args.results}: {error}",
               file=sys.stderr)
         return 1
-    if not rates:
-        print(f"error: no benchmark in {args.results} carries "
-              f"extra_info.engine == {args.engine!r} with a shot count",
-              file=sys.stderr)
-        return 1
     failures = []
-    for name, rate in sorted(rates.items()):
-        verdict = "ok" if rate >= args.min_shots_per_sec else "BELOW FLOOR"
-        print(f"{name}: {rate:,.0f} shots/s  (floor {args.min_shots_per_sec:,.0f})  {verdict}")
-        if rate < args.min_shots_per_sec:
-            failures.append(name)
+    for engine, floor in sorted(floors.items()):
+        try:
+            rates = throughput_rates(data, engine)
+        except KeyError as error:
+            print(f"error: malformed benchmark JSON {args.results}: {error}",
+                  file=sys.stderr)
+            return 1
+        if not rates:
+            print(f"error: no benchmark in {args.results} carries "
+                  f"extra_info.engine == {engine!r} with a shot count",
+                  file=sys.stderr)
+            return 1
+        for name, rate in sorted(rates.items()):
+            verdict = "ok" if rate >= floor else "BELOW FLOOR"
+            print(f"{name}: {rate:,.0f} shots/s  (floor {floor:,.0f})  {verdict}")
+            if rate < floor:
+                failures.append(name)
     if failures:
         print(f"\n{len(failures)} benchmark(s) below the throughput floor",
               file=sys.stderr)

@@ -18,8 +18,11 @@ from repro.circuits.dag import CircuitDAG
 from repro.circuits.decompose import decompose_to_basis
 from repro.circuits.qasm import (
     QasmError,
+    PhysicalInstruction,
+    PhysicalProgram,
     circuit_to_qasm,
     compiled_to_qasm,
+    parse_physical_qasm,
     parse_qasm,
     parse_qasm_file,
 )
@@ -30,8 +33,11 @@ __all__ = [
     "CircuitDAG",
     "decompose_to_basis",
     "QasmError",
+    "PhysicalInstruction",
+    "PhysicalProgram",
     "circuit_to_qasm",
     "compiled_to_qasm",
+    "parse_physical_qasm",
     "parse_qasm",
     "parse_qasm_file",
     "SINGLE_QUBIT_GATES",

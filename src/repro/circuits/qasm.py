@@ -26,12 +26,16 @@ Three entry points:
     (same gate stream, bit-identical parameters) — the round-trip
     guarantee the test suite enforces for every registry workload.
 
-``compiled_to_qasm``
+``compiled_to_qasm`` / ``parse_physical_qasm``
     :class:`~repro.compiler.result.CompiledCircuit` → OpenQASM 2.0 over
-    the *physical* program: Table 1 gates are declared ``opaque``, units
-    become one ``qreg``, and every scheduled op is annotated with its
-    start time and duration.  This is an export/interchange format; it is
-    not meant to be re-imported (opaque gates cannot be expanded).
+    the *physical* program: Table 1 gates are declared ``opaque`` (with
+    their true arities), units become one ``qreg``, and every scheduled op
+    is annotated with its start time and duration.  Opaque gates have no
+    unitary definition, so the emitted program cannot be *compiled* again —
+    but it re-imports structurally: ``parse_physical_qasm`` parses the
+    emission back into a :class:`PhysicalProgram` (declarations, register
+    width and the ordered instruction stream), which is what external
+    tooling needs to consume or round-trip the physical schedule.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from __future__ import annotations
 import math
 import re
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.circuits.circuit import QuantumCircuit
@@ -260,7 +265,7 @@ class _Parser:
         self.cregs: dict[str, int] = {}
         self.num_qubits = 0
         self.gate_defs: dict[str, _GateDef] = {}
-        self.opaque: set[str] = set()
+        self.opaque: dict[str, int] = {}  # name -> declared qubit arity
         self.statements: list = []  # deferred applications, replayed onto the circuit
 
     # -- token plumbing -------------------------------------------------
@@ -357,10 +362,27 @@ class _Parser:
             self.cregs[name] = size
 
     def _parse_opaque(self) -> None:
-        name = self._next()[1]
-        while self._next()[1] != ";":
-            pass
-        self.opaque.add(name)
+        """``opaque name [(params)] q0, q1, ...;`` — declaration with arity."""
+        name_token = self._next()
+        name = name_token[1]
+        if self._accept("("):
+            while not self._accept(")"):
+                self._next()
+        arity = 0
+        token = self._next()
+        while token[1] != ";":
+            if token[0] == "id":
+                arity += 1
+            elif token[1] != ",":
+                raise QasmError(
+                    f"line {token[2]}: unexpected {token[1]!r} in opaque declaration"
+                )
+            token = self._next()
+        if arity == 0:
+            raise QasmError(
+                f"line {name_token[2]}: opaque gate {name!r} declares no qubit arguments"
+            )
+        self.opaque[name] = arity
 
     def _parse_gate_def(self, line: int) -> None:
         name = self._next()[1]
@@ -640,6 +662,112 @@ def parse_qasm_file(path: str | Path, name: str | None = None) -> QuantumCircuit
 
 
 # ----------------------------------------------------------------------
+# physical-program re-import (the compiled_to_qasm counterpart)
+# ----------------------------------------------------------------------
+#: Directive comments carrying compile metadata through a round-trip.
+_STRATEGY_DIRECTIVE_RE = re.compile(r"^\s*//\s*strategy:\s*(?P<value>.+?)\s*$", re.MULTILINE)
+_DEVICE_DIRECTIVE_RE = re.compile(r"^\s*//\s*device:\s*(?P<value>.+?)\s*$", re.MULTILINE)
+_MAKESPAN_DIRECTIVE_RE = re.compile(
+    r"^\s*//\s*makespan_ns:\s*(?P<value>[-+0-9.eE]+)\s*$", re.MULTILINE
+)
+
+
+@dataclass(frozen=True)
+class PhysicalInstruction:
+    """One re-imported physical operation: a gate name over unit indices."""
+
+    gate: str
+    units: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PhysicalProgram:
+    """Structural view of a re-imported physical (opaque-gate) program.
+
+    Opaque gates carry no unitary definition, so this is deliberately not a
+    :class:`QuantumCircuit` — it captures exactly what the text encodes:
+    the declared gate set with arities, the unit-register width, and the
+    ordered instruction stream (including measurements).
+    """
+
+    name: str
+    num_units: int
+    opaque_gates: tuple[tuple[str, int], ...]
+    instructions: tuple[PhysicalInstruction, ...]
+    strategy: str | None = None
+    device: str | None = None
+    makespan_ns: float | None = None
+
+    @property
+    def gate_arities(self) -> dict[str, int]:
+        """Declared opaque gates as a name → arity mapping."""
+        return dict(self.opaque_gates)
+
+
+def parse_physical_qasm(text: str) -> PhysicalProgram:
+    """Re-import a physical program emitted by ``compiled_to_qasm``.
+
+    Accepts grammatically valid OpenQASM 2.0 whose gate applications are
+    all declared ``opaque`` (plus ``measure``); anything that would need a
+    gate *definition* to interpret is rejected, because a physical program
+    has none to offer.  Returns the declaration/instruction structure, so
+    ``parse_physical_qasm(compiled.to_qasm())`` round-trips the scheduled
+    op stream.
+    """
+    parser = _Parser(_tokenize(text))
+    parser.parse_program()
+    if parser.num_qubits == 0:
+        raise QasmError("the program declares no quantum registers")
+    if parser.gate_defs:
+        raise QasmError("a physical program must not define gates; found "
+                        + ", ".join(sorted(parser.gate_defs)))
+    instructions: list[PhysicalInstruction] = []
+    for statement in parser.statements:
+        tag, line = statement[0], statement[1]
+        if tag == "barrier":
+            continue
+        if tag == "measure":
+            for unit in statement[2]:
+                instructions.append(PhysicalInstruction("measure", (unit,)))
+            continue
+        _, _, gate_name, params, operands = statement
+        arity = parser.opaque.get(gate_name)
+        if arity is None:
+            raise QasmError(
+                f"line {line}: gate {gate_name!r} is not declared opaque; "
+                "physical programs contain only opaque gate applications"
+            )
+        if params:
+            raise QasmError(
+                f"line {line}: opaque gate {gate_name!r} takes no parameters here"
+            )
+        for row in _broadcast(operands, line):
+            if len(row) != arity:
+                raise QasmError(
+                    f"line {line}: gate {gate_name!r} expects {arity} unit(s), "
+                    f"got {len(row)}"
+                )
+            if len(set(row)) != len(row):
+                raise QasmError(
+                    f"line {line}: gate {gate_name!r} applied to duplicate units"
+                )
+            instructions.append(PhysicalInstruction(gate_name, tuple(row)))
+    directive = _NAME_DIRECTIVE_RE.search(text)
+    strategy = _STRATEGY_DIRECTIVE_RE.search(text)
+    device = _DEVICE_DIRECTIVE_RE.search(text)
+    makespan = _MAKESPAN_DIRECTIVE_RE.search(text)
+    return PhysicalProgram(
+        name=directive.group("name") if directive else "qasm",
+        num_units=parser.num_qubits,
+        opaque_gates=tuple(sorted(parser.opaque.items())),
+        instructions=tuple(instructions),
+        strategy=strategy.group("value") if strategy else None,
+        device=device.group("value") if device else None,
+        makespan_ns=float(makespan.group("value")) if makespan else None,
+    )
+
+
+# ----------------------------------------------------------------------
 # serializers
 # ----------------------------------------------------------------------
 #: IR names whose QASM spelling differs.
@@ -686,14 +814,14 @@ def circuit_to_qasm(circuit: QuantumCircuit) -> str:
 def compiled_to_qasm(compiled) -> str:
     """Serialise a compiled (routed + scheduled) circuit as OpenQASM 2.0.
 
-    Physical Table 1 gates become ``opaque`` declarations over one unit
-    register; each op line is annotated with its scheduled start time and
-    duration.  ``compiled`` is a
+    Physical Table 1 gates become ``opaque`` declarations (with their true
+    arities) over one unit register; each op line is annotated with its
+    scheduled start time and duration.  The output is grammatically valid
+    OpenQASM 2.0 and re-imports structurally via
+    :func:`parse_physical_qasm`.  ``compiled`` is a
     :class:`~repro.compiler.result.CompiledCircuit` (typed loosely to keep
     this module free of compiler imports).
     """
-    from repro.gates.library import gate_spec
-
     lines = [
         f"// name: {compiled.circuit_name}",
         f"// strategy: {compiled.strategy_name}",
@@ -702,10 +830,23 @@ def compiled_to_qasm(compiled) -> str:
         "OPENQASM 2.0;",
     ]
     measured = any(op.gate == "measure" for op in compiled.ops)
-    used = sorted({op.gate for op in compiled.ops} - {"measure"})
-    for gate_name in used:
-        arity = gate_spec(gate_name).num_units
-        operands = ",".join(chr(ord("a") + i) for i in range(arity))
+    # declare each used gate with the arity it is actually applied at —
+    # robust even for gates outside the static library catalogue.  An op
+    # stream applying one name at two arities cannot be declared (and
+    # would not re-import), so it is rejected at the source.
+    arities: dict[str, int] = {}
+    for op in compiled.ops:
+        if op.gate == "measure":
+            continue
+        declared = arities.setdefault(op.gate, len(op.units))
+        if declared != len(op.units):
+            raise QasmError(
+                f"gate {op.gate!r} is applied at both {declared} and "
+                f"{len(op.units)} units; one opaque declaration cannot "
+                "cover both"
+            )
+    for gate_name in sorted(arities):
+        operands = ",".join(chr(ord("a") + i) for i in range(arities[gate_name]))
         lines.append(f"opaque {gate_name} {operands};")
     lines.append(f"qreg u[{compiled.device.num_units}];")
     if measured:

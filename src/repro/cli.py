@@ -37,7 +37,7 @@ from repro.simulation.verify import VerificationError
 from repro.evaluation import (
     DEFAULT_VALIDATION_SHOTS,
     DEFAULT_VALIDATION_STRATEGIES,
-    VALIDATION_HEADERS,
+    validation_headers,
     figure3_state_evolution,
     figure4_exhaustive,
     figure8_gate_distribution,
@@ -147,6 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
     validate_parser.add_argument("--tolerance", type=float, default=0.10,
                                  help="max relative deviation accepted when the CI "
                                       "does not bracket the analytic value")
+    validate_parser.add_argument("--track-state", action="store_true",
+                                 help="also evolve every trajectory's state vector "
+                                      "(batched path) and report outcome-level "
+                                      "success per cell; compiles with single-qubit "
+                                      "merging disabled")
     validate_parser.add_argument("--smoke", action="store_true",
                                  help="tiny fixed configuration for CI: bv/ghz at 4 "
                                       "qubits, qubit_only/eqm, 2000 shots")
@@ -347,8 +352,9 @@ def _run_validate_eps(args: argparse.Namespace) -> int:
         benchmarks=benchmarks, sizes=sizes, strategies=strategies,
         noise=args.noise, shots=shots, seed=args.seed,
         rel_tolerance=args.tolerance, workers=args.workers, cache=cache,
+        track_state=args.track_state,
     )
-    print(format_table(VALIDATION_HEADERS, validation_rows(rows)))
+    print(format_table(validation_headers(args.track_state), validation_rows(rows)))
     if args.json_output:
         path = Path(args.json_output)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -357,6 +363,7 @@ def _run_validate_eps(args: argparse.Namespace) -> int:
             "noise": args.noise,
             "shots": shots,
             "seed": args.seed,
+            "track_state": args.track_state,
             "rows": [row.as_dict() for row in rows],
             "validated": all(row.validated for row in rows),
         }

@@ -43,7 +43,9 @@ from repro.evaluation.validate import (
     DEFAULT_VALIDATION_SHOTS,
     DEFAULT_VALIDATION_SIZES,
     DEFAULT_VALIDATION_STRATEGIES,
+    TRACKED_VALIDATION_HEADERS,
     VALIDATION_HEADERS,
+    validation_headers,
     ValidationRow,
     validate_eps,
     validation_rows,
@@ -82,7 +84,9 @@ __all__ = [
     "DEFAULT_VALIDATION_SHOTS",
     "DEFAULT_VALIDATION_SIZES",
     "DEFAULT_VALIDATION_STRATEGIES",
+    "TRACKED_VALIDATION_HEADERS",
     "VALIDATION_HEADERS",
+    "validation_headers",
     "ValidationRow",
     "validate_eps",
     "validation_rows",

@@ -54,6 +54,17 @@ VALIDATION_HEADERS = [
     "validated",
 ]
 
+#: Extra columns reported for state-tracked validation runs.
+TRACKED_VALIDATION_HEADERS = VALIDATION_HEADERS + [
+    "outcome_probability",
+    "mean_outcome_fidelity",
+]
+
+
+def validation_headers(tracked: bool = False) -> list[str]:
+    """Table headers for :func:`validation_rows` output."""
+    return TRACKED_VALIDATION_HEADERS if tracked else VALIDATION_HEADERS
+
 
 @dataclass(frozen=True)
 class ValidationRow:
@@ -89,9 +100,13 @@ class ValidationRow:
         return self.brackets or self.relative_error <= self.rel_tolerance
 
     def as_row(self) -> list:
-        """Display row for the text table (see :data:`VALIDATION_HEADERS`)."""
+        """Display row for the text table (see :func:`validation_headers`).
+
+        State-tracked results append the outcome-level estimators the
+        batched trajectory path produces.
+        """
         low, high = self.result.confidence_interval()
-        return [
+        row = [
             self.benchmark,
             self.num_qubits,
             self.strategy,
@@ -103,11 +118,15 @@ class ValidationRow:
             self.relative_error,
             "yes" if self.validated else "NO",
         ]
+        if self.result.tracked:
+            row.append(self.result.outcome_probability)
+            row.append(self.result.mean_outcome_fidelity)
+        return row
 
     def as_dict(self) -> dict:
         """Typed, machine-readable representation (JSON artifact rows)."""
         low, high = self.result.confidence_interval()
-        return {
+        payload = {
             "benchmark": self.benchmark,
             "qubits": self.num_qubits,
             "strategy": self.strategy,
@@ -119,6 +138,10 @@ class ValidationRow:
             "rel_error": self.relative_error,
             "validated": bool(self.validated),
         }
+        if self.result.tracked:
+            payload["outcome_probability"] = self.result.outcome_probability
+            payload["mean_outcome_fidelity"] = self.result.mean_outcome_fidelity
+        return payload
 
 
 def validate_eps(
@@ -133,19 +156,29 @@ def validate_eps(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     workers: int = 1,
     cache: CompileCache | None = None,
+    track_state: bool = False,
 ) -> list[ValidationRow]:
     """Sweep the validation set and compare analytic EPS to simulation.
 
     Returns one :class:`ValidationRow` per (benchmark, size, strategy) cell,
     in compile-plan order.  The same ``seed`` produces bit-identical rows at
     any worker count.
+
+    ``track_state=True`` additionally evolves every trajectory's state
+    vector on the batched state-tracking path, so each row also reports the
+    outcome-level estimators (``outcome_probability``,
+    ``mean_outcome_fidelity``) the analytic EPS lower-bounds.  Tracked
+    cells compile with single-qubit merging disabled — the replayable op
+    stream state tracking needs.
     """
     if shots <= 0:
         raise ValueError("validation needs a positive shot budget per cell")
     if isinstance(noise, str):
         noise = NoiseSpec.from_preset(noise)
+    compiler_kwargs = {"merge_single_qubit_gates": False} if track_state else None
     compile_plan = SweepPlan.cartesian(
-        benchmarks, sizes, strategies, device=DeviceSpec(kind=device_kind), seed=seed
+        benchmarks, sizes, strategies, device=DeviceSpec(kind=device_kind), seed=seed,
+        compiler_kwargs=compiler_kwargs,
     )
     compiled_results = execute_plan(compile_plan, workers=workers, cache=cache)
     for point, result in zip(compile_plan, compiled_results):
@@ -154,7 +187,8 @@ def validate_eps(
     # one combined shot plan across every cell: workers fan out over the
     # whole product of (cell x chunk), not one cell at a time
     cell_plans = [
-        shot_plan(point, noise, shots, seed=seed, chunk_size=chunk_size)
+        shot_plan(point, noise, shots, seed=seed, chunk_size=chunk_size,
+                  track_state=track_state)
         for point in compile_plan
     ]
     combined = SweepPlan(tuple(p for plan in cell_plans for p in plan))

@@ -12,10 +12,12 @@ Layers:
   calibration, with the declarative :class:`NoiseSpec` recipe and named
   presets (``ideal``, ``table1``, ``pessimistic``, ``heterogeneous``).
 * :mod:`repro.noise.rng` — batched bit-exact replication of the per-shot
-  ``default_rng((seed, shot))`` streams, the engine's vectorised core.
+  ``default_rng((seed, shot))`` streams, the engine's vectorised core
+  (:class:`GeneratorLanes` keeps lanes live for the tracked path's
+  bounded-integer draws).
 * :mod:`repro.noise.trajectory` — the trajectory sampler (chunk-batched
-  event-only path plus the scalar ``_reference`` loop) and
-  :func:`simulate_noisy`.
+  event-only *and* state-tracking paths plus the scalar ``_reference``
+  loop) and :func:`simulate_noisy`.
 * :mod:`repro.noise.density` — an exact density-matrix reference path
   (registers of up to 3 units) the trajectory sampler is unit-tested
   against.
@@ -46,8 +48,13 @@ from repro.noise.result import (
     merge_chunks,
     wilson_interval,
 )
-from repro.noise.rng import uniform_streams
-from repro.noise.trajectory import EVENT_BLOCK_SHOTS, TrajectoryEngine, simulate_noisy
+from repro.noise.rng import GeneratorLanes, uniform_streams
+from repro.noise.trajectory import (
+    EVENT_BLOCK_SHOTS,
+    TRACKED_BLOCK_AMPLITUDES,
+    TrajectoryEngine,
+    simulate_noisy,
+)
 from repro.noise.density import (
     MAX_REFERENCE_UNITS,
     exact_outcome_probability,
@@ -73,8 +80,10 @@ __all__ = [
     "merge_chunks",
     "wilson_interval",
     "EVENT_BLOCK_SHOTS",
+    "TRACKED_BLOCK_AMPLITUDES",
     "TrajectoryEngine",
     "simulate_noisy",
+    "GeneratorLanes",
     "uniform_streams",
     "MAX_REFERENCE_UNITS",
     "exact_outcome_probability",

@@ -158,19 +158,19 @@ def trajectory_mean_density(
     """Monte Carlo average of trajectory projectors |psi><psi|.
 
     Uses the ``kraus`` idle policy (the exact unraveling); as ``shots``
-    grows this converges to :func:`reference_density`.
+    grows this converges to :func:`reference_density`.  The trajectories
+    ride the batched state-tracking path, and the projector average is one
+    stacked product over the whole ``(shots, dimension)`` vector matrix.
     """
     model = resolve_model(model, compiled.device)
     if model.idle_policy != "kraus":
         raise ValueError("trajectory_mean_density requires the kraus idle policy")
+    if shots <= 0:
+        raise ValueError("trajectory_mean_density needs a positive shot count")
     _check_size(compiled)
     engine = TrajectoryEngine(compiled, model, track_state=True)
-    vectors = engine.final_vectors(shots, seed)
-    dimension = vectors[0].size
-    rho = np.zeros((dimension, dimension), dtype=complex)
-    for vector in vectors:
-        rho += np.outer(vector, vector.conj())
-    return rho / shots
+    vectors = np.stack(engine.final_vectors(shots, seed))
+    return (vectors.T @ vectors.conj()) / shots
 
 
 def exact_outcome_probability(

@@ -19,9 +19,18 @@ identical streams across releases — which is what makes a bit-exact
 re-implementation meaningful rather than fragile.  ``tests/test_trajectory.py``
 pins the equivalence against ``default_rng`` itself, draw for draw.
 
-:func:`uniform_streams` is the only entry point the engine needs: a
+:func:`uniform_streams` is the entry point the event-only engine needs: a
 ``(shots, ndraws)`` float64 matrix whose row ``i`` equals
 ``default_rng((seed, base_shot + i)).random(ndraws)`` bit for bit.
+
+The state-tracking engine needs more than one burst of uniforms per shot —
+its per-op Pauli draws call ``Generator.integers`` *between* uniform draws,
+and only on the shots whose error fired.  :class:`GeneratorLanes` therefore
+keeps the PCG64 lanes alive: ``random_block`` advances every lane,
+``integers`` advances only the selected lanes, replicating NumPy's
+small-range bounded-integer path exactly (the 32-bit Lemire rejection
+sampler over ``next_uint32``, including the half-word buffer PCG64 keeps
+between 32-bit draws).
 """
 
 from __future__ import annotations
@@ -195,46 +204,153 @@ def _uint32_words(value: int) -> list[int]:
     return words
 
 
+class GeneratorLanes:
+    """Live per-shot PCG64 streams, one lane per shot, bit-exact vs NumPy.
+
+    Lane ``i`` reproduces ``np.random.default_rng((seed, base_shot + i))``
+    draw for draw, but the whole chunk advances as NumPy array arithmetic.
+    Unlike :func:`uniform_streams` the lanes persist between calls, so a
+    caller can interleave uniform bursts with bounded-integer draws on a
+    *subset* of lanes — the exact consumption pattern of the state-tracking
+    trajectory loop (``rng.random(n)`` up front, ``rng.integers(1, 4**k)``
+    per fired op, ``rng.random()`` for the final outcome sample).
+
+    Shot indices on either side of a ``2**32`` boundary decompose into a
+    different number of SeedSequence entropy words, so seeding splits the
+    chunk into same-word-count groups and scatters each group's lanes back
+    into shot order (in practice a chunk never straddles the boundary and
+    there is exactly one group).
+    """
+
+    def __init__(self, seed: int, base_shot: int, shots: int) -> None:
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
+        self.shots = shots
+        self._state_hi = np.empty(shots, dtype=np.uint64)
+        self._state_lo = np.empty(shots, dtype=np.uint64)
+        self._inc_hi = np.empty(shots, dtype=np.uint64)
+        self._inc_lo = np.empty(shots, dtype=np.uint64)
+        #: PCG64's buffered half word: ``next_uint32`` returns the low half
+        #: of a fresh 64-bit word and banks the high half for the next call.
+        self._buffered = np.zeros(shots, dtype=np.uint64)
+        self._has_buffer = np.zeros(shots, dtype=bool)
+        if shots == 0:
+            return
+        indices = np.arange(base_shot, base_shot + shots, dtype=np.uint64)
+        seed_columns = [
+            np.full(shots, word, dtype=np.uint32) for word in _uint32_words(int(seed))
+        ]
+        index_lo = (indices & _MASK32).astype(np.uint32)
+        index_hi = (indices >> np.uint64(32)).astype(np.uint32)
+        single_word = indices < np.uint64(1 << 32)
+        for group, word_count in ((single_word, 1), (~single_word, 2)):
+            if not group.any():
+                continue
+            columns = [column[group] for column in seed_columns]
+            columns.append(index_lo[group])
+            if word_count == 2:
+                columns.append(index_hi[group])
+            state_hi, state_lo, inc_hi, inc_lo = _seeded_pcg_lanes(columns)
+            self._state_hi[group] = state_hi
+            self._state_lo[group] = state_lo
+            self._inc_hi[group] = inc_hi
+            self._inc_lo[group] = inc_lo
+
+    # -- raw stream advancement ----------------------------------------
+    def _next64(self, lanes) -> np.ndarray:
+        """Advance the selected lanes one step; their next uint64 outputs."""
+        hi, lo = _pcg_step(
+            self._state_hi[lanes], self._state_lo[lanes],
+            self._inc_hi[lanes], self._inc_lo[lanes],
+        )
+        self._state_hi[lanes] = hi
+        self._state_lo[lanes] = lo
+        return _pcg_output(hi, lo)
+
+    def _next32(self, lanes: np.ndarray) -> np.ndarray:
+        """``pcg64_next32`` on the selected lanes (``lanes`` = index array).
+
+        Returns the banked high half where one is waiting; otherwise draws
+        a fresh 64-bit word, returns its low half and banks the high half —
+        exactly NumPy's buffering, per lane.
+        """
+        out = np.empty(lanes.size, dtype=np.uint64)
+        have = self._has_buffer[lanes]
+        banked = lanes[have]
+        out[have] = self._buffered[banked]
+        self._has_buffer[banked] = False
+        fresh = lanes[~have]
+        if fresh.size:
+            word = self._next64(fresh)
+            out[~have] = word & _MASK32
+            self._buffered[fresh] = word >> np.uint64(32)
+            self._has_buffer[fresh] = True
+        return out
+
+    # -- Generator-equivalent draws ------------------------------------
+    def random_block(self, ndraws: int) -> np.ndarray:
+        """``rng.random(ndraws)`` on every lane: a ``(shots, ndraws)`` matrix.
+
+        Like NumPy's ``next_double``, this consumes whole 64-bit words and
+        leaves any banked 32-bit half untouched.
+        """
+        if ndraws < 0:
+            raise ValueError("ndraws must be non-negative")
+        out = np.empty((self.shots, ndraws), dtype=np.float64)
+        if self.shots == 0 or ndraws == 0:
+            return out
+        everyone = slice(None)
+        for draw in range(ndraws):
+            out[:, draw] = (self._next64(everyone) >> np.uint64(11)) * _TO_DOUBLE
+        return out
+
+    def integers(self, lanes: np.ndarray, low: int, high: int) -> np.ndarray:
+        """``rng.integers(low, high)`` on the selected lanes only.
+
+        Bit-exact against NumPy's small-range path: ranges that fit in 32
+        bits ride Lemire's rejection sampler over ``next_uint32`` (the only
+        ranges the trajectory engine draws — Pauli strings over at most
+        four slots).  Lanes outside ``lanes`` do not advance, matching a
+        scalar loop that only draws on the shots whose error fired.
+        """
+        span = int(high) - int(low)  # == NumPy's rng_excl = rng + 1
+        if span <= 0:
+            raise ValueError("high must be greater than low")
+        result = np.empty(lanes.size, dtype=np.int64)
+        if lanes.size == 0:
+            return result
+        if span == 1:  # rng == 0: constant, no stream consumption
+            result.fill(low)
+            return result
+        if span > 0xFFFFFFFF:
+            raise NotImplementedError(
+                "GeneratorLanes.integers replicates NumPy's 32-bit bounded "
+                "path only (ranges above 2**32 - 1 are never drawn here)"
+            )
+        rng_excl = np.uint64(span)
+        threshold = np.uint64((0x100000000 - span) % span)
+        m = self._next32(lanes) * rng_excl
+        while True:
+            reject = (m & _MASK32) < threshold
+            if not reject.any():
+                break
+            positions = np.flatnonzero(reject)
+            m[positions] = self._next32(lanes[positions]) * rng_excl
+        return (np.uint64(low) + (m >> np.uint64(32))).astype(np.int64)
+
+
 def uniform_streams(seed: int, base_shot: int, shots: int, ndraws: int) -> np.ndarray:
     """Per-shot uniform draws for a whole chunk, bit-exact vs ``default_rng``.
 
     Returns a ``(shots, ndraws)`` float64 matrix whose row ``i`` equals
     ``np.random.default_rng((seed, base_shot + i)).random(ndraws)`` exactly,
     computed with vectorised RNG arithmetic instead of one ``Generator``
-    per shot.
-
-    Shot indices on either side of a ``2**32`` boundary decompose into a
-    different number of SeedSequence entropy words, so the chunk is split
-    into same-word-count groups and each group is processed in one batch
-    (in practice a chunk never straddles the boundary and there is exactly
-    one group).
+    per shot.  One-burst convenience wrapper over :class:`GeneratorLanes`.
     """
     if shots < 0:
         raise ValueError("shots must be non-negative")
     if ndraws < 0:
         raise ValueError("ndraws must be non-negative")
-    out = np.empty((shots, ndraws), dtype=np.float64)
     if shots == 0 or ndraws == 0:
-        return out
-    indices = np.arange(base_shot, base_shot + shots, dtype=np.uint64)
-    seed_columns = [
-        np.full(shots, word, dtype=np.uint32) for word in _uint32_words(int(seed))
-    ]
-    index_lo = (indices & _MASK32).astype(np.uint32)
-    index_hi = (indices >> np.uint64(32)).astype(np.uint32)
-    single_word = indices < np.uint64(1 << 32)
-    for group, word_count in ((single_word, 1), (~single_word, 2)):
-        if not group.any():
-            continue
-        columns = [column[group] for column in seed_columns]
-        columns.append(index_lo[group])
-        if word_count == 2:
-            columns.append(index_hi[group])
-        state_hi, state_lo, inc_hi, inc_lo = _seeded_pcg_lanes(columns)
-        block = np.empty((int(group.sum()), ndraws), dtype=np.float64)
-        for draw in range(ndraws):
-            state_hi, state_lo = _pcg_step(state_hi, state_lo, inc_hi, inc_lo)
-            word = _pcg_output(state_hi, state_lo)
-            block[:, draw] = (word >> np.uint64(11)) * _TO_DOUBLE
-        out[group] = block
-    return out
+        return np.empty((shots, ndraws), dtype=np.float64)
+    return GeneratorLanes(seed, base_shot, shots).random_block(ndraws)

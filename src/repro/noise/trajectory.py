@@ -34,6 +34,15 @@ reports outcome-level success (which the analytic model lower-bounds).
 State tracking replays every strategy, including the Full-Ququart baseline
 whose encode/decode ops are modelled as slot transports (see
 :func:`repro.simulation.verify.physical_op_unitary`).
+
+The state-tracking path is chunk-batched too: a block of shots evolves as
+one :class:`~repro.simulation.batched.BatchedMixedRadixState` (each op's
+unitary hits the whole block in one stacked GEMM; sampled Paulis and
+damping jumps touch only the lanes whose error fired), and the per-shot
+RNG streams advance through :class:`repro.noise.rng.GeneratorLanes`, which
+replicates ``Generator.integers``' 32-bit bounded path bit for bit.  The
+scalar loop remains the golden ``run_reference``; the batched path is
+asserted bit-identical to it, chunk for chunk.
 """
 
 from __future__ import annotations
@@ -46,8 +55,9 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.result import CompiledCircuit
 from repro.noise.model import NoiseModel, NoiseSpec, resolve_model
 from repro.noise.result import NoisyResult, TrajectoryChunk
-from repro.noise.rng import uniform_streams
+from repro.noise.rng import GeneratorLanes, uniform_streams
 from repro.pulses.unitaries import qubit_gate
+from repro.simulation.batched import BatchedMixedRadixState
 from repro.simulation.statevector import MixedRadixState
 from repro.simulation.verify import (
     VerificationError,
@@ -63,6 +73,14 @@ _PAULI_NAMES = ("i", "x", "y", "z")
 #: the per-block draw matrix (``block x draws_per_shot`` float64) while
 #: keeping the batch large enough that per-block overhead is negligible.
 EVENT_BLOCK_SHOTS = 8192
+
+#: Amplitude budget of one state-tracking block: the block size is chosen
+#: so ``block x register_dimension`` complex amplitudes stay near this cap
+#: (4 MiB of complex128 — the sweet spot measured across the benchmark
+#: registers: big enough to amortise per-block overhead, small enough that
+#: the per-op gather/GEMM/scatter passes stay cache-friendly).  Purely a
+#: scheduling knob — any block split is bit-invisible.
+TRACKED_BLOCK_AMPLITUDES = 1 << 18
 
 
 @dataclass(frozen=True)
@@ -101,7 +119,17 @@ class TrajectoryEngine:
         self.compiled = compiled
         self.model = resolve_model(model, compiled.device)
         self.track_state = bool(track_state)
+        if self.model.idle_policy == "kraus" and not self.track_state:
+            # validate the policy/track_state combination eagerly: the kraus
+            # unraveling needs the state (jump probability scales with the
+            # excited population), so a misconfigured engine must fail here,
+            # at construction — not shots into a run
+            raise VerificationError(
+                "the kraus idle policy is state-dependent; "
+                "construct the engine with track_state=True"
+            )
         self.dims = register_dims(compiled)
+        self.dimension = int(np.prod(self.dims))
         self.op_probs = self.model.op_error_probabilities(compiled)
         self.idle_qubits, self.idle_gammas = self.model.idle_decay_channels(compiled)
         self._draws = len(compiled.ops) + len(self.idle_qubits)
@@ -140,16 +168,36 @@ class TrajectoryEngine:
         return cached
 
     # ------------------------------------------------------------------
-    # state helpers
+    # state helpers (shared by the scalar and batched paths)
     # ------------------------------------------------------------------
+    def _excited_levels(self, unit: int, slot: int) -> tuple[int, ...]:
+        """Levels of ``unit`` where the encoded qubit at ``slot`` is |1>."""
+        if self.dims[unit] == 2:
+            return (1,)
+        return (2, 3) if slot == 0 else (1, 3)
+
+    def _embedded_damping_jump(self, unit: int, slot: int) -> tuple[np.ndarray, tuple[int, ...]]:
+        """The jump operator K1 ∝ |0><1|, embedded at ``(unit, slot)``."""
+        jump = np.array([[0.0, 1.0], [0.0, 0.0]], dtype=complex)
+        return embed_on_slots(self.dims, jump, ((unit, slot),))
+
+    def _embedded_damping_survival(
+        self, unit: int, slot: int, gamma: float
+    ) -> tuple[np.ndarray, tuple[int, ...]]:
+        """The no-jump operator K0 = diag(1, sqrt(1-gamma)), embedded."""
+        k0 = np.array(
+            [[1.0, 0.0], [0.0, np.sqrt(max(0.0, 1.0 - gamma))]], dtype=complex
+        )
+        return embed_on_slots(self.dims, k0, ((unit, slot),))
+
     def _excited_population(self, state: MixedRadixState, unit: int, slot: int) -> float:
         """Population of the encoded qubit's |1> level at (unit, slot)."""
         populations = state.unit_populations(unit)
-        if self.dims[unit] == 2:
-            return float(populations[1])
-        if slot == 0:
-            return float(populations[2] + populations[3])
-        return float(populations[1] + populations[3])
+        levels = self._excited_levels(unit, slot)
+        total = populations[levels[0]]
+        for level in levels[1:]:
+            total = total + populations[level]
+        return float(total)
 
     def _apply_damping_jump(self, state: MixedRadixState, unit: int, slot: int) -> None:
         """Project the encoded qubit's |1> amplitude to |0> and renormalise.
@@ -158,15 +206,11 @@ class TrajectoryEngine:
         physically and the state is left unchanged (the shot is still
         counted as failed under the worst-case policy).
         """
-        jump = np.array([[0.0, 1.0], [0.0, 0.0]], dtype=complex)
-        matrix, units = embed_on_slots(self.dims, jump, ((unit, slot),))
-        state.apply_kraus(matrix, units)
+        state.apply_kraus(*self._embedded_damping_jump(unit, slot))
 
     def _apply_damping_survival(self, state: MixedRadixState, unit: int, slot: int, gamma: float) -> None:
         """Apply the no-jump Kraus operator K0 = diag(1, sqrt(1-gamma))."""
-        k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(max(0.0, 1.0 - gamma))]], dtype=complex)
-        matrix, units = embed_on_slots(self.dims, k0, ((unit, slot),))
-        state.apply_kraus(matrix, units)
+        state.apply_kraus(*self._embedded_damping_survival(unit, slot, gamma))
 
     # ------------------------------------------------------------------
     # scalar sampling (the _reference implementation, and state tracking)
@@ -178,12 +222,8 @@ class TrajectoryEngine:
         gate_events = int(gate_mask.sum())
         idle_events = 0
         if not self.track_state:
-            if self.model.idle_policy == "worst_case":
-                idle_events = int((draws[num_ops:] < self.idle_gammas).sum())
-            else:
-                raise VerificationError(
-                    "the kraus idle policy is state-dependent; run with track_state=True"
-                )
+            # the constructor guarantees the worst_case policy here
+            idle_events = int((draws[num_ops:] < self.idle_gammas).sum())
             return _ShotOutcome(gate_events, idle_events, None)
 
         state = MixedRadixState(self.dims)
@@ -293,39 +333,171 @@ class TrajectoryEngine:
             tracked=False,
         )
 
+    # ------------------------------------------------------------------
+    # chunk-batched sampling (the production state-tracking path)
+    # ------------------------------------------------------------------
+    def _tracked_block_shots(self) -> int:
+        """Shots per state-tracking block, sized by the amplitude budget."""
+        return max(1, min(EVENT_BLOCK_SHOTS, TRACKED_BLOCK_AMPLITUDES // self.dimension))
+
+    def _apply_pauli_strings(
+        self,
+        state: BatchedMixedRadixState,
+        slots: tuple[tuple[int, int], ...],
+        lanes: np.ndarray,
+        strings: np.ndarray,
+    ) -> None:
+        """Inject each fired lane's sampled Pauli string into the batch.
+
+        Lanes are grouped by string value so each distinct Pauli is one
+        lane-masked apply per non-identity slot — per lane, the exact op
+        sequence the scalar loop performs.
+        """
+        for value in np.unique(strings):
+            group = lanes[strings == value]
+            for position, (unit, slot) in enumerate(slots):
+                code = (int(value) >> (2 * (len(slots) - 1 - position))) & 3
+                if code == 0:
+                    continue
+                matrix, units = self._embedded_pauli(unit, slot, code)
+                state.apply(matrix, units, lanes=group)
+
+    def _excited_populations(
+        self, state: BatchedMixedRadixState, unit: int, slot: int
+    ) -> np.ndarray:
+        """Per-lane |1> population of the encoded qubit at ``(unit, slot)``."""
+        populations = state.unit_populations(unit)
+        levels = self._excited_levels(unit, slot)
+        total = populations[:, levels[0]]
+        for level in levels[1:]:
+            total = total + populations[:, level]
+        return total
+
+    def _evolve_block(
+        self, seed: int, base_shot: int, count: int
+    ) -> tuple[GeneratorLanes, BatchedMixedRadixState, np.ndarray, np.ndarray]:
+        """Replay one block of tracked shots with the sampled noise injected.
+
+        Returns the live RNG lanes (positioned exactly where the scalar
+        loop's generators would be after ``_run_shot``), the evolved batch
+        and the per-lane gate/idle event counts.
+        """
+        num_ops = len(self.compiled.ops)
+        lanes = GeneratorLanes(seed, base_shot, count)
+        draws = lanes.random_block(self._draws)
+        gate_mask = draws[:, :num_ops] < self.op_probs
+        state = BatchedMixedRadixState(self.dims, count)
+        for index, op in enumerate(self.compiled.ops):
+            embedded = self._op_unitaries[index]
+            if embedded is not None:
+                state.apply(*embedded)
+            if op.slots:
+                fired = np.flatnonzero(gate_mask[:, index])
+                if fired.size:
+                    strings = lanes.integers(fired, 1, 4 ** len(op.slots))
+                    self._apply_pauli_strings(state, op.slots, fired, strings)
+        # idle decay, applied per logical qubit at its final position
+        idle_counts = np.zeros(count, dtype=np.int64)
+        for position, qubit in enumerate(self.idle_qubits):
+            gamma = float(self.idle_gammas[position])
+            if gamma <= 0.0:
+                continue
+            unit, slot = self.compiled.final_placement[qubit]
+            column = draws[:, num_ops + position]
+            if self.model.idle_policy == "worst_case":
+                jumped = np.flatnonzero(column < gamma)
+                survived = None
+            else:  # kraus: jump probability scales with the excited population
+                jump_probability = gamma * self._excited_populations(state, unit, slot)
+                fired = column < jump_probability
+                jumped = np.flatnonzero(fired)
+                survived = np.flatnonzero(~fired)
+            idle_counts[jumped] += 1
+            if jumped.size:
+                matrix, units = self._embedded_damping_jump(unit, slot)
+                state.apply_kraus(matrix, units, lanes=jumped)
+            if survived is not None and survived.size:
+                matrix, units = self._embedded_damping_survival(unit, slot, gamma)
+                state.apply_kraus(matrix, units, lanes=survived)
+        return lanes, state, gate_mask.sum(axis=1), idle_counts
+
+    def _run_tracked_batch(self, shots: int, seed: int, base_shot: int) -> TrajectoryChunk:
+        """Vectorised state-tracking sampling over blocks of shots.
+
+        Every lane's evolution — op unitaries, sampled Pauli injections,
+        damping jumps/survivals, the final fidelity and the outcome draw —
+        reproduces the scalar ``run_reference`` loop bit for bit: the RNG
+        lanes consume the identical stream positions and the batched state
+        applies the identical kernels per lane (see
+        :class:`~repro.simulation.batched.BatchedMixedRadixState`).
+        """
+        no_error = 0
+        gate_events = 0
+        idle_events = 0
+        outcome_successes = 0
+        fidelity_sum = 0.0
+        block = self._tracked_block_shots()
+        for start in range(0, shots, block):
+            count = min(block, shots - start)
+            lanes, state, gate_counts, idle_counts = self._evolve_block(
+                seed, base_shot + start, count
+            )
+            fidelities = state.fidelities_with(self._ideal_vector)
+            final_draws = lanes.random_block(1)[:, 0]
+            gate_events += int(gate_counts.sum())
+            idle_events += int(idle_counts.sum())
+            no_error += int(((gate_counts == 0) & (idle_counts == 0)).sum())
+            outcome_successes += int((final_draws < fidelities).sum())
+            for fidelity in fidelities:
+                # accumulate in shot order with plain adds, matching the
+                # scalar loop's running sum bit for bit
+                fidelity_sum += float(fidelity)
+        return TrajectoryChunk(
+            shots=shots,
+            base_shot=base_shot,
+            no_error_shots=no_error,
+            gate_events=gate_events,
+            idle_events=idle_events,
+            tracked=True,
+            outcome_successes=outcome_successes,
+            outcome_fidelity_sum=fidelity_sum,
+        )
+
     def run(self, shots: int, seed: int, base_shot: int = 0) -> TrajectoryChunk:
         """Sample ``shots`` trajectories starting at absolute index ``base_shot``.
 
-        Event-only engines take the chunk-batched vectorised path;
-        state-tracking engines fall back to the scalar replay loop.  Both
-        honour the per-shot ``(seed, shot)`` RNG-stream contract, so the
-        two paths — and any chunk split of either — are bit-identical
-        (asserted by :meth:`run_reference` comparisons in the test suite).
+        Both engine modes take a chunk-batched vectorised path: event-only
+        sampling batches the stochastic draws, state tracking additionally
+        evolves the whole block on a batched state.  Both honour the
+        per-shot ``(seed, shot)`` RNG-stream contract, so the vectorised
+        paths — and any chunk split of either — are bit-identical to the
+        scalar loop (asserted by :meth:`run_reference` comparisons in the
+        test suite).
 
         A zero-shot batch is valid and returns an empty chunk.
         """
         if shots < 0:
             raise ValueError("shots must be non-negative")
         if self.track_state:
-            return self.run_reference(shots, seed, base_shot=base_shot)
-        if self.model.idle_policy != "worst_case":
-            raise VerificationError(
-                "the kraus idle policy is state-dependent; run with track_state=True"
-            )
+            return self._run_tracked_batch(shots, seed, base_shot)
         return self._run_event_batch(shots, seed, base_shot)
 
     def final_vectors(self, shots: int, seed: int, base_shot: int = 0) -> list[np.ndarray]:
         """Final state vector of each trajectory (state-tracking mode only).
 
-        Used by the density-matrix agreement tests; re-runs the same
-        deterministic streams :meth:`run` would use.
+        Used by the density-matrix agreement path; replays the same
+        deterministic streams :meth:`run` would use, on the batched state.
         """
         if not self.track_state:
             raise VerificationError("final_vectors requires track_state=True")
-        vectors = []
-        for offset in range(shots):
-            rng = np.random.default_rng((seed, base_shot + offset))
-            vectors.append(self._run_shot(rng).vector)
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
+        vectors: list[np.ndarray] = []
+        block = self._tracked_block_shots()
+        for start in range(0, shots, block):
+            count = min(block, shots - start)
+            _, state, _, _ = self._evolve_block(seed, base_shot + start, count)
+            vectors.extend(state.vectors())
         return vectors
 
 

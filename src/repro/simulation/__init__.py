@@ -7,6 +7,7 @@ instances.
 """
 
 from repro.simulation.statevector import MixedRadixState
+from repro.simulation.batched import BatchedMixedRadixState
 from repro.simulation.encoding import (
     encoded_level_for_bits,
     bits_for_encoded_level,
@@ -23,6 +24,7 @@ from repro.simulation.verify import (
 
 __all__ = [
     "MixedRadixState",
+    "BatchedMixedRadixState",
     "encoded_level_for_bits",
     "bits_for_encoded_level",
     "logical_state_of_units",

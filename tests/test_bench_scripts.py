@@ -138,7 +138,7 @@ class TestShotsFloorGate:
         results = tmp_path / "bench.json"
         # 20000 shots in 0.02 s = 1M shots/s
         results.write_text(_throughput_json([_entry("bench_vec", 0.02, 20000)]))
-        result = _run_floor(str(results), "--min-shots-per-sec", "50000")
+        result = _run_floor(str(results), "--floor", "vectorised=50000")
         assert result.returncode == 0, result.stderr
         assert "ok" in result.stdout
 
@@ -146,7 +146,7 @@ class TestShotsFloorGate:
         results = tmp_path / "bench.json"
         # 1000 shots in 1 s = 1k shots/s, far below any sensible floor
         results.write_text(_throughput_json([_entry("bench_vec", 1.0, 1000)]))
-        result = _run_floor(str(results), "--min-shots-per-sec", "50000")
+        result = _run_floor(str(results), "--floor", "vectorised=50000")
         assert result.returncode == 1
         assert "BELOW FLOOR" in result.stdout
 
@@ -156,14 +156,14 @@ class TestShotsFloorGate:
             _entry("bench_vec", 0.02, 20000),
             _entry("bench_ref", 1.0, 1000, engine="reference"),
         ]))
-        result = _run_floor(str(results), "--min-shots-per-sec", "50000")
+        result = _run_floor(str(results), "--floor", "vectorised=50000")
         assert result.returncode == 0, result.stdout + result.stderr
         assert "bench_ref" not in result.stdout
 
     def test_missing_tagged_benchmark_is_an_error(self, tmp_path):
         results = tmp_path / "bench.json"
         results.write_text(_throughput_json([_entry("untagged", 0.5, None)]))
-        result = _run_floor(str(results), "--min-shots-per-sec", "50000")
+        result = _run_floor(str(results), "--floor", "vectorised=50000")
         assert result.returncode == 1
         assert "no benchmark" in result.stderr
 
@@ -178,5 +178,60 @@ class TestShotsFloorGate:
                 "extra_info": {"shots": 20000, "engine": "vectorised"},
             }]
         }))
-        result = _run_floor(str(results), "--min-shots-per-sec", "100000")
+        result = _run_floor(str(results), "--floor", "vectorised=100000")
         assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestMultiEngineFloors:
+    """--floor engine=rate gates several engine tags in one invocation."""
+
+    def _results(self, tmp_path, tracked_mean=0.1):
+        results = tmp_path / "bench.json"
+        results.write_text(_throughput_json([
+            _entry("bench_vec", 0.02, 20000),                       # 1M shots/s
+            _entry("bench_tracked", tracked_mean, 4000, engine="tracked"),
+            _entry("bench_ref", 1.0, 1000, engine="reference"),
+        ]))
+        return results
+
+    def test_both_floors_pass(self, tmp_path):
+        results = self._results(tmp_path)  # tracked: 40k shots/s
+        result = _run_floor(str(results), "--floor", "vectorised=50000",
+                            "--floor", "tracked=3000")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "bench_vec" in result.stdout
+        assert "bench_tracked" in result.stdout
+        assert "bench_ref" not in result.stdout
+
+    def test_tracked_floor_fails_independently(self, tmp_path):
+        results = self._results(tmp_path, tracked_mean=4.0)  # 1k shots/s
+        result = _run_floor(str(results), "--floor", "vectorised=50000",
+                            "--floor", "tracked=3000")
+        assert result.returncode == 1
+        assert "BELOW FLOOR" in result.stdout
+
+    def test_missing_engine_tag_is_an_error(self, tmp_path):
+        results = tmp_path / "bench.json"
+        results.write_text(_throughput_json([_entry("bench_vec", 0.02, 20000)]))
+        result = _run_floor(str(results), "--floor", "tracked=3000")
+        assert result.returncode == 1
+        assert "tracked" in result.stderr
+
+    def test_bad_floor_spellings_are_rejected(self, tmp_path):
+        results = self._results(tmp_path)
+        for bad in ("tracked", "tracked=abc", "tracked=-5", "=100"):
+            result = _run_floor(str(results), "--floor", bad)
+            assert result.returncode == 2, bad
+        result = _run_floor(str(results))
+        assert result.returncode == 2
+
+    def test_conflicting_floors_are_rejected_loudly(self, tmp_path):
+        # a duplicate or double-spelled floor must not silently weaken the
+        # gate to whichever value happens to win
+        results = self._results(tmp_path)
+        result = _run_floor(str(results), "--floor", "tracked=3000",
+                            "--floor", "tracked=30")
+        assert result.returncode == 2
+        assert "duplicate" in result.stderr
+        result = _run_floor(str(results), "--min-shots-per-sec", "500000")
+        assert result.returncode == 2  # legacy spelling removed

@@ -127,3 +127,53 @@ class TestTrajectoryAgreement:
         result = simulate_noisy(compiled, spec, shots=1500, seed=0)
         low, high = result.confidence_interval(z=3.29)
         assert low <= analytic <= high
+
+
+class TestBatchedMeasurementSampler:
+    """The batched sampler's outcome distribution converges to the exact
+    density's diagonal (the measurement statistics the channel prescribes)."""
+
+    @settings(max_examples=5, deadline=None, derandomize=True)
+    @given(
+        gate_scale=st.floats(min_value=0.0, max_value=5.0),
+        t1_scale=st.floats(min_value=0.3, max_value=8.0),
+    )
+    def test_sampled_outcomes_match_density_diagonal(self, gate_scale, t1_scale):
+        from repro.noise import TrajectoryEngine
+        from repro.noise.rng import uniform_streams
+        from repro.simulation import BatchedMixedRadixState
+        from repro.simulation.verify import register_dims
+
+        shots = 1200
+        compiled = _compiled("ghz", 2)
+        spec = NoiseSpec(
+            gate_error_scale=gate_scale, t1_scale=t1_scale, idle_policy="kraus"
+        )
+        engine = TrajectoryEngine(compiled, spec, track_state=True)
+        vectors = np.stack(engine.final_vectors(shots, seed=0))
+        state = BatchedMixedRadixState(register_dims(compiled), shots)
+        state.set_vectors(vectors)  # renormalises residual Kraus-chain drift
+        outcomes = state.sample_outcomes(uniform_streams(99, 0, shots, 1)[:, 0])
+        diagonal = np.real(np.diag(reference_density(compiled, spec)))
+        for index, probability in enumerate(diagonal):
+            observed = int((outcomes == index).sum())
+            low, high = wilson_interval(observed, shots, z=3.29)
+            assert low <= probability <= high, (
+                f"outcome {index}: exact {probability:.4f} outside "
+                f"[{low:.4f}, {high:.4f}]"
+            )
+
+    def test_sampler_is_deterministic_for_fixed_draws(self, ghz3):
+        from repro.noise import TrajectoryEngine
+        from repro.noise.rng import uniform_streams
+        from repro.simulation import BatchedMixedRadixState
+        from repro.simulation.verify import register_dims
+
+        engine = TrajectoryEngine(ghz3, KRAUS, track_state=True)
+        vectors = np.stack(engine.final_vectors(64, seed=3))
+        draws = uniform_streams(5, 0, 64, 1)[:, 0]
+        first = BatchedMixedRadixState(register_dims(ghz3), 64)
+        first.set_vectors(vectors)
+        second = BatchedMixedRadixState(register_dims(ghz3), 64)
+        second.set_vectors(vectors)
+        assert (first.sample_outcomes(draws) == second.sample_outcomes(draws)).all()

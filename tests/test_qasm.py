@@ -9,6 +9,7 @@ from repro.circuits import (
     QasmError,
     QuantumCircuit,
     circuit_to_qasm,
+    parse_physical_qasm,
     parse_qasm,
     parse_qasm_file,
 )
@@ -252,3 +253,82 @@ class TestPhysicalEmission:
         assert len(op_lines) == len(compiled.ops)
         # measures route to the classical register
         assert any(line.startswith("measure u[") for line in lines)
+
+
+class TestPhysicalReimport:
+    """compiled_to_qasm output is grammatically valid OpenQASM 2.0 and
+    re-imports structurally via parse_physical_qasm (PR 5 bugfix — the
+    emission used to be export-only)."""
+
+    def _compiled(self, strategy, benchmark="bv", qubits=6, measure=False):
+        circuit = build_benchmark(benchmark, qubits)
+        if measure:
+            circuit.measure_all()
+        return QompressCompiler(
+            make_device("grid", qubits), get_strategy(strategy)
+        ).compile(circuit)
+
+    @pytest.mark.parametrize("strategy", ["qubit_only", "eqm", "rb", "fq"])
+    def test_roundtrip_declarations_and_instructions(self, strategy):
+        compiled = self._compiled(strategy)
+        program = parse_physical_qasm(compiled.to_qasm())
+        scheduled = sorted(compiled.ops, key=lambda op: op.start_ns)
+        assert program.num_units == compiled.device.num_units
+        assert program.name == compiled.circuit_name
+        assert program.strategy == compiled.strategy_name
+        assert program.device == compiled.device.name
+        assert program.makespan_ns == pytest.approx(compiled.makespan_ns)
+        assert len(program.instructions) == len(scheduled)
+        for instruction, op in zip(program.instructions, scheduled):
+            assert instruction.gate == op.gate
+            assert instruction.units == tuple(op.units)
+        used = {op.gate for op in compiled.ops} - {"measure"}
+        assert set(program.gate_arities) == used
+        for op in compiled.ops:
+            if op.gate != "measure":
+                assert program.gate_arities[op.gate] == len(op.units)
+
+    def test_roundtrip_with_measurements(self):
+        compiled = self._compiled("eqm", measure=True)
+        program = parse_physical_qasm(compiled.to_qasm())
+        measures = [i for i in program.instructions if i.gate == "measure"]
+        assert len(measures) == sum(1 for op in compiled.ops if op.gate == "measure")
+
+    def test_opaque_declaration_parses_arity(self):
+        program = parse_physical_qasm(
+            "OPENQASM 2.0;\n"
+            "opaque cx2 a,b;\n"
+            "opaque x a;\n"
+            "qreg u[3];\n"
+            "cx2 u[0],u[1];\n"
+            "x u[2];\n"
+        )
+        assert program.gate_arities == {"cx2": 2, "x": 1}
+        assert program.instructions == (
+            type(program.instructions[0])("cx2", (0, 1)),
+            type(program.instructions[0])("x", (2,)),
+        )
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(QasmError, match="expects 2"):
+            parse_physical_qasm(
+                "OPENQASM 2.0;\nopaque cx2 a,b;\nqreg u[3];\ncx2 u[0];\n"
+            )
+
+    def test_undeclared_gate_rejected(self):
+        with pytest.raises(QasmError, match="not declared opaque"):
+            parse_physical_qasm("OPENQASM 2.0;\nqreg u[2];\nmystery u[0];\n")
+
+    def test_gate_definitions_rejected(self):
+        with pytest.raises(QasmError, match="must not define gates"):
+            parse_physical_qasm(
+                "OPENQASM 2.0;\ngate g a { }\nqreg u[1];\n"
+            )
+
+    def test_empty_opaque_declaration_rejected(self):
+        with pytest.raises(QasmError, match="no qubit arguments"):
+            parse_physical_qasm("OPENQASM 2.0;\nopaque nothing;\nqreg u[1];\n")
+
+    def test_logical_parser_still_rejects_opaque_application(self):
+        with pytest.raises(QasmError, match="cannot be compiled"):
+            parse_qasm("OPENQASM 2.0;\nopaque cx2 a,b;\nqreg q[2];\ncx2 q[0],q[1];\n")

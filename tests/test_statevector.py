@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.pulses import embed_operator, qubit_gate
 from repro.pulses.unitaries import CX_MATRIX
-from repro.simulation import MixedRadixState
+from repro.simulation import BatchedMixedRadixState, MixedRadixState
 
 
 class TestConstruction:
@@ -129,3 +129,193 @@ class TestProperties:
             )
             state.apply(unitary, (int(a), int(b)))
         assert np.sum(state.probabilities()) == pytest.approx(1.0)
+
+
+class TestSetVectorRenormalisation:
+    """set_vector tolerates accumulated float drift (loose sanity bound)."""
+
+    def test_small_drift_is_renormalised(self):
+        state = MixedRadixState((2, 2))
+        drifted = np.array([1.0 + 5e-5, 0.0, 0.0, 0.0], dtype=complex)
+        state.set_vector(drifted)
+        assert np.linalg.norm(state.vector) == pytest.approx(1.0, abs=1e-12)
+
+    def test_gross_deviation_still_raises(self):
+        state = MixedRadixState((2, 2))
+        with pytest.raises(ValueError, match="normalised"):
+            state.set_vector(np.array([1.0, 1.0, 0.0, 0.0]))
+        with pytest.raises(ValueError):
+            state.set_vector(np.zeros(3))
+
+    def test_exactly_normalised_vector_is_unchanged(self):
+        state = MixedRadixState((2, 2))
+        vector = np.zeros(4, dtype=complex)
+        vector[2] = 1.0
+        state.set_vector(vector)
+        assert (state.vector == vector).all()
+
+    def test_long_damping_kraus_chain_round_trips(self):
+        # a deep chain of no-jump amplitude-damping Kraus ops accumulates
+        # norm drift past the old 1e-8 gate; the state must still be
+        # accepted back via set_vector
+        state = MixedRadixState((2, 2))
+        state.apply(qubit_gate("h"), (0,))
+        state.apply(CX_MATRIX, (0, 1))
+        k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - 1e-6)]], dtype=complex)
+        for _ in range(500):
+            state.apply_kraus(embed_operator(k0, (2,), [(0, 0)]), (0,))
+        vector = state.vector
+        fresh = MixedRadixState((2, 2))
+        fresh.set_vector(vector)  # must not raise
+        assert np.linalg.norm(fresh.vector) == pytest.approx(1.0, abs=1e-12)
+
+
+class TestBatchedState:
+    """BatchedMixedRadixState lanes evolve bit-identically to the scalar class."""
+
+    def _random_program(self, dims, rng, steps=6):
+        """A list of (operator, units) mixing 1- and 2-unit unitaries.
+
+        Operators are Haar-ish (QR of a random complex matrix) over the
+        full sub-dimension, so the helper works for any unit levels —
+        including the 3-/5-level units that force the stacked fallback.
+        """
+        program = []
+        for _ in range(steps):
+            if len(dims) >= 2 and rng.random() < 0.5:
+                a, b = rng.choice(len(dims), size=2, replace=False)
+                units = (int(a), int(b))
+            else:
+                units = (int(rng.integers(len(dims))),)
+            sub = int(np.prod([dims[unit] for unit in units]))
+            random_matrix = (rng.standard_normal((sub, sub))
+                             + 1j * rng.standard_normal((sub, sub)))
+            operator = np.linalg.qr(random_matrix)[0]
+            program.append((operator, units))
+        return program
+
+    @given(
+        # 3- and 5-level units exercise the non-power-of-two fallback,
+        # where the wide GEMM panel would not be bit-stable
+        dims=st.lists(st.sampled_from([2, 3, 4, 5]), min_size=1, max_size=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        batch=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_apply_matches_scalar_per_lane(self, dims, seed, batch):
+        dims = tuple(dims)
+        rng = np.random.default_rng(seed)
+        program = self._random_program(dims, rng)
+        batched = BatchedMixedRadixState(dims, batch)
+        scalars = [MixedRadixState(dims) for _ in range(batch)]
+        for operator, units in program:
+            batched.apply(operator, units)
+            for scalar in scalars:
+                scalar.apply(operator, units)
+        lanes = batched.vectors()
+        for lane, scalar in zip(lanes, scalars):
+            assert (lane == scalar.vector).all()
+
+    def test_lane_masked_apply_touches_only_selected_lanes(self):
+        batched = BatchedMixedRadixState((2, 2), 5)
+        before = batched.vectors()
+        batched.apply(qubit_gate("x"), (0,), lanes=np.array([1, 3]))
+        after = batched.vectors()
+        scalar = MixedRadixState((2, 2))
+        scalar.apply(qubit_gate("x"), (0,))
+        for lane in range(5):
+            if lane in (1, 3):
+                assert (after[lane] == scalar.vector).all()
+            else:
+                assert (after[lane] == before[lane]).all()
+
+    def test_apply_kraus_matches_scalar_per_lane(self):
+        dims = (2, 4)
+        rng = np.random.default_rng(3)
+        program = self._random_program(dims, rng, steps=4)
+        batched = BatchedMixedRadixState(dims, 4)
+        scalars = [MixedRadixState(dims) for _ in range(4)]
+        for operator, units in program:
+            batched.apply(operator, units)
+            for scalar in scalars:
+                scalar.apply(operator, units)
+        k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(0.75)]], dtype=complex)
+        operator = embed_operator(k0, (2,), [(0, 0)])
+        weights = batched.apply_kraus(operator, (0,))
+        for lane, scalar in enumerate(scalars):
+            expected = scalar.apply_kraus(operator, (0,))
+            assert weights[lane] == expected
+            assert (batched.vectors()[lane] == scalar.vector).all()
+
+    def test_apply_kraus_dead_branch_is_a_no_op(self):
+        # ground state has no excited amplitude: the jump cannot fire
+        batched = BatchedMixedRadixState((2,), 3)
+        jump = np.array([[0.0, 1.0], [0.0, 0.0]], dtype=complex)
+        weights = batched.apply_kraus(jump, (0,))
+        assert (weights == 0.0).all()
+        assert (batched.vectors() == BatchedMixedRadixState((2,), 3).vectors()).all()
+
+    def test_unit_populations_match_scalar(self):
+        dims = (4, 2, 2)
+        rng = np.random.default_rng(11)
+        program = self._random_program(dims, rng)
+        batched = BatchedMixedRadixState(dims, 3)
+        scalar = MixedRadixState(dims)
+        for operator, units in program:
+            batched.apply(operator, units)
+            scalar.apply(operator, units)
+        for unit in range(len(dims)):
+            batch_pops = batched.unit_populations(unit)
+            expected = scalar.unit_populations(unit)
+            for lane in range(3):
+                assert (batch_pops[lane] == expected).all()
+
+    def test_fidelities_match_scalar_vdot(self):
+        dims = (2, 2)
+        batched = BatchedMixedRadixState(dims, 2)
+        batched.apply(qubit_gate("h"), (0,), lanes=np.array([1]))
+        target = MixedRadixState(dims)
+        fidelities = batched.fidelities_with(target.vector)
+        assert fidelities[0] == pytest.approx(1.0)
+        assert fidelities[1] == pytest.approx(0.5)
+        probe = MixedRadixState(dims)
+        probe.apply(qubit_gate("h"), (0,))
+        assert fidelities[1] == probe.fidelity_with(target)
+
+    def test_set_vectors_renormalises_and_validates(self):
+        batched = BatchedMixedRadixState((2, 2), 2)
+        drifted = np.zeros((2, 4), dtype=complex)
+        drifted[0, 0] = 1.0 + 2e-5
+        drifted[1, 2] = 1.0 - 2e-5
+        batched.set_vectors(drifted)
+        norms = np.linalg.norm(batched.vectors(), axis=1)
+        assert norms == pytest.approx([1.0, 1.0], abs=1e-12)
+        with pytest.raises(ValueError, match="normalised"):
+            batched.set_vectors(np.ones((2, 4), dtype=complex))
+        with pytest.raises(ValueError, match="shape"):
+            batched.set_vectors(np.zeros((3, 4), dtype=complex))
+
+    def test_sample_outcomes_follow_probabilities(self):
+        batched = BatchedMixedRadixState((2, 2), 4)
+        batched.apply(qubit_gate("x"), (1,), lanes=np.array([2, 3]))
+        outcomes = batched.sample_outcomes(np.array([0.3, 0.9, 0.1, 0.5]))
+        assert outcomes.tolist() == [0, 0, 1, 1]
+        with pytest.raises(ValueError):
+            batched.sample_outcomes(np.zeros(3))
+
+    def test_construction_validates(self):
+        with pytest.raises(ValueError):
+            BatchedMixedRadixState((), 2)
+        with pytest.raises(ValueError):
+            BatchedMixedRadixState((2, 1), 2)
+        with pytest.raises(ValueError):
+            BatchedMixedRadixState((2, 2), -1)
+
+    def test_apply_validates_targets(self):
+        batched = BatchedMixedRadixState((2, 2, 2), 2)
+        with pytest.raises(ValueError):
+            batched.apply(CX_MATRIX, (0, 0))
+        with pytest.raises(ValueError):
+            batched.apply(CX_MATRIX, (0, 5))
+        with pytest.raises(ValueError):
+            batched.apply(CX_MATRIX, (0,))

@@ -465,3 +465,132 @@ class TestZeroShotGuards:
         assert result.tracked
         with pytest.raises(ValueError, match="zero-shot"):
             result.outcome_probability
+
+
+# ----------------------------------------------------------------------
+# PR 5: chunk-batched state-tracking path vs the scalar _reference path
+# ----------------------------------------------------------------------
+
+#: Tracked compile pool: every strategy family with a replayable op stream
+#: (single-qubit merging disabled; FQ always schedules unmerged).
+_TRACKED_POOL_SPECS = (
+    ("bv", 6, "eqm", (("merge_single_qubit_gates", False),)),
+    ("ghz", 5, "fq", ()),
+    ("qft", 4, "rb", (("merge_single_qubit_gates", False),)),
+    ("random_clifford_t", 6, "pp", (("merge_single_qubit_gates", False),)),
+)
+_TRACKED_ENGINES: dict[tuple, TrajectoryEngine] = {}
+
+
+def _tracked_engine(spec_index: int, preset: str) -> TrajectoryEngine:
+    key = (spec_index, preset)
+    engine = _TRACKED_ENGINES.get(key)
+    if engine is None:
+        bench, size, strategy, kwargs = _TRACKED_POOL_SPECS[spec_index]
+        compiled = SweepPoint(
+            bench, size, strategy, compiler_kwargs=kwargs
+        ).execute().compiled
+        spec = NoiseSpec.from_preset(preset)
+        engine = TrajectoryEngine(compiled, spec, track_state=True)
+        _TRACKED_ENGINES[key] = engine
+    return engine
+
+
+class TestEagerPolicyValidation:
+    """kraus + track_state=False fails at construction, not mid-run."""
+
+    def test_kraus_untracked_raises_in_init(self, compiled_bv6):
+        with pytest.raises(VerificationError, match="track_state=True"):
+            TrajectoryEngine(compiled_bv6, TABLE1.with_idle_policy("kraus"))
+
+    def test_kraus_tracked_constructs(self, replayable_ghz3):
+        engine = TrajectoryEngine(
+            replayable_ghz3, TABLE1.with_idle_policy("kraus"), track_state=True
+        )
+        chunk = engine.run(10, seed=0)
+        assert chunk.tracked
+
+    def test_simulate_noisy_still_surfaces_the_error(self, compiled_bv6):
+        with pytest.raises(VerificationError):
+            simulate_noisy(compiled_bv6, TABLE1.with_idle_policy("kraus"),
+                           shots=5, seed=0)
+
+
+class TestTrackedGoldenEquivalence:
+    """The batched tracked path must be bit-identical to the scalar loop."""
+
+    @given(
+        spec_index=st.integers(0, len(_TRACKED_POOL_SPECS) - 1),
+        preset=st.sampled_from(_PRESETS),
+        seed=st.one_of(st.integers(0, 2**8), st.integers(0, 2**40)),
+        base_shot=st.one_of(
+            st.integers(0, 5000),
+            st.sampled_from([2**32 - 7, 2**32, 2**33 + 11]),
+        ),
+        shots=st.integers(0, 60),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_tracked_run_matches_reference(self, spec_index, preset, seed,
+                                           base_shot, shots):
+        engine = _tracked_engine(spec_index, preset)
+        assert engine.run(shots, seed, base_shot=base_shot) == engine.run_reference(
+            shots, seed, base_shot=base_shot
+        )
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_kraus_policy_matches_reference(self, replayable_ghz3, seed):
+        engine = TrajectoryEngine(
+            replayable_ghz3, TABLE1.with_idle_policy("kraus"), track_state=True
+        )
+        assert engine.run(200, seed) == engine.run_reference(200, seed)
+
+    def test_tracked_block_splitting_is_invisible(self, replayable_ghz3, monkeypatch):
+        whole = TrajectoryEngine(replayable_ghz3, TABLE1, track_state=True).run(90, seed=3)
+        monkeypatch.setattr(trajectory_module, "TRACKED_BLOCK_AMPLITUDES", 1)
+        blocked = TrajectoryEngine(replayable_ghz3, TABLE1, track_state=True).run(90, seed=3)
+        assert whole == blocked
+
+    def test_final_vectors_match_scalar_replay(self, replayable_ghz3):
+        import numpy as np
+
+        engine = TrajectoryEngine(replayable_ghz3, TABLE1, track_state=True)
+        batched = engine.final_vectors(25, seed=9)
+        for offset, vector in enumerate(batched):
+            rng = np.random.default_rng((9, offset))
+            scalar = engine._run_shot(rng).vector
+            assert (vector == scalar).all()
+
+
+class TestTrackedChunkGeometry:
+    """Any (workers, chunk_size) split of a tracked batch reproduces the
+    scalar reference chunks bit for bit."""
+
+    SHOTS = 90
+    SEED = 6
+    POINT = SweepPoint(
+        "ghz", 3, "eqm", compiler_kwargs=(("merge_single_qubit_gates", False),)
+    )
+
+    @pytest.fixture(scope="class")
+    def reference_engine(self):
+        return TrajectoryEngine(self.POINT.execute().compiled, TABLE1, track_state=True)
+
+    @given(workers=st.integers(1, 2), chunk_size=st.integers(1, 120))
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture,
+                                     HealthCheck.too_slow])
+    def test_any_split_matches_reference_chunks(self, reference_engine, workers,
+                                                chunk_size):
+        chunks = []
+        base = 0
+        while base < self.SHOTS:
+            count = min(chunk_size, self.SHOTS - base)
+            chunks.append(reference_engine.run_reference(count, self.SEED, base_shot=base))
+            base += count
+        expected = NoisyResult.from_chunks(chunks, self.SEED)
+        split = simulate_point(
+            self.POINT, TABLE1, self.SHOTS, seed=self.SEED,
+            chunk_size=chunk_size, workers=workers, track_state=True,
+        )
+        assert split == expected

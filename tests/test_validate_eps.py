@@ -211,3 +211,58 @@ class TestDefaultShotBudget:
         from repro.evaluation import DEFAULT_VALIDATION_SHOTS
 
         assert DEFAULT_VALIDATION_SHOTS >= 8000
+
+
+class TestTrackedValidation:
+    """validate_eps(track_state=True) rides the batched tracked path and
+    reports outcome-level estimators per cell."""
+
+    CONFIG = {
+        "benchmarks": ("bv",),
+        "sizes": (4,),
+        "strategies": ("eqm", "fq"),
+        "shots": 400,
+        "seed": 1,
+    }
+
+    @pytest.fixture(scope="class")
+    def tracked_rows(self):
+        return validate_eps(track_state=True, **self.CONFIG)
+
+    def test_rows_are_tracked_and_validated(self, tracked_rows):
+        assert len(tracked_rows) == 2
+        for row in tracked_rows:
+            assert row.result.tracked
+            assert row.validated
+            # the analytic model lower-bounds the outcome-level estimate
+            assert row.result.outcome_probability >= row.simulated_eps - 1e-12
+
+    def test_tracked_rows_carry_outcome_columns(self, tracked_rows):
+        from repro.evaluation import TRACKED_VALIDATION_HEADERS, validation_headers
+
+        assert validation_headers(tracked=True) == TRACKED_VALIDATION_HEADERS
+        flattened = validation_rows(tracked_rows)
+        assert len(flattened[0]) == len(TRACKED_VALIDATION_HEADERS)
+        payload = tracked_rows[0].as_dict()
+        assert "outcome_probability" in payload
+        assert "mean_outcome_fidelity" in payload
+
+    def test_workers_do_not_change_tracked_rows(self):
+        serial = validate_eps(track_state=True, workers=1, **self.CONFIG)
+        parallel = validate_eps(track_state=True, workers=2, **self.CONFIG)
+        assert [row.result for row in serial] == [row.result for row in parallel]
+
+    def test_chunk_size_preserves_every_counter(self):
+        # integer counters are split-invariant; the fidelity accumulator is
+        # a float sum whose chunk partials round differently, so it agrees
+        # to float precision rather than bitwise across *different* splits
+        whole = validate_eps(track_state=True, chunk_size=400, **self.CONFIG)
+        split = validate_eps(track_state=True, chunk_size=97, **self.CONFIG)
+        for one, two in zip(whole, split):
+            assert one.result.no_error_shots == two.result.no_error_shots
+            assert one.result.gate_events == two.result.gate_events
+            assert one.result.idle_events == two.result.idle_events
+            assert one.result.outcome_successes == two.result.outcome_successes
+            assert one.result.outcome_fidelity_sum == pytest.approx(
+                two.result.outcome_fidelity_sum, rel=1e-12
+            )
