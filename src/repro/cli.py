@@ -14,6 +14,10 @@ writing Python::
     python -m repro table1
     python -m repro figure --name fig12 --output results/fig12.csv
     python -m repro cache --info
+    python -m repro submit --benchmarks bv ghz --sizes 4 6 --spool .spool --wait
+    python -m repro serve --spool .spool --store .repro_cache --workers 4
+    python -m repro store verify --json
+    python -m repro store gc
 
 Every subcommand prints a plain-text table; ``--output`` additionally writes
 a CSV file and ``--json`` a JSON file.  ``--workers N`` fans the sweep out
@@ -53,7 +57,7 @@ from repro.evaluation import (
     validate_eps,
     validation_rows,
 )
-from repro.evaluation.reporting import SWEEP_HEADERS
+from repro.evaluation.reporting import SWEEP_HEADERS, flat_results_to_rows
 from repro.metrics import grouped_histogram
 from repro.workloads import BENCHMARK_NAMES
 
@@ -165,6 +169,58 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("--name", choices=_FIGURES, required=True)
     figure_parser.add_argument("--output", help="write figure rows to this CSV file")
     _add_runner_arguments(figure_parser)
+
+    store_parser = subparsers.add_parser(
+        "store", help="inspect, audit or garbage-collect the artifact store"
+    )
+    store_parser.add_argument("action", choices=("stats", "verify", "gc"),
+                              help="stats: inventory counts; verify: re-hash every "
+                                   "blob and schema-check every ref/manifest; gc: "
+                                   "drop unreferenced blobs and stale temp files")
+    store_parser.add_argument("--dir", dest="store_dir", default=None,
+                              help=f"store root (default: {default_cache_dir()})")
+    store_parser.add_argument("--json", dest="json_output", action="store_true",
+                              help="print the machine-readable report to stdout "
+                                   "(what the CI validate-artifacts gate asserts on)")
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a sweep plan to the spool for an async server"
+    )
+    submit_parser.add_argument("--benchmarks", nargs="+", choices=sorted(BENCHMARK_NAMES),
+                               default=["cuccaro", "cnu"])
+    submit_parser.add_argument("--sizes", nargs="+", type=int, default=[8, 12, 16])
+    submit_parser.add_argument("--strategies", nargs="+", choices=sorted(set(_STRATEGIES)),
+                               default=["qubit_only", "eqm", "rb"])
+    submit_parser.add_argument("--device", choices=("grid", "heavy_hex", "ring"),
+                               default="grid")
+    submit_parser.add_argument("--seed", type=int, default=0)
+    submit_parser.add_argument("--spool", required=True,
+                               help="spool directory shared with the server")
+    submit_parser.add_argument("--store", dest="store_dir", default=None,
+                               help="artifact store root, used with --wait to print "
+                                    f"the result table (default: {default_cache_dir()})")
+    submit_parser.add_argument("--wait", action="store_true",
+                               help="poll the job's status file until it finishes "
+                                    "and print the sweep table from the store")
+    submit_parser.add_argument("--timeout", type=float, default=300.0,
+                               help="seconds --wait polls before giving up")
+    submit_parser.add_argument("--quiet", action="store_true",
+                               help="print only the job id (for shell capture)")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the sweep server over a spool directory"
+    )
+    serve_parser.add_argument("--spool", required=True,
+                              help="spool directory clients submit into")
+    serve_parser.add_argument("--store", dest="store_dir", default=None,
+                              help="artifact store root results are published to "
+                                   f"(default: {default_cache_dir()})")
+    serve_parser.add_argument("--workers", type=_worker_count, default=1,
+                              help="process fan-out within each job")
+    serve_parser.add_argument("--once", action="store_true",
+                              help="drain the current backlog and exit (CI mode)")
+    serve_parser.add_argument("--poll-interval", type=float, default=1.0,
+                              help="seconds between spool scans when looping")
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk compile cache"
@@ -435,6 +491,110 @@ def save_json(
     return path
 
 
+def _store_from_args(args: argparse.Namespace):
+    from repro.store import ArtifactStore
+
+    return ArtifactStore(Path(args.store_dir) if args.store_dir else default_cache_dir())
+
+
+def _run_store(args: argparse.Namespace) -> int:
+    store = _store_from_args(args)
+    if args.action == "stats":
+        stats = store.stats()
+        if args.json_output:
+            print(json.dumps({"root": str(store.root), **stats.as_dict()}, indent=2))
+        else:
+            print(format_table(["property", "value"], [
+                ["directory", str(store.root)],
+                ["blobs", stats.blobs],
+                ["blob KiB", stats.blob_bytes / 1024.0],
+                ["refs", stats.refs],
+                ["manifests", stats.manifests],
+            ]))
+        return 0
+    if args.action == "gc":
+        report = store.gc()
+        if args.json_output:
+            print(json.dumps({"root": str(store.root), **report.as_dict()}, indent=2))
+        else:
+            print(f"removed {report.removed_blobs} unreferenced blobs "
+                  f"({report.reclaimed_bytes / 1024.0:.1f} KiB) and "
+                  f"{report.removed_temp_files} stale temp files; "
+                  f"kept {report.kept_blobs} referenced blobs")
+        return 0
+    report = store.verify()
+    if args.json_output:
+        print(json.dumps({"root": str(store.root), **report.as_dict()}, indent=2))
+    else:
+        print(f"checked {report.checked_blobs} blobs, {report.checked_refs} refs, "
+              f"{report.checked_manifests} manifests in {store.root}")
+        for issue in report.issues:
+            print(f"  {issue['kind']}: {issue['path']} — {issue['detail']}",
+                  file=sys.stderr)
+        print("store verified: every blob re-hashes and every manifest validates"
+              if report.ok else f"{len(report.issues)} issues found", flush=True)
+    return 0 if report.ok else 1
+
+
+def _submit_plan_from_args(args: argparse.Namespace) -> SweepPlan:
+    return SweepPlan.cartesian(
+        tuple(args.benchmarks), tuple(args.sizes), tuple(args.strategies),
+        device=DeviceSpec(kind=args.device), seed=args.seed,
+    )
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    from repro.service import job_results, submit_job, wait_for_job
+
+    plan = _submit_plan_from_args(args)
+    job_id = submit_job(args.spool, plan)
+    if args.quiet:
+        print(job_id)
+    else:
+        print(f"submitted {plan.describe()}")
+        print(f"job {job_id} spooled at {args.spool}; "
+              f"poll {Path(args.spool) / 'status' / (job_id + '.json')}")
+    if not args.wait:
+        return 0
+    try:
+        document = wait_for_job(args.spool, job_id, timeout=args.timeout)
+    except TimeoutError as error:
+        print(f"error: {error} (is a server running? try: repro serve "
+              f"--spool {args.spool})", file=sys.stderr)
+        return 1
+    if document.get("state") != "done":
+        print(f"error: job {job_id} failed: {document.get('error')}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"job {job_id} done: {document['cache_hits']} store hits, "
+              f"{document['executed']} executed, {document['deduped']} deduped "
+              f"in {document['seconds']:.2f}s (manifest {document['manifest']})")
+        results = job_results(_store_from_args(args), document["manifest"])
+        print(format_table(SWEEP_HEADERS, flat_results_to_rows(results)))
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve_forever, serve_once
+
+    store = _store_from_args(args)
+    if args.once:
+        statuses = serve_once(args.spool, store, workers=args.workers)
+        for document in statuses:
+            print(f"job {document['job_id']}: {document['state']} "
+                  f"({document['cache_hits']} store hits, {document['executed']} "
+                  f"executed, {document['deduped']} deduped, "
+                  f"{document['seconds']:.2f}s)")
+        print(f"served {len(statuses)} jobs from {args.spool} into {store.root}")
+        return 0 if all(s["state"] == "done" for s in statuses) else 1
+    print(f"serving {args.spool} into {store.root} "
+          f"(workers={args.workers}); ctrl-c to stop")
+    served = serve_forever(args.spool, store, workers=args.workers,
+                           poll_interval=args.poll_interval)
+    print(f"served {served} jobs")
+    return 0
+
+
 def _run_cache(args: argparse.Namespace) -> int:
     cache = CompileCache(root=Path(args.cache_dir) if args.cache_dir else default_cache_dir())
     if args.clear:
@@ -534,6 +694,9 @@ _HANDLERS = {
     "table1": _run_table1,
     "figure": _run_figure,
     "cache": _run_cache,
+    "store": _run_store,
+    "submit": _run_submit,
+    "serve": _run_serve,
 }
 
 

@@ -39,20 +39,32 @@ def results_to_rows(results: dict[str, dict[int, dict[str, StrategyResult]]]) ->
     for benchmark, by_size in results.items():
         for size, by_strategy in by_size.items():
             for strategy, result in by_strategy.items():
-                report = result.report
-                rows.append([
-                    benchmark,
-                    size,
-                    strategy,
-                    report.gate_eps,
-                    report.coherence_eps,
-                    report.total_eps,
-                    report.makespan_ns,
-                    report.num_ops,
-                    report.num_communication_ops,
-                    report.num_compressed_pairs,
-                ])
+                rows.append(_result_row(benchmark, size, strategy, result))
     return rows
+
+
+def flat_results_to_rows(results: list[StrategyResult]) -> list[list]:
+    """CSV-style rows for a plan-ordered list of results (service/executor output)."""
+    return [
+        _result_row(result.benchmark, result.num_qubits, result.strategy, result)
+        for result in results
+    ]
+
+
+def _result_row(benchmark, size, strategy, result: StrategyResult) -> list:
+    report = result.report
+    return [
+        benchmark,
+        size,
+        strategy,
+        report.gate_eps,
+        report.coherence_eps,
+        report.total_eps,
+        report.makespan_ns,
+        report.num_ops,
+        report.num_communication_ops,
+        report.num_compressed_pairs,
+    ]
 
 
 SWEEP_HEADERS = [

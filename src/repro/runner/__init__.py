@@ -7,8 +7,10 @@ pieces:
   ``(benchmark, num_qubits, strategy, device, seed)`` points,
 * :class:`ParallelExecutor` — serial (``workers=1``) or process-parallel
   execution with deterministic, plan-ordered results,
-* :class:`CompileCache` — a content-keyed on-disk store so repeated sweeps
-  (and experiments sharing points) never recompile the same circuit twice.
+* :class:`CompileCache` — content keying (:func:`point_key`) over the
+  content-addressed :class:`~repro.store.ArtifactStore`, so repeated
+  sweeps (and experiments sharing points) never recompile the same
+  circuit twice.
 
 A plan point is any picklable value with ``execute()`` and ``payload()``:
 compile requests (:class:`SweepPoint`, including content-keyed external
@@ -32,6 +34,7 @@ from repro.runner.cache import (
     CompileCache,
     code_fingerprint,
     default_cache_dir,
+    point_key,
 )
 from repro.runner.executor import (
     ExecutionStats,
@@ -65,4 +68,5 @@ __all__ = [
     "execute_point",
     "freeze_kwargs",
     "make_device",
+    "point_key",
 ]

@@ -1,17 +1,22 @@
-"""Content-keyed on-disk cache for compiled sweep points.
+"""Compile cache: content keying for plan points over the artifact store.
 
-Layout: each cached point lives under the cache root as two files named by
-the SHA-256 of its canonical JSON payload —
+Since PR 6 the on-disk format is the content-addressed
+:class:`~repro.store.ArtifactStore` (``blobs/<sha256[:2]>/<sha256>`` plus a
+``refs/`` index and ``manifests/``), not a flat directory of pickles.
+:class:`CompileCache` is the compatibility shim that keeps every existing
+call site working unchanged: same constructor, same ``get``/``put``/
+``stats`` API, but writes are now atomic (temp file + ``os.replace``), safe
+under concurrent writers, deduplicated by content, and every read is
+hash-verified — a truncated or corrupt entry is detected and served as a
+miss instead of crashing ``pickle.load``.
 
-* ``<digest>.pkl``  — the pickled :class:`~repro.runner.points.StrategyResult`
-* ``<digest>.json`` — the human-readable key payload (for debugging / audits)
-
-Invalidation is automatic and total: any change to the point — strategy
-kwargs, device recipe (topology kind, T1 knobs, duration or fidelity
-overrides), seed — changes the digest; a fingerprint of the ``repro``
-package source baked into every key retires all entries whenever the
-compiler/strategy code itself changes; and a schema version covers
-result-format changes independent of code content.
+This module also owns *keying*: :func:`point_key` digests a plan point's
+canonical JSON payload together with a fingerprint of the whole ``repro``
+package source and a schema version.  Invalidation is therefore automatic
+and total: any change to the point — strategy kwargs, device recipe
+(topology kind, T1 knobs, duration or fidelity overrides), seed — changes
+the digest; any source edit retires every entry; and the schema version
+covers result-format changes independent of code content.
 """
 
 from __future__ import annotations
@@ -20,12 +25,12 @@ import functools
 import hashlib
 import json
 import os
-import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import repro
 from repro.runner.points import StrategyResult, SweepPoint
+from repro.store import ArtifactStore
 
 #: Bump to invalidate every existing cache entry (result-format changes).
 CACHE_SCHEMA_VERSION = 1
@@ -49,6 +54,21 @@ def code_fingerprint() -> str:
         digest.update(str(path.relative_to(package_root)).encode("utf-8"))
         digest.update(path.read_bytes())
     return digest.hexdigest()
+
+
+def point_key(point) -> str:
+    """Stable content key for one plan point (any ``payload()``-bearing value).
+
+    This is the digest the store's ``refs/`` index, the run manifests and
+    the sweep service's in-flight dedupe all share.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "code": code_fingerprint(),
+        "point": point.payload(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def default_cache_dir() -> Path:
@@ -75,27 +95,28 @@ class CacheStats:
 
 @dataclass
 class CompileCache:
-    """Pickle store mapping sweep points to their compiled results."""
+    """Point-keyed view over an :class:`~repro.store.ArtifactStore`.
+
+    Maps sweep points (or any ``payload()``-bearing plan point) to their
+    pickled results through the store's content-addressed blobs.  Two
+    caches rooted at the same directory — in the same process, in two
+    worker processes, or on two machines sharing a filesystem — serve and
+    publish a single consistent set of artifacts.
+    """
 
     root: Path = field(default_factory=default_cache_dir)
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        self.store = ArtifactStore(self.root)
 
     # ------------------------------------------------------------------
     # keying
     # ------------------------------------------------------------------
     def key(self, point: SweepPoint) -> str:
-        """Stable content digest for one point."""
-        payload = {
-            "schema": CACHE_SCHEMA_VERSION,
-            "code": code_fingerprint(),
-            "point": point.payload(),
-        }
-        canonical = json.dumps(payload, sort_keys=True, default=repr)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        """Stable content digest for one point (see :func:`point_key`)."""
+        return point_key(point)
 
     # ------------------------------------------------------------------
     # lookup / store
@@ -104,55 +125,34 @@ class CompileCache:
         """Return the cached result for ``point`` (any payload()-bearing
         plan point), or None on a miss.
 
-        Unreadable entries (truncated writes, pickle-format drift) are
-        removed and counted as misses rather than raised.
+        Unreadable entries (truncated blobs, hash mismatches, pickle-format
+        drift) are removed and counted as misses rather than raised.
         """
-        path = self.root / f"{self.key(point)}.pkl"
-        if not path.exists():
-            self.stats.misses += 1
-            return None
-        try:
-            with path.open("rb") as handle:
-                result = pickle.load(handle)
-        except Exception:
-            path.unlink(missing_ok=True)
+        result = self.store.get_object(self.key(point))
+        if result is None:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return result
 
     def put(self, point: SweepPoint, result: StrategyResult) -> Path:
-        """Store ``result`` under the point's digest and return the file path."""
-        digest = self.key(point)
-        path = self.root / f"{digest}.pkl"
-        tmp = self.root / f"{digest}.pkl.tmp.{os.getpid()}"
-        with tmp.open("wb") as handle:
-            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)
-        meta = self.root / f"{digest}.json"
-        if not meta.exists():
-            meta.write_text(
-                json.dumps(point.payload(), sort_keys=True, indent=2, default=repr)
-            )
+        """Publish ``result`` under the point's key; return the blob path."""
+        digest = self.store.put_object(
+            self.key(point), result, payload=point.payload()
+        )
         self.stats.writes += 1
-        return path
+        return self.store.blob_path(digest)
 
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.pkl"))
+        return sum(1 for _ in self.store.iter_ref_paths())
 
     def size_bytes(self) -> int:
-        """Total bytes used by cached results and their key sidecars."""
-        return sum(path.stat().st_size for path in self.root.glob("*") if path.is_file())
+        """Total bytes used by the store rooted at this cache directory."""
+        return self.store.size_bytes()
 
     def clear(self) -> int:
         """Delete every entry; returns the number of results removed."""
-        removed = 0
-        for path in self.root.glob("*.pkl"):
-            path.unlink(missing_ok=True)
-            removed += 1
-        for path in self.root.glob("*.json"):
-            path.unlink(missing_ok=True)
-        return removed
+        return self.store.clear()

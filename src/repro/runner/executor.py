@@ -1,4 +1,15 @@
-"""Serial and process-parallel execution of sweep plans."""
+"""Serial and process-parallel execution of sweep plans.
+
+Determinism contract: results always come back in plan order and are
+**byte-identical** at every worker count and chunk size.  This holds
+because each worker rebuilds its point from the pickled spec and executes
+it with no shared mutable state — ``workers=1`` is the reference path and
+``workers>1`` is purely a wall-clock optimisation, which
+``tests/test_runner.py`` pins by comparing serial and parallel reports.
+When a :class:`~repro.runner.cache.CompileCache` is attached, cache hits
+are redeemed from the artifact store and only the misses are dispatched;
+the merged result list is indistinguishable from an uncached run.
+"""
 
 from __future__ import annotations
 

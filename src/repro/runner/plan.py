@@ -1,4 +1,13 @@
-"""Declarative enumeration of sweep points."""
+"""Declarative enumeration of sweep points.
+
+A :class:`SweepPlan` is an immutable, ordered tuple of points: iteration
+order is deterministic (``cartesian`` enumerates benchmark-major) and two
+plans built from the same arguments enumerate identical points in
+identical order.  That ordering is load-bearing — executor results, run
+manifests and plan fingerprints
+(:func:`~repro.store.manifest.plan_fingerprint`) are all defined in plan
+order.
+"""
 
 from __future__ import annotations
 

@@ -112,6 +112,22 @@ class DeviceSpec:
             "fidelity_overrides": [list(pair) for pair in self.fidelity_overrides],
         }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DeviceSpec":
+        """Rebuild a spec from :meth:`payload` output (JSON round-trip safe)."""
+        return cls(
+            kind=payload["kind"],
+            t1_scale=payload.get("t1_scale", 1.0),
+            ququart_t1_ratio=payload.get("ququart_t1_ratio"),
+            qubit_error_scale=payload.get("qubit_error_scale"),
+            duration_overrides=tuple(
+                (name, value) for name, value in payload.get("duration_overrides", ())
+            ),
+            fidelity_overrides=tuple(
+                (name, value) for name, value in payload.get("fidelity_overrides", ())
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -206,6 +222,45 @@ class SweepPoint:
             if self.qasm is not None
             else None,
         }
+
+    def spec(self) -> dict:
+        """Full JSON-serialisable reconstruction recipe for this point.
+
+        Unlike :meth:`payload` — which digests the QASM text for compact
+        keying — the spec carries everything needed to rebuild the point
+        verbatim, so plans can be submitted to the sweep service's file
+        spool and re-materialised in another process (:meth:`from_spec`).
+        Keyword-argument values must themselves be JSON round-trip safe
+        (numbers, strings, booleans).
+        """
+        return {
+            "benchmark": self.benchmark,
+            "num_qubits": self.num_qubits,
+            "strategy": self.strategy,
+            "device": self.device.payload(),
+            "seed": self.seed,
+            "strategy_kwargs": [list(pair) for pair in self.strategy_kwargs],
+            "compiler_kwargs": [list(pair) for pair in self.compiler_kwargs],
+            "qasm": self.qasm,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "SweepPoint":
+        """Rebuild a point from :meth:`spec` output."""
+        return cls(
+            benchmark=spec["benchmark"],
+            num_qubits=spec["num_qubits"],
+            strategy=spec["strategy"],
+            device=DeviceSpec.from_payload(spec["device"]),
+            seed=spec.get("seed", 0),
+            strategy_kwargs=tuple(
+                (name, value) for name, value in spec.get("strategy_kwargs", ())
+            ),
+            compiler_kwargs=tuple(
+                (name, value) for name, value in spec.get("compiler_kwargs", ())
+            ),
+            qasm=spec.get("qasm"),
+        )
 
     def execute(self) -> "StrategyResult":
         """Build, compile and evaluate this point (see :func:`execute_point`)."""

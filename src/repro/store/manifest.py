@@ -1,0 +1,147 @@
+"""Run manifests: the schema-validated record of one executed plan.
+
+Every :class:`~repro.runner.plan.SweepPlan` execution that goes through the
+sweep service (or any caller of :meth:`ArtifactStore.write_manifest`) leaves
+one JSON manifest under ``manifests/`` recording
+
+* the **plan fingerprint** — a digest over the content keys of every point,
+  in plan order, so two runs of the same plan share a fingerprint,
+* the **code fingerprint** — the digest of the whole ``repro`` package that
+  was folded into every point key (see
+  :func:`repro.runner.cache.code_fingerprint`),
+* a **per-point entry** mapping each point's content key to the blob that
+  holds its pickled result, plus how the point was satisfied (computed,
+  served from the store, or deduplicated against another in-flight job),
+* **timings** — wall-clock seconds and the executed / cache-hit / deduped
+  counts.
+
+Manifests are validated against :data:`MANIFEST_SCHEMA` on write and again
+by ``repro store verify``, so a store can always be audited offline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from collections.abc import Iterable
+
+from repro.store.schema import validate
+
+#: Bump when the manifest layout changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+_SHA256 = {"type": "string", "pattern": "^[0-9a-f]{64}$"}
+
+#: JSON Schema (the subset :mod:`repro.store.schema` implements) for one
+#: run manifest.  ``repro store verify`` checks every manifest against it.
+MANIFEST_SCHEMA = {
+    "type": "object",
+    "required": [
+        "schema",
+        "manifest_id",
+        "kind",
+        "created_unix",
+        "plan_fingerprint",
+        "code_fingerprint",
+        "points",
+        "timings",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "schema": {"const": MANIFEST_SCHEMA_VERSION},
+        "manifest_id": {"type": "string", "pattern": "^[0-9a-f]{16}$"},
+        "kind": {"type": "string", "enum": ["sweep", "simulation"]},
+        "created_unix": {"type": "number", "minimum": 0},
+        "plan_fingerprint": _SHA256,
+        "code_fingerprint": _SHA256,
+        "points": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["key", "blob", "cached"],
+                "additionalProperties": False,
+                "properties": {
+                    "key": _SHA256,
+                    "blob": _SHA256,
+                    "cached": {"type": "boolean"},
+                    "deduped": {"type": "boolean"},
+                },
+            },
+        },
+        "timings": {
+            "type": "object",
+            "required": ["total_seconds", "executed", "cache_hits", "deduped"],
+            "additionalProperties": False,
+            "properties": {
+                "total_seconds": {"type": "number", "minimum": 0},
+                "executed": {"type": "integer", "minimum": 0},
+                "cache_hits": {"type": "integer", "minimum": 0},
+                "deduped": {"type": "integer", "minimum": 0},
+            },
+        },
+    },
+}
+
+
+def validate_manifest(manifest: dict) -> None:
+    """Raise :class:`~repro.store.schema.SchemaError` unless valid."""
+    validate(manifest, MANIFEST_SCHEMA)
+
+
+def plan_fingerprint(keys: Iterable[str]) -> str:
+    """Digest over the ordered content keys of a plan's points.
+
+    Two executions of the same plan against the same code share a
+    fingerprint; any change to any point (or to the package source, which
+    is folded into each key) produces a new one.
+    """
+    digest = hashlib.sha256()
+    for key in keys:
+        digest.update(key.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def new_manifest_id() -> str:
+    """Fresh 16-hex manifest id, unique across processes and time."""
+    seed = f"{time.time_ns()}:{os.getpid()}:{os.urandom(8).hex()}"
+    return hashlib.sha256(seed.encode("ascii")).hexdigest()[:16]
+
+
+def build_manifest(
+    *,
+    kind: str,
+    plan_fp: str,
+    code_fp: str,
+    points: list[dict],
+    total_seconds: float,
+    executed: int,
+    cache_hits: int,
+    deduped: int,
+    manifest_id: str | None = None,
+    created_unix: float | None = None,
+) -> dict:
+    """Assemble and schema-validate one run manifest.
+
+    ``points`` entries are ``{"key", "blob", "cached"[, "deduped"]}`` dicts
+    in plan order.  Raises :class:`~repro.store.schema.SchemaError` if the
+    result would not validate, so a malformed manifest can never be written.
+    """
+    manifest = {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "manifest_id": manifest_id or new_manifest_id(),
+        "kind": kind,
+        "created_unix": time.time() if created_unix is None else created_unix,
+        "plan_fingerprint": plan_fp,
+        "code_fingerprint": code_fp,
+        "points": points,
+        "timings": {
+            "total_seconds": float(total_seconds),
+            "executed": executed,
+            "cache_hits": cache_hits,
+            "deduped": deduped,
+        },
+    }
+    validate_manifest(manifest)
+    return manifest

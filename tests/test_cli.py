@@ -328,3 +328,111 @@ class TestValidateEpsShotGuard:
         code = main(["validate-eps", "--shots", "0"])
         assert code == 2
         assert "--shots must be positive" in capsys.readouterr().err
+
+
+class TestStoreServiceVerbs:
+    def _submit(self, spool, store, extra=()):
+        return main([
+            "submit", "--benchmarks", "bv", "--sizes", "4",
+            "--strategies", "qubit_only", "--spool", str(spool),
+            "--store", str(store), *extra,
+        ])
+
+    def test_submit_serve_once_and_store_verbs(self, capsys, tmp_path):
+        spool, store = tmp_path / "spool", tmp_path / "store"
+        assert self._submit(spool, store, extra=("--quiet",)) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert job_id
+
+        assert main(["serve", "--spool", str(spool), "--store", str(store),
+                     "--once"]) == 0
+        output = capsys.readouterr().out
+        assert f"job {job_id}: done" in output
+        assert "served 1 jobs" in output
+
+        # warm second submission is fully store-served and prints the table
+        assert self._submit(spool, store) == 0
+        capsys.readouterr()
+        assert main(["serve", "--spool", str(spool), "--store", str(store),
+                     "--once"]) == 0
+        assert "1 store hits, 0 executed" in capsys.readouterr().out
+
+        assert main(["store", "verify", "--dir", str(store), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["issues"] == []
+        assert report["checked"]["manifests"] == 2
+
+        assert main(["store", "stats", "--dir", str(store), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["blobs"] == 1  # identical point dedupes to one blob
+        assert stats["manifests"] == 2
+
+        assert main(["store", "gc", "--dir", str(store)]) == 0
+        assert "kept 1 referenced blobs" in capsys.readouterr().out
+
+    def test_submit_wait_against_a_preserved_backlog(self, capsys, tmp_path):
+        # serve first, then --wait returns immediately from the status file
+        spool, store = tmp_path / "spool", tmp_path / "store"
+        assert self._submit(spool, store, extra=("--quiet",)) == 0
+        capsys.readouterr()
+        assert main(["serve", "--spool", str(spool), "--store", str(store),
+                     "--once"]) == 0
+        capsys.readouterr()
+        assert self._submit(spool, store, extra=("--quiet",)) == 0
+        capsys.readouterr()
+        assert main(["serve", "--spool", str(spool), "--store", str(store),
+                     "--once"]) == 0
+        capsys.readouterr()
+        assert self._submit(spool, store) == 0
+        out = capsys.readouterr().out
+        assert "spooled at" in out
+
+    def test_submit_wait_times_out_without_a_server(self, capsys, tmp_path):
+        spool, store = tmp_path / "spool", tmp_path / "store"
+        code = self._submit(spool, store,
+                            extra=("--wait", "--timeout", "0.2", "--quiet"))
+        assert code == 1
+        assert "is a server running?" in capsys.readouterr().err
+
+    def test_store_verify_fails_on_corruption(self, capsys, tmp_path):
+        spool, store = tmp_path / "spool", tmp_path / "store"
+        assert self._submit(spool, store, extra=("--quiet",)) == 0
+        assert main(["serve", "--spool", str(spool), "--store", str(store),
+                     "--once"]) == 0
+        capsys.readouterr()
+        blob = next(p for p in (store / "blobs").rglob("*") if p.is_file())
+        blob.write_bytes(b"corrupted")
+        assert main(["store", "verify", "--dir", str(store), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert any(i["kind"] == "blob-hash-mismatch" for i in report["issues"])
+
+    def test_submit_wait_prints_the_result_table(self, capsys, tmp_path):
+        import threading
+        import time
+
+        from repro.service import serve_once
+        from repro.store import ArtifactStore
+
+        spool, store = tmp_path / "spool", tmp_path / "store"
+
+        def server():
+            jobs = spool / "jobs"
+            for _ in range(600):
+                if jobs.exists() and any(jobs.glob("*.json")):
+                    serve_once(spool, ArtifactStore(store))
+                    return
+                time.sleep(0.05)
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        try:
+            code = self._submit(spool, store, extra=("--wait",))
+        finally:
+            thread.join()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "store hits" in out
+        assert "total_eps" in out  # the sweep table header
+        assert "\nbv" in out      # one row per point

@@ -131,11 +131,10 @@ class TestCompileCache:
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = CompileCache(root=tmp_path)
         point = self._point()
-        cache.put(point, execute_point(point))
-        pkl = next(tmp_path.glob("*.pkl"))
-        pkl.write_bytes(b"not a pickle")
+        blob = cache.put(point, execute_point(point))
+        blob.write_bytes(b"not a pickle")
         assert cache.get(point) is None
-        assert not pkl.exists()
+        assert not blob.exists()
 
     def test_clear(self, tmp_path):
         cache = CompileCache(root=tmp_path)
