@@ -17,6 +17,7 @@ the batched state-tracking path (~20-25x measured).
 
 import time
 
+from repro.store import ArtifactStore
 from repro.noise import NoiseSpec, TrajectoryEngine, shot_plan
 from repro.runner import CompileCache, ParallelExecutor, SweepPoint
 
@@ -140,7 +141,7 @@ def test_tracked_speedup_floor():
 
 
 def test_bench_shot_plan_cached(benchmark, tmp_path):
-    cache = CompileCache(root=tmp_path)
+    cache = CompileCache.from_store(ArtifactStore(tmp_path))
     plan = shot_plan(POINT, TABLE1, shots=SHOTS, seed=0, chunk_size=2500)
     ParallelExecutor(workers=1, cache=cache).run(plan)  # populate
 

@@ -6,6 +6,7 @@ cached pass must also perform zero recompiles — the benchmark asserts it.
 """
 
 
+from repro.store import ArtifactStore
 from repro.runner import CompileCache, ParallelExecutor, SweepPlan
 
 PLAN = SweepPlan.cartesian(
@@ -29,7 +30,7 @@ def test_bench_engine_cold(benchmark):
 
 
 def test_bench_engine_cached(benchmark, tmp_path):
-    cache = CompileCache(root=tmp_path)
+    cache = CompileCache.from_store(ArtifactStore(tmp_path))
     warm = ParallelExecutor(workers=1, cache=cache)
     warm.run(PLAN)  # populate every point
 

@@ -16,6 +16,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.store import ArtifactStore
 from repro.cli import _worker_count
 from repro.runner import CompileCache
 from repro.evaluation import (
@@ -53,7 +54,8 @@ def parse_args(argv=None) -> argparse.Namespace:
 
 def main(argv=None) -> None:
     args = parse_args(argv)
-    cache = CompileCache(root=Path(args.cache_dir)) if args.cache_dir else None
+    cache = (CompileCache.from_store(ArtifactStore(Path(args.cache_dir)))
+             if args.cache_dir else None)
     engine = {"workers": args.workers, "cache": cache}
     started = time.perf_counter()
     RESULTS_DIR.mkdir(exist_ok=True)

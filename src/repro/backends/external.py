@@ -1,0 +1,179 @@
+"""The external-sim backend: QASM round-trip plus an independent estimator.
+
+This backend treats the compiler's output the way an external simulator
+would — as a *program*, not an in-memory object.  Every compile:
+
+1. runs the Qompress pipeline with single-qubit merging disabled (merged
+   ``x01`` ops have no replayable unitary),
+2. serialises the physical program with
+   :func:`~repro.circuits.qasm.compiled_to_qasm`, re-imports it with
+   :func:`~repro.circuits.qasm.parse_physical_qasm`, and structurally
+   cross-checks the round trip against the op stream, and
+3. replays the op stream on the independent
+   :class:`~repro.simulation.dense.DenseStatevector` engine and asserts
+   fidelity ≈ 1 against the mixed-radix replayer (skipped above
+   :attr:`ExternalSimBackend.MAX_DENSE_DIMENSION` amplitudes).
+
+Execution estimates EPS by an event sampler that is deliberately *not* the
+trajectory engine: scalar per-op error probabilities, per-shot salted RNG
+streams (so the two backends' estimates are statistically independent and
+comparable only through their confidence intervals), same chunk-split
+invariance.  ``repro crosscheck`` uses this to cross-verify the paper's
+EPS numbers between implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.contract import (
+    BackendError,
+    CompiledHandle,
+    ExecutionBackend,
+)
+from repro.backends.registry import register_backend
+from repro.noise.model import resolve_model
+from repro.noise.result import NoisyResult
+
+#: Extra seed-tuple entry giving every shot a stream distinct from the
+#: trajectory engine's ``(seed, shot)`` stream — same distribution,
+#: independent draws, still deterministic per absolute shot index.
+_STREAM_SALT = 0x5EED
+
+
+@register_backend("external-sim")
+class ExternalSimBackend(ExecutionBackend):
+    """Round-tripped programs, independently simulated and estimated."""
+
+    name = "external-sim"
+    #: Merged x01 ops carry no unitary; the round trip needs a replayable
+    #: op stream.  Constant per class, so content keys stay unambiguous.
+    compiler_overrides = {"merge_single_qubit_gates": False}
+
+    #: Dense replay verifies compiles up to this many amplitudes; larger
+    #: registers skip the statevector cross-check (the round-trip and the
+    #: event estimator still run).
+    MAX_DENSE_DIMENSION = 1 << 14
+
+    #: Fidelity floor for the dense-vs-mixed-radix replay agreement.
+    MIN_REPLAY_FIDELITY = 1.0 - 1e-9
+
+    def compile(self, circuit, device, strategy, compiler_kwargs: dict | None = None,
+                ) -> CompiledHandle:
+        """Compile, round-trip through QASM, and cross-verify the result."""
+        import math
+
+        from repro.circuits.qasm import parse_physical_qasm
+        from repro.compiler.pipeline import QompressCompiler
+        from repro.metrics.eps import evaluate_eps
+        from repro.simulation.dense import dense_replay_fidelity
+        from repro.simulation.verify import register_dims
+
+        kwargs = dict(compiler_kwargs or {})
+        kwargs.update(self.compiler_overrides)
+        compiled = QompressCompiler(device, strategy, **kwargs).compile(circuit)
+        qasm_text = compiled.to_qasm()
+        program = parse_physical_qasm(qasm_text)
+        self._check_roundtrip(compiled, program)
+        if math.prod(register_dims(compiled)) <= self.MAX_DENSE_DIMENSION:
+            fidelity = dense_replay_fidelity(compiled)
+            if fidelity < self.MIN_REPLAY_FIDELITY:
+                raise BackendError(
+                    f"dense replay disagrees with the mixed-radix replay "
+                    f"(fidelity {fidelity:.12f}) for {compiled.circuit_name!r}"
+                )
+        return CompiledHandle(
+            backend=self.name, compiled=compiled,
+            report=evaluate_eps(compiled), qasm=qasm_text,
+        )
+
+    @staticmethod
+    def _check_roundtrip(compiled, program) -> None:
+        """Structurally compare the re-imported program to the op stream."""
+        if program.num_units != compiled.device.num_units:
+            raise BackendError(
+                f"round trip changed the register width: emitted "
+                f"{compiled.device.num_units} units, re-imported {program.num_units}"
+            )
+        expected = [
+            (op.gate, tuple(op.units))
+            for op in sorted(compiled.ops, key=lambda op: op.start_ns)
+        ]
+        parsed = [
+            (instruction.gate, tuple(instruction.units))
+            for instruction in program.instructions
+        ]
+        if len(parsed) != len(expected):
+            raise BackendError(
+                f"round trip changed the instruction count for "
+                f"{compiled.circuit_name!r}: {len(expected)} ops emitted, "
+                f"{len(parsed)} re-imported"
+            )
+        if parsed != expected:
+            where = next(
+                index for index, (a, b) in enumerate(zip(parsed, expected)) if a != b
+            )
+            raise BackendError(
+                f"round trip changed the instruction stream for "
+                f"{compiled.circuit_name!r} at index {where}: emitted "
+                f"{expected[where]!r}, re-imported {parsed[where]!r}"
+            )
+        if program.strategy != compiled.strategy_name:
+            raise BackendError(
+                f"round trip lost the strategy directive: "
+                f"{compiled.strategy_name!r} became {program.strategy!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # independent event estimation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _event_thresholds(compiled, model) -> np.ndarray:
+        """Per-event error thresholds, computed the scalar way.
+
+        Gate thresholds come from the per-op
+        :meth:`~repro.noise.model.NoiseModel.op_error_probability` scalar
+        path (not the vectorised batch export the trajectory engine uses);
+        idle thresholds from the decay channels.
+        """
+        gate = [model.op_error_probability(op) for op in compiled.ops]
+        _qubits, gammas = model.idle_decay_channels(compiled)
+        return np.concatenate([np.asarray(gate, dtype=float), gammas])
+
+    def execute(self, handle: CompiledHandle, shots: int, seed: int, *,
+                noise, base_shot: int = 0, track_state: bool = False) -> NoisyResult:
+        """Sample error events with per-shot salted streams.
+
+        Each shot draws from ``default_rng((seed, shot, salt))`` — one
+        private stream per absolute shot index, so any chunk split of the
+        same request merges to identical totals, while the draws are
+        independent of the trajectory backend's.
+        """
+        if track_state:
+            raise BackendError(
+                "the external-sim backend is event-only; use the "
+                "'trajectory' backend for state tracking"
+            )
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
+        compiled = handle.compiled
+        model = resolve_model(noise, compiled.device)
+        thresholds = self._event_thresholds(compiled, model)
+        num_ops = len(compiled.ops)
+        no_error = 0
+        gate_events = 0
+        idle_events = 0
+        for offset in range(shots):
+            rng = np.random.default_rng((seed, base_shot + offset, _STREAM_SALT))
+            draws = rng.random(len(thresholds))
+            hits = draws < thresholds
+            shot_gate = int(hits[:num_ops].sum())
+            shot_idle = int(hits[num_ops:].sum())
+            gate_events += shot_gate
+            idle_events += shot_idle
+            if shot_gate == 0 and shot_idle == 0:
+                no_error += 1
+        return NoisyResult(
+            shots=shots, seed=seed, no_error_shots=no_error,
+            gate_events=gate_events, idle_events=idle_events,
+        )

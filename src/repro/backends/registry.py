@@ -1,0 +1,98 @@
+"""Name-to-backend registry: ``register_backend`` / ``get_backend``.
+
+Backends register under a short name (``"trajectory"``, ``"replay"``,
+``"external-sim"``) that plan points carry declaratively and the CLI
+exposes as ``--backend``.  The registry holds classes and lazily
+instantiates one singleton per name — backend instances own per-process
+memos (compiled handles), so every caller in a process shares them.
+
+The three built-in backends self-register on first lookup; third-party
+code registers the same way::
+
+    from repro.backends import ExecutionBackend, register_backend
+
+    @register_backend("my-sim")
+    class MySimBackend(ExecutionBackend):
+        name = "my-sim"
+        ...
+"""
+
+from __future__ import annotations
+
+from repro.backends.contract import (
+    DuplicateBackendError,
+    ExecutionBackend,
+    UnknownBackendError,
+)
+
+_REGISTRY: dict[str, type[ExecutionBackend]] = {}
+_INSTANCES: dict[str, ExecutionBackend] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtin_backends() -> None:
+    """Import the built-in backend modules so they self-register (idempotent)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import repro.backends.external  # noqa: F401  (registers on import)
+    import repro.backends.replay  # noqa: F401
+    import repro.backends.trajectory  # noqa: F401
+
+
+def register_backend(name: str):
+    """Class decorator registering an :class:`ExecutionBackend` under ``name``.
+
+    Raises :class:`DuplicateBackendError` if the name is taken and
+    :class:`TypeError` if the class does not implement the contract.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+
+    def decorator(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
+        if not (isinstance(cls, type) and issubclass(cls, ExecutionBackend)):
+            raise TypeError(
+                f"backend {name!r} must subclass repro.backends.ExecutionBackend, "
+                f"got {cls!r}"
+            )
+        if name in _REGISTRY:
+            raise DuplicateBackendError(
+                f"backend name {name!r} is already registered "
+                f"(by {_REGISTRY[name].__qualname__})"
+            )
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registration (primarily for tests tearing down toy backends)."""
+    _REGISTRY.pop(name, None)
+    _INSTANCES.pop(name, None)
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Singleton backend instance for ``name``.
+
+    Raises :class:`UnknownBackendError` (a ``KeyError``) for unregistered
+    names, listing what is available.
+    """
+    _ensure_builtin_backends()
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        cls = _REGISTRY.get(name)
+        if cls is None:
+            raise UnknownBackendError(
+                f"unknown execution backend {name!r}; "
+                f"registered backends: {', '.join(list_backends())}"
+            )
+        instance = _INSTANCES[name] = cls()
+    return instance
+
+
+def list_backends() -> tuple[str, ...]:
+    """Sorted names of every registered backend."""
+    _ensure_builtin_backends()
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,82 @@
+"""The replay backend: answers points purely from the artifact store.
+
+Replay never compiles and never samples a shot — it resolves each point's
+content key against the :class:`~repro.store.ArtifactStore` rooted at the
+default cache directory (``$REPRO_CACHE_DIR`` or ``.repro_cache/``) and
+returns the stored result verbatim.  Because its :attr:`content_name` is
+``"trajectory"``, a replay point's key equals the trajectory point's key:
+a warm sweep is served entirely as store hits (``executed == 0``), and the
+results are bit-identical to the original run.  A cold point raises
+:class:`~repro.backends.contract.ReplayMissError` instead of silently
+recomputing — replay is a free load-testing and audit scenario, not a
+fallback executor.
+"""
+
+from __future__ import annotations
+
+from repro.backends.contract import (
+    BackendError,
+    CompiledHandle,
+    ExecutionBackend,
+    ReplayMissError,
+    ensure_noisy_result,
+)
+from repro.backends.registry import register_backend
+from repro.noise.result import NoisyResult
+
+
+@register_backend("replay")
+class ReplayBackend(ExecutionBackend):
+    """Store-served results only; executes zero shots, compiles nothing."""
+
+    name = "replay"
+    #: Replay serves the trajectory backend's artifacts, so its points key
+    #: identically to trajectory points — that equality is the whole design.
+    content_name = "trajectory"
+    #: Tracked results replay fine — trackedness is a property of the
+    #: stored artifact, not of this backend.
+    supports_track_state = True
+
+    def compile(self, circuit, device, strategy, compiler_kwargs: dict | None = None,
+                ) -> CompiledHandle:
+        """Refuse: replay has no compiler (it serves stored points)."""
+        raise BackendError(
+            "the replay backend serves stored results for declarative plan "
+            "points; it cannot compile a live circuit — run it on the "
+            "'trajectory' backend first"
+        )
+
+    def execute(self, handle: CompiledHandle, shots: int, seed: int, *,
+                noise, base_shot: int = 0, track_state: bool = False) -> NoisyResult:
+        """Refuse: replay has no executor (it serves stored points)."""
+        raise BackendError(
+            "the replay backend serves stored results for declarative plan "
+            "points; it cannot execute fresh shots — run them on the "
+            "'trajectory' backend first"
+        )
+
+    # ------------------------------------------------------------------
+    # point-level lookups
+    # ------------------------------------------------------------------
+    def _lookup(self, point) -> object:
+        from repro.runner.cache import default_cache_dir, point_key
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(default_cache_dir())
+        result = store.get_object(point_key(point))
+        if result is None:
+            raise ReplayMissError(
+                f"no stored result under {store.root} for this point "
+                f"(key {point_key(point)[:12]}…); run it on the "
+                "'trajectory' backend against the same store first, or point "
+                "REPRO_CACHE_DIR at the warm store"
+            )
+        return result
+
+    def run_compile_point(self, point):
+        """Serve the stored :class:`~repro.runner.points.StrategyResult`."""
+        return self._lookup(point)
+
+    def run_noise_point(self, point) -> NoisyResult:
+        """Serve the stored shot-chunk result."""
+        return ensure_noisy_result(self._lookup(point), self.name)

@@ -11,6 +11,8 @@ writing Python::
     python -m repro simulate --benchmark bv --qubits 6 --strategy eqm --shots 2000
     python -m repro validate-eps --shots 2000 --workers 4
     python -m repro validate-eps --smoke
+    python -m repro sweep --backend replay --cache-dir .repro_cache
+    python -m repro crosscheck --shots 2000 --json results/crosscheck.json
     python -m repro table1
     python -m repro figure --name fig12 --output results/fig12.csv
     python -m repro cache --info
@@ -29,18 +31,33 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro.backends import BackendError, list_backends
 from repro.circuits.qasm import QasmError
 from repro.compression import _STRATEGIES
 from repro.noise import NOISE_PRESETS, NoiseSpec, prime_compiled, simulate_point
-from repro.runner import CompileCache, DeviceSpec, SweepPlan, SweepPoint, default_cache_dir, execute_plan
+from repro.runner import (
+    CACHE_DIR_ENV,
+    CompileCache,
+    DeviceSpec,
+    SweepPlan,
+    SweepPoint,
+    default_cache_dir,
+    execute_plan,
+)
 from repro.simulation.verify import VerificationError
+from repro.store import ArtifactStore
 from repro.evaluation import (
+    CROSSCHECK_HEADERS,
+    DEFAULT_CROSSCHECK_BACKENDS,
     DEFAULT_VALIDATION_SHOTS,
     DEFAULT_VALIDATION_STRATEGIES,
+    cross_backend_check,
+    crosscheck_rows,
     validation_headers,
     figure3_state_evolution,
     figure4_exhaustive,
@@ -108,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--json", dest="json_output",
                               help="write the sweep rows to this JSON file")
     _add_runner_arguments(sweep_parser)
+    _add_backend_argument(sweep_parser)
 
     simulate_parser = subparsers.add_parser(
         "simulate", help="Monte Carlo noise simulation of one compiled circuit"
@@ -131,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
                                       "metrics (compiles with single-qubit merging "
                                       "disabled; covers every strategy, fq included)")
     _add_runner_arguments(simulate_parser)
+    _add_backend_argument(simulate_parser)
 
     validate_parser = subparsers.add_parser(
         "validate-eps",
@@ -162,6 +181,34 @@ def build_parser() -> argparse.ArgumentParser:
     validate_parser.add_argument("--json", dest="json_output",
                                  help="write the validation rows to this JSON file")
     _add_runner_arguments(validate_parser)
+    _add_backend_argument(validate_parser)
+
+    crosscheck_parser = subparsers.add_parser(
+        "crosscheck",
+        help="run the same cells on two backends and assert their EPS "
+             "estimates agree (independent cross-verification)",
+    )
+    crosscheck_parser.add_argument("--benchmarks", nargs="+",
+                                   choices=sorted(BENCHMARK_NAMES),
+                                   default=["bv", "ghz"])
+    crosscheck_parser.add_argument("--sizes", nargs="+", type=int, default=[4])
+    crosscheck_parser.add_argument("--strategies", nargs="+",
+                                   choices=sorted(set(_STRATEGIES)),
+                                   default=["qubit_only", "eqm"])
+    crosscheck_parser.add_argument("--backends", nargs="+", choices=list_backends(),
+                                   default=list(DEFAULT_CROSSCHECK_BACKENDS),
+                                   help="backends to compare (default: "
+                                        f"{' '.join(DEFAULT_CROSSCHECK_BACKENDS)})")
+    crosscheck_parser.add_argument("--shots", type=int, default=2000)
+    crosscheck_parser.add_argument("--noise", choices=sorted(NOISE_PRESETS),
+                                   default="table1")
+    crosscheck_parser.add_argument("--seed", type=int, default=0)
+    crosscheck_parser.add_argument("--tolerance", type=float, default=0.10,
+                                   help="max relative difference accepted when the "
+                                        "backends' CIs do not overlap")
+    crosscheck_parser.add_argument("--json", dest="json_output",
+                                   help="write the comparison rows to this JSON file")
+    _add_runner_arguments(crosscheck_parser)
 
     subparsers.add_parser("table1", help="print the Table 1 gate durations")
 
@@ -206,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
                                help="seconds --wait polls before giving up")
     submit_parser.add_argument("--quiet", action="store_true",
                                help="print only the job id (for shell capture)")
+    _add_backend_argument(submit_parser)
 
     serve_parser = subparsers.add_parser(
         "serve", help="run the sweep server over a spool directory"
@@ -251,10 +299,27 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
                         help="enable the compile cache rooted at this directory")
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """Execution-backend selector shared by the point-running subcommands."""
+    parser.add_argument("--backend", choices=list_backends(), default="trajectory",
+                        help="execution backend for every point: 'trajectory' "
+                             "(default engine), 'replay' (serve a warm store, "
+                             "execute nothing) or 'external-sim' (QASM "
+                             "round-trip + independent estimator)")
+
+
 def _cache_from_args(args: argparse.Namespace) -> CompileCache | None:
-    if getattr(args, "cache_dir", None) is None:
+    cache_dir = getattr(args, "cache_dir", None)
+    if getattr(args, "backend", None) == "replay":
+        # replay answers points from the store at the default cache
+        # directory; pin it (for this process and any workers) to the
+        # requested --cache-dir so lookup and cache agree on one root
+        root = Path(cache_dir) if cache_dir else default_cache_dir()
+        os.environ[CACHE_DIR_ENV] = str(root)
+        return CompileCache.from_store(ArtifactStore(root))
+    if cache_dir is None:
         return None
-    return CompileCache(root=Path(args.cache_dir))
+    return CompileCache.from_store(ArtifactStore(Path(cache_dir)))
 
 
 # ----------------------------------------------------------------------
@@ -266,11 +331,12 @@ def _compile_point_from_args(
     """Build the declarative compile point a source-selecting subcommand asks
     for, or an exit code on a user error."""
     spec = DeviceSpec(kind=args.device)
+    backend = getattr(args, "backend", "trajectory")
     if args.qasm is not None:
         try:
             return SweepPoint.from_qasm_file(
                 args.qasm, args.strategy, device=spec, seed=args.seed,
-                compiler_kwargs=compiler_kwargs,
+                compiler_kwargs=compiler_kwargs, backend=backend,
             )
         except (OSError, QasmError) as error:
             print(f"error: cannot compile {args.qasm}: {error}", file=sys.stderr)
@@ -282,7 +348,7 @@ def _compile_point_from_args(
 
     return SweepPoint(
         args.benchmark, args.qubits, args.strategy, device=spec, seed=args.seed,
-        compiler_kwargs=freeze_kwargs(compiler_kwargs),
+        compiler_kwargs=freeze_kwargs(compiler_kwargs), backend=backend,
     )
 
 
@@ -408,7 +474,7 @@ def _run_validate_eps(args: argparse.Namespace) -> int:
         benchmarks=benchmarks, sizes=sizes, strategies=strategies,
         noise=args.noise, shots=shots, seed=args.seed,
         rel_tolerance=args.tolerance, workers=args.workers, cache=cache,
-        track_state=args.track_state,
+        track_state=args.track_state, backend=args.backend,
     )
     print(format_table(validation_headers(args.track_state), validation_rows(rows)))
     if args.json_output:
@@ -449,6 +515,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         cache=cache,
+        backend=args.backend,
     )
     rows = results_to_rows(results)
     print(format_table(SWEEP_HEADERS, rows))
@@ -459,7 +526,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
         path = save_csv(args.output, SWEEP_HEADERS, rows)
         print(f"\nwrote {path}")
     if args.json_output:
-        path = save_json(args.json_output, SWEEP_HEADERS, rows, cache=cache)
+        path = save_json(args.json_output, SWEEP_HEADERS, rows, cache=cache,
+                         backend=args.backend)
         print(f"\nwrote {path}")
     return 0
 
@@ -469,17 +537,20 @@ def save_json(
     headers: list[str],
     rows: list[list],
     cache: CompileCache | None = None,
+    backend: str = "trajectory",
 ) -> Path:
     """Write sweep rows plus cache hit/miss counters as JSON (CI artifact format).
 
-    Schema 2: ``{"schema": 2, "rows": [...], "cache": {"enabled", "hits",
-    "misses"}}`` — CI asserts on the cache fields instead of scraping the
-    human-readable stdout.
+    Schema 2: ``{"schema": 2, "backend": ..., "rows": [...], "cache":
+    {"enabled", "hits", "misses"}}`` — CI asserts on the cache fields
+    instead of scraping the human-readable stdout (a warm ``--backend
+    replay`` run shows ``misses == 0``: zero points executed).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "schema": 2,
+        "backend": backend,
         "rows": [dict(zip(headers, row)) for row in rows],
         "cache": {
             "enabled": cache is not None,
@@ -489,6 +560,50 @@ def save_json(
     }
     path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
     return path
+
+
+def _run_crosscheck(args: argparse.Namespace) -> int:
+    if args.shots <= 0:
+        print("error: --shots must be positive", file=sys.stderr)
+        return 2
+    if len(set(args.backends)) < 2:
+        print("error: --backends needs at least two distinct backends",
+              file=sys.stderr)
+        return 2
+    cache = _cache_from_args(args)
+    rows = cross_backend_check(
+        benchmarks=tuple(args.benchmarks), sizes=tuple(args.sizes),
+        strategies=tuple(args.strategies), backends=tuple(args.backends),
+        noise=args.noise, shots=args.shots, seed=args.seed,
+        rel_tolerance=args.tolerance, workers=args.workers, cache=cache,
+    )
+    print(format_table(CROSSCHECK_HEADERS, crosscheck_rows(rows)))
+    if args.json_output:
+        path = Path(args.json_output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": 1,
+            "backends": list(args.backends),
+            "noise": args.noise,
+            "shots": args.shots,
+            "seed": args.seed,
+            "rows": [row.as_dict() for row in rows],
+            "agree": all(row.agree for row in rows),
+        }
+        path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+        print(f"\nwrote {path}")
+    disagreements = [row for row in rows if not row.agree]
+    if disagreements:
+        print(f"\n{len(disagreements)} of {len(rows)} cells disagree across "
+              "backends:", file=sys.stderr)
+        for row in disagreements:
+            print(f"  {row.benchmark}-{row.num_qubits} {row.strategy}: "
+                  + " ".join(f"{name}={result.success_probability:.4f}"
+                             for name, result in row.results), file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} cells agree: the backends' independent EPS "
+          "estimates are statistically consistent")
+    return 0
 
 
 def _store_from_args(args: argparse.Namespace):
@@ -540,6 +655,7 @@ def _submit_plan_from_args(args: argparse.Namespace) -> SweepPlan:
     return SweepPlan.cartesian(
         tuple(args.benchmarks), tuple(args.sizes), tuple(args.strategies),
         device=DeviceSpec(kind=args.device), seed=args.seed,
+        backend=getattr(args, "backend", "trajectory"),
     )
 
 
@@ -596,7 +712,8 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 
 def _run_cache(args: argparse.Namespace) -> int:
-    cache = CompileCache(root=Path(args.cache_dir) if args.cache_dir else default_cache_dir())
+    root = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    cache = CompileCache.from_store(ArtifactStore(root))
     if args.clear:
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")
@@ -691,6 +808,7 @@ _HANDLERS = {
     "sweep": _run_sweep,
     "simulate": _run_simulate,
     "validate-eps": _run_validate_eps,
+    "crosscheck": _run_crosscheck,
     "table1": _run_table1,
     "figure": _run_figure,
     "cache": _run_cache,
@@ -704,7 +822,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except BackendError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -15,6 +15,7 @@ Function                     Paper artefact
 ``figure12_t1_ratio_sweep``  Figure 12 (total EPS vs ququart T1 ratio)
 ``figure13_topologies``      Figure 13 (improvement ranges across topologies)
 ``validate_eps``             analytic EPS vs Monte Carlo noise simulation
+``cross_backend_check``      EPS agreement across execution backends
 ===========================  =================================================
 """
 
@@ -49,6 +50,13 @@ from repro.evaluation.validate import (
     ValidationRow,
     validate_eps,
     validation_rows,
+)
+from repro.evaluation.crosscheck import (
+    CROSSCHECK_HEADERS,
+    CrossCheckRow,
+    DEFAULT_CROSSCHECK_BACKENDS,
+    cross_backend_check,
+    crosscheck_rows,
 )
 from repro.evaluation.ablations import (
     AblationResult,
@@ -90,4 +98,9 @@ __all__ = [
     "ValidationRow",
     "validate_eps",
     "validation_rows",
+    "CROSSCHECK_HEADERS",
+    "CrossCheckRow",
+    "DEFAULT_CROSSCHECK_BACKENDS",
+    "cross_backend_check",
+    "crosscheck_rows",
 ]

@@ -103,16 +103,20 @@ def strategy_sweep(
     seed: int = 0,
     workers: int = 1,
     cache: CompileCache | None = None,
+    backend: str = "trajectory",
 ) -> dict[str, dict[int, dict[str, StrategyResult]]]:
     """Gate and coherence EPS for every (benchmark, size, strategy) cell.
 
     This single sweep backs both Figure 7 (read ``report.gate_eps``) and
     Figure 10 (read ``report.coherence_eps``).  The whole cross product is
     dispatched as one plan, so ``workers > 1`` parallelises across every
-    cell, not just within one benchmark.
+    cell, not just within one benchmark.  ``backend`` picks the execution
+    backend every point runs on — ``"replay"`` serves a warm store without
+    executing anything.
     """
     spec = DeviceSpec(kind=device_kind, t1_scale=t1_scale)
-    plan = SweepPlan.cartesian(benchmarks, sizes, strategies, device=spec, seed=seed)
+    plan = SweepPlan.cartesian(benchmarks, sizes, strategies, device=spec, seed=seed,
+                               backend=backend)
     flat = execute_plan(plan, workers=workers, cache=cache)
     results: dict[str, dict[int, dict[str, StrategyResult]]] = {}
     for point, result in zip(plan, flat):

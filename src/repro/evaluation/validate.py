@@ -157,6 +157,8 @@ def validate_eps(
     workers: int = 1,
     cache: CompileCache | None = None,
     track_state: bool = False,
+    backend: str = "trajectory",
+    compiler_kwargs: dict | None = None,
 ) -> list[ValidationRow]:
     """Sweep the validation set and compare analytic EPS to simulation.
 
@@ -170,15 +172,30 @@ def validate_eps(
     ``mean_outcome_fidelity``) the analytic EPS lower-bounds.  Tracked
     cells compile with single-qubit merging disabled — the replayable op
     stream state tracking needs.
+
+    ``backend`` selects the execution backend every cell's compiles and
+    shot chunks run on (see :mod:`repro.backends`); ``compiler_kwargs``
+    overrides the per-cell compiler flags (cross-backend comparisons pass
+    ``{"merge_single_qubit_gates": False}`` so each backend simulates the
+    same physical program).
     """
     if shots <= 0:
         raise ValueError("validation needs a positive shot budget per cell")
     if isinstance(noise, str):
         noise = NoiseSpec.from_preset(noise)
-    compiler_kwargs = {"merge_single_qubit_gates": False} if track_state else None
+    if track_state:
+        from repro.backends import get_backend
+
+        if not get_backend(backend).supports_track_state:
+            raise ValueError(
+                f"backend {backend!r} cannot track the state vector; "
+                "use the 'trajectory' backend with track_state=True"
+            )
+    if compiler_kwargs is None and track_state:
+        compiler_kwargs = {"merge_single_qubit_gates": False}
     compile_plan = SweepPlan.cartesian(
         benchmarks, sizes, strategies, device=DeviceSpec(kind=device_kind), seed=seed,
-        compiler_kwargs=compiler_kwargs,
+        compiler_kwargs=compiler_kwargs, backend=backend,
     )
     compiled_results = execute_plan(compile_plan, workers=workers, cache=cache)
     for point, result in zip(compile_plan, compiled_results):

@@ -21,7 +21,7 @@ from dataclasses import dataclass, replace
 
 from repro.compiler.result import CompiledCircuit
 from repro.noise.model import NoiseSpec
-from repro.noise.result import NoisyResult, TrajectoryChunk
+from repro.noise.result import NoisyResult
 from repro.noise.trajectory import TrajectoryEngine
 from repro.runner.cache import CompileCache
 from repro.runner.plan import SweepPlan
@@ -87,10 +87,28 @@ class NoisePoint:
             "track_state": self.track_state,
         }
 
-    def execute(self) -> TrajectoryChunk:
-        """Run this batch of trajectories (the process-pool worker body)."""
-        engine = _engine_for(self.compile_point, self.noise, self.track_state)
-        return engine.run(self.shots, self.seed, base_shot=self.base_shot)
+    @property
+    def backend(self) -> str:
+        """The execution backend this chunk runs on (the compile point's)."""
+        return self.compile_point.backend
+
+    def key(self) -> str:
+        """Stable content digest (see :func:`~repro.runner.cache.point_key`)."""
+        from repro.runner.cache import point_key
+
+        return point_key(self)
+
+    def execute(self) -> NoisyResult:
+        """Run this batch of trajectories (the process-pool worker body).
+
+        Dispatches to the compile point's backend; each chunk comes back as
+        a contract-validated :class:`NoisyResult` whose counters
+        :meth:`NoisyResult.from_chunks` merges bit-identically at any chunk
+        split.
+        """
+        from repro.backends import get_backend
+
+        return get_backend(self.backend).run_noise_point(self)
 
 
 def shot_plan(

@@ -12,18 +12,24 @@ pieces:
   sweeps (and experiments sharing points) never recompile the same
   circuit twice.
 
-A plan point is any picklable value with ``execute()`` and ``payload()``:
-compile requests (:class:`SweepPoint`, including content-keyed external
-QASM programs via :meth:`SweepPoint.from_qasm`) and the noise subsystem's
-shot batches (:class:`repro.noise.points.NoisePoint`) share the same
-executor and cache.
+A plan point is any picklable value satisfying the :class:`ExecutionPoint`
+protocol (``key()``, ``payload()``, ``execute()``): compile requests
+(:class:`SweepPoint`, including content-keyed external QASM programs via
+:meth:`SweepPoint.from_qasm`) and the noise subsystem's shot batches
+(:class:`repro.noise.points.NoisePoint`) share the same executor and
+cache.  Points carry a ``backend`` name resolved through
+:mod:`repro.backends`, so the same plan can run on the trajectory engine,
+be served purely from the store (``replay``) or cross-checked on an
+independent simulator (``external-sim``).
 
 Typical use::
 
     from repro.runner import CompileCache, ParallelExecutor, SweepPlan
+    from repro.store import ArtifactStore
 
     plan = SweepPlan.cartesian(("cuccaro", "cnu"), (8, 12), ("qubit_only", "eqm"))
-    executor = ParallelExecutor(workers=4, cache=CompileCache())
+    cache = CompileCache.from_store(ArtifactStore(".repro_cache"))
+    executor = ParallelExecutor(workers=4, cache=cache)
     results = executor.run(plan)          # list[StrategyResult], plan order
 """
 
@@ -43,9 +49,12 @@ from repro.runner.executor import (
 )
 from repro.runner.plan import SweepPlan
 from repro.runner.points import (
+    DEFAULT_BACKEND,
     DeviceSpec,
+    ExecutionPoint,
     StrategyResult,
     SweepPoint,
+    ensure_execution_point,
     execute_point,
     freeze_kwargs,
     make_device,
@@ -62,7 +71,10 @@ __all__ = [
     "ParallelExecutor",
     "execute_plan",
     "SweepPlan",
+    "DEFAULT_BACKEND",
     "DeviceSpec",
+    "ExecutionPoint",
+    "ensure_execution_point",
     "StrategyResult",
     "SweepPoint",
     "execute_point",

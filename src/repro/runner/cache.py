@@ -3,12 +3,13 @@
 Since PR 6 the on-disk format is the content-addressed
 :class:`~repro.store.ArtifactStore` (``blobs/<sha256[:2]>/<sha256>`` plus a
 ``refs/`` index and ``manifests/``), not a flat directory of pickles.
-:class:`CompileCache` is the compatibility shim that keeps every existing
-call site working unchanged: same constructor, same ``get``/``put``/
-``stats`` API, but writes are now atomic (temp file + ``os.replace``), safe
-under concurrent writers, deduplicated by content, and every read is
-hash-verified — a truncated or corrupt entry is detected and served as a
-miss instead of crashing ``pickle.load``.
+:class:`CompileCache` is the compatibility shim that keeps the ``get``/
+``put``/``stats`` API working over the store: writes are atomic (temp file
++ ``os.replace``), safe under concurrent writers, deduplicated by content,
+and every read is hash-verified — a truncated or corrupt entry is detected
+and served as a miss instead of crashing ``pickle.load``.  Build it with
+:meth:`CompileCache.from_store`; the legacy directory-path constructor
+emits a :class:`DeprecationWarning`.
 
 This module also owns *keying*: :func:`point_key` digests a plan point's
 canonical JSON payload together with a fingerprint of the whole ``repro``
@@ -25,11 +26,12 @@ import functools
 import hashlib
 import json
 import os
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
 
 import repro
-from repro.runner.points import StrategyResult, SweepPoint
+from repro.runner.points import StrategyResult, SweepPoint, ensure_execution_point
 from repro.store import ArtifactStore
 
 #: Bump to invalidate every existing cache entry (result-format changes).
@@ -57,11 +59,14 @@ def code_fingerprint() -> str:
 
 
 def point_key(point) -> str:
-    """Stable content key for one plan point (any ``payload()``-bearing value).
+    """Stable content key for one plan point.
 
     This is the digest the store's ``refs/`` index, the run manifests and
-    the sweep service's in-flight dedupe all share.
+    the sweep service's in-flight dedupe all share.  The point must satisfy
+    the :class:`~repro.runner.points.ExecutionPoint` protocol; anything
+    else raises the protocol's ``TypeError`` rather than keying garbage.
     """
+    ensure_execution_point(point)
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
         "code": code_fingerprint(),
@@ -93,23 +98,41 @@ class CacheStats:
         self.writes = 0
 
 
-@dataclass
 class CompileCache:
     """Point-keyed view over an :class:`~repro.store.ArtifactStore`.
 
-    Maps sweep points (or any ``payload()``-bearing plan point) to their
-    pickled results through the store's content-addressed blobs.  Two
-    caches rooted at the same directory — in the same process, in two
+    Maps plan points (:class:`~repro.runner.points.ExecutionPoint` values)
+    to their pickled results through the store's content-addressed blobs.
+    Two caches over the same store root — in the same process, in two
     worker processes, or on two machines sharing a filesystem — serve and
     publish a single consistent set of artifacts.
+
+    Build one with :meth:`from_store`; the legacy directory-path
+    constructor still works but is deprecated — the store, not a bare
+    path, is the native currency since PR 6.
     """
 
-    root: Path = field(default_factory=default_cache_dir)
-    stats: CacheStats = field(default_factory=CacheStats)
+    def __init__(self, root: Path | str | None = None, *,
+                 store: ArtifactStore | None = None) -> None:
+        if store is not None:
+            if root is not None:
+                raise ValueError("pass either a store or a root path, not both")
+        else:
+            warnings.warn(
+                "constructing CompileCache from a directory path is "
+                "deprecated; build a repro.store.ArtifactStore and use "
+                "CompileCache.from_store(store)",
+                DeprecationWarning, stacklevel=2,
+            )
+            store = ArtifactStore(Path(root) if root is not None else default_cache_dir())
+        self.store = store
+        self.root = Path(store.root)
+        self.stats = CacheStats()
 
-    def __post_init__(self) -> None:
-        self.root = Path(self.root)
-        self.store = ArtifactStore(self.root)
+    @classmethod
+    def from_store(cls, store: ArtifactStore) -> "CompileCache":
+        """Store-native constructor: wrap an existing :class:`ArtifactStore`."""
+        return cls(store=store)
 
     # ------------------------------------------------------------------
     # keying

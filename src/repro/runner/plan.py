@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
-from repro.runner.points import DeviceSpec, SweepPoint, freeze_kwargs
+from repro.runner.points import DEFAULT_BACKEND, DeviceSpec, SweepPoint, freeze_kwargs
 
 
 def _as_spec(device: DeviceSpec | str) -> DeviceSpec:
@@ -48,6 +48,7 @@ class SweepPlan:
         seed: int = 0,
         strategy_kwargs: dict | None = None,
         compiler_kwargs: dict | None = None,
+        backend: str = DEFAULT_BACKEND,
     ) -> "SweepPlan":
         """Full benchmark x size x strategy product on one device recipe.
 
@@ -66,6 +67,7 @@ class SweepPlan:
                 seed=seed,
                 strategy_kwargs=frozen_strategy,
                 compiler_kwargs=frozen_compiler,
+                backend=backend,
             )
             for benchmark in benchmarks
             for size in sizes
@@ -83,12 +85,14 @@ class SweepPlan:
         seed: int = 0,
         strategy_kwargs: dict | None = None,
         compiler_kwargs: dict | None = None,
+        backend: str = DEFAULT_BACKEND,
     ) -> "SweepPlan":
         """Plan holding exactly one point."""
         return cls.cartesian(
             (benchmark,), (num_qubits,), (strategy,),
             device=device, seed=seed,
             strategy_kwargs=strategy_kwargs, compiler_kwargs=compiler_kwargs,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------

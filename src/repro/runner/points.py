@@ -16,15 +16,63 @@ hardware compare (and hash) equal even across processes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 from repro.arch.device import Device
 from repro.arch.topology import grid_for_circuit, heavy_hex_topology, ring_topology
-from repro.compiler.pipeline import QompressCompiler
 from repro.compiler.result import CompiledCircuit
-from repro.compression import get_strategy
-from repro.metrics.eps import EPSReport, evaluate_eps
+from repro.metrics.eps import EPSReport
 from repro.pulses.durations import GateDurationTable
 from repro.workloads.registry import build_benchmark
+
+#: Backend a point executes on when it does not say otherwise.
+DEFAULT_BACKEND = "trajectory"
+
+
+@runtime_checkable
+class ExecutionPoint(Protocol):
+    """What a value must provide to ride a plan through the executor.
+
+    A plan point is a frozen, picklable *description* of work: ``key()``
+    is its stable content digest (what the artifact store, run manifests
+    and in-flight dedupe share), ``payload()`` the JSON-serialisable
+    representation that digest is computed over, and ``execute()`` the
+    worker body that reconstructs everything deterministically.
+    :class:`SweepPoint` and :class:`repro.noise.points.NoisePoint` are the
+    two in-repo implementations.
+    """
+
+    def key(self) -> str:
+        """Stable content digest for this point."""
+        ...  # pragma: no cover - protocol stub
+
+    def payload(self) -> dict:
+        """JSON-serialisable representation used for content keying."""
+        ...  # pragma: no cover - protocol stub
+
+    def execute(self) -> object:
+        """Perform the described work and return its result."""
+        ...  # pragma: no cover - protocol stub
+
+
+def ensure_execution_point(point) -> None:
+    """Raise a clear ``TypeError`` unless ``point`` satisfies the protocol.
+
+    Called by :func:`execute_point` and
+    :func:`~repro.runner.cache.point_key`, so a non-conforming value fails
+    loudly at the plan boundary instead of as an ``AttributeError`` inside
+    a worker process.
+    """
+    missing = [
+        name for name in ("key", "payload", "execute")
+        if not callable(getattr(point, name, None))
+    ]
+    if missing:
+        raise TypeError(
+            f"{type(point).__name__} is not an ExecutionPoint: missing callable "
+            f"{', '.join(name + '()' for name in missing)} "
+            "(plan points must implement repro.runner.points.ExecutionPoint)"
+        )
 
 
 def make_device(
@@ -154,6 +202,8 @@ class SweepPoint:
     #: OpenQASM 2.0 source for external circuits; ``None`` for registry
     #: benchmarks.
     qasm: str | None = None
+    #: Execution backend this point runs on (see :mod:`repro.backends`).
+    backend: str = DEFAULT_BACKEND
 
     @classmethod
     def from_qasm(
@@ -165,6 +215,7 @@ class SweepPoint:
         name: str | None = None,
         strategy_kwargs: dict | None = None,
         compiler_kwargs: dict | None = None,
+        backend: str = DEFAULT_BACKEND,
     ) -> "SweepPoint":
         """Content-keyed compile request for an external OpenQASM program.
 
@@ -185,6 +236,7 @@ class SweepPoint:
             strategy_kwargs=freeze_kwargs(strategy_kwargs),
             compiler_kwargs=freeze_kwargs(compiler_kwargs),
             qasm=text,
+            backend=backend,
         )
 
     @classmethod
@@ -207,8 +259,16 @@ class SweepPoint:
         return cls.from_qasm(text, strategy, name=name, **kwargs)
 
     def payload(self) -> dict:
-        """JSON-serialisable representation used for cache keying."""
+        """JSON-serialisable representation used for cache keying.
+
+        The ``backend`` entry is the backend's *content name*, not its
+        registry name: two executors never share store entries, while the
+        replay backend (content name ``"trajectory"``) keys identically to
+        the trajectory points whose stored artifacts it serves.
+        """
         import hashlib
+
+        from repro.backends import get_backend
 
         return {
             "benchmark": self.benchmark,
@@ -221,7 +281,14 @@ class SweepPoint:
             "qasm_sha256": hashlib.sha256(self.qasm.encode("utf-8")).hexdigest()
             if self.qasm is not None
             else None,
+            "backend": get_backend(self.backend).content_name,
         }
+
+    def key(self) -> str:
+        """Stable content digest (see :func:`~repro.runner.cache.point_key`)."""
+        from repro.runner.cache import point_key
+
+        return point_key(self)
 
     def spec(self) -> dict:
         """Full JSON-serialisable reconstruction recipe for this point.
@@ -242,6 +309,7 @@ class SweepPoint:
             "strategy_kwargs": [list(pair) for pair in self.strategy_kwargs],
             "compiler_kwargs": [list(pair) for pair in self.compiler_kwargs],
             "qasm": self.qasm,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -260,27 +328,22 @@ class SweepPoint:
                 (name, value) for name, value in spec.get("compiler_kwargs", ())
             ),
             qasm=spec.get("qasm"),
+            backend=spec.get("backend", DEFAULT_BACKEND),
         )
 
-    def execute(self) -> "StrategyResult":
-        """Build, compile and evaluate this point (see :func:`execute_point`)."""
+    def build_circuit(self):
+        """Rebuild the logical circuit this point describes (worker side)."""
         if self.qasm is not None:
             from repro.circuits.qasm import parse_qasm
 
-            circuit = parse_qasm(self.qasm, name=self.benchmark)
-        else:
-            circuit = build_benchmark(self.benchmark, self.num_qubits, seed=self.seed)
-        device = self.device.build(self.num_qubits)
-        strategy = get_strategy(self.strategy, **dict(self.strategy_kwargs))
-        compiler = QompressCompiler(device, strategy, **dict(self.compiler_kwargs))
-        compiled = compiler.compile(circuit)
-        return StrategyResult(
-            benchmark=self.benchmark,
-            num_qubits=self.num_qubits,
-            strategy=self.strategy,
-            report=evaluate_eps(compiled),
-            compiled=compiled,
-        )
+            return parse_qasm(self.qasm, name=self.benchmark)
+        return build_benchmark(self.benchmark, self.num_qubits, seed=self.seed)
+
+    def execute(self) -> "StrategyResult":
+        """Compile and evaluate this point on its backend (see :func:`execute_point`)."""
+        from repro.backends import get_backend
+
+        return get_backend(self.backend).run_compile_point(self)
 
 
 @dataclass(frozen=True)
@@ -297,11 +360,13 @@ class StrategyResult:
 def execute_point(point) -> object:
     """Execute one plan point.
 
-    This is the process-pool worker: it takes only a picklable point and
-    calls its ``execute()`` method, which reconstructs everything
-    deterministically so the serial and parallel paths produce bit-identical
-    results.  Any object with ``execute()`` (and ``payload()`` for caching)
-    can ride a plan — compile requests (:class:`SweepPoint`) and noisy shot
-    batches (:class:`repro.noise.points.NoisePoint`) both do.
+    This is the process-pool worker: it takes only a picklable
+    :class:`ExecutionPoint` and calls its ``execute()`` method, which
+    reconstructs everything deterministically so the serial and parallel
+    paths produce bit-identical results.  Compile requests
+    (:class:`SweepPoint`) and noisy shot batches
+    (:class:`repro.noise.points.NoisePoint`) both conform; anything that
+    does not raises the protocol's ``TypeError`` before dispatch.
     """
+    ensure_execution_point(point)
     return point.execute()

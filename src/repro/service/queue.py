@@ -108,8 +108,18 @@ class SweepService:
     # public API
     # ------------------------------------------------------------------
     def submit(self, plan, kind: str = "sweep") -> str:
-        """Enqueue every point of ``plan``; returns the job id immediately."""
+        """Enqueue every point of ``plan``; returns the job id immediately.
+
+        Every point must satisfy the
+        :class:`~repro.runner.points.ExecutionPoint` protocol — validated
+        here, at the boundary, so a malformed plan fails the submit call
+        instead of a worker thread.
+        """
+        from repro.runner.points import ensure_execution_point
+
         points = list(plan)
+        for point in points:
+            ensure_execution_point(point)
         with self._lock:
             job_id = f"job-{next(self._ids):06d}"
             job = _Job(job_id, points, kind)

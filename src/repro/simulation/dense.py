@@ -1,0 +1,127 @@
+"""A deliberately independent dense statevector over a mixed-radix register.
+
+:class:`DenseStatevector` exists to cross-check
+:class:`~repro.simulation.statevector.MixedRadixState`: it evolves the same
+register, but through explicit basis-index arithmetic (decompose every flat
+index into per-unit digits, permute, one matmul, permute back) instead of
+axis transposes and reshapes.  The two implementations share nothing but
+the flat-index convention — unit 0 most significant,
+``flat = ((l0*d1 + l1)*d2 + l2)...`` — so agreement between them is a real
+cross-implementation check, which the external-sim backend runs on every
+compile (:func:`dense_replay_fidelity`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class DenseStatevector:
+    """Flat dense amplitudes over units of dimensions ``dims``.
+
+    Operators apply through an index permutation: for a unit subset, every
+    basis index splits into (digits on the subset, digits on the rest); the
+    vector is scattered so the subset digits become the leading axis of a
+    ``(sub_dim, rest_dim)`` view, hit with one matrix product, and gathered
+    back.  Layouts are memoised per unit tuple.
+    """
+
+    def __init__(self, dims: tuple[int, ...]):
+        if not dims or any(d < 1 for d in dims):
+            raise ValueError(f"register dims must be positive, got {dims!r}")
+        self.dims = tuple(int(d) for d in dims)
+        self.dimension = math.prod(self.dims)
+        self.vector = np.zeros(self.dimension, dtype=np.complex128)
+        self.vector[0] = 1.0
+        self._digits: list[np.ndarray] | None = None
+        self._layouts: dict[tuple[int, ...], tuple[np.ndarray, int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # index arithmetic
+    # ------------------------------------------------------------------
+    def _unit_digits(self) -> list[np.ndarray]:
+        """Per-unit digit of every flat basis index (unit 0 most significant)."""
+        if self._digits is None:
+            remainder = np.arange(self.dimension, dtype=np.int64)
+            digits: list[np.ndarray] = [np.empty(0)] * len(self.dims)
+            for unit in range(len(self.dims) - 1, -1, -1):
+                digits[unit] = remainder % self.dims[unit]
+                remainder = remainder // self.dims[unit]
+            self._digits = digits
+        return self._digits
+
+    def _layout(self, units: tuple[int, ...]) -> tuple[np.ndarray, int, int]:
+        cached = self._layouts.get(units)
+        if cached is not None:
+            return cached
+        if len(set(units)) != len(units):
+            raise ValueError(f"operator units must be distinct, got {units!r}")
+        digits = self._unit_digits()
+        sub = np.zeros(self.dimension, dtype=np.int64)
+        for unit in units:
+            sub = sub * self.dims[unit] + digits[unit]
+        rest = np.zeros(self.dimension, dtype=np.int64)
+        for unit in range(len(self.dims)):
+            if unit not in units:
+                rest = rest * self.dims[unit] + digits[unit]
+        sub_dim = math.prod(self.dims[unit] for unit in units)
+        rest_dim = self.dimension // sub_dim
+        positions = sub * rest_dim + rest
+        layout = (positions, sub_dim, rest_dim)
+        self._layouts[units] = layout
+        return layout
+
+    # ------------------------------------------------------------------
+    # evolution
+    # ------------------------------------------------------------------
+    def apply(self, matrix: np.ndarray, units: tuple[int, ...]) -> None:
+        """Apply ``matrix`` (over ``units`` in the given order) to the state."""
+        positions, sub_dim, rest_dim = self._layout(tuple(units))
+        if matrix.shape != (sub_dim, sub_dim):
+            raise ValueError(
+                f"operator shape {matrix.shape} does not match units {units!r} "
+                f"of dimension {sub_dim}"
+            )
+        reordered = np.empty_like(self.vector)
+        reordered[positions] = self.vector
+        applied = (matrix @ reordered.reshape(sub_dim, rest_dim)).reshape(-1)
+        self.vector = applied[positions]
+
+    def fidelity_with(self, other: np.ndarray) -> float:
+        """|<self|other>|^2 against a flat reference vector."""
+        return float(abs(np.vdot(self.vector, np.asarray(other).reshape(-1))) ** 2)
+
+
+def dense_replay(compiled) -> DenseStatevector:
+    """Replay a compiled circuit's physical op stream on the dense simulator.
+
+    Op unitaries come from the shared
+    :func:`~repro.simulation.verify.physical_op_unitary` lowering (the
+    content under test is the *evolution engine*, not the gate catalogue),
+    which requires a compile with ``merge_single_qubit_gates=False``.
+    """
+    from repro.simulation.verify import physical_op_unitary, register_dims
+
+    dims = register_dims(compiled)
+    state = DenseStatevector(dims)
+    lowered = compiled.lowered_circuit
+    for op in compiled.ops:
+        embedded = physical_op_unitary(op, dims, lowered)
+        if embedded is not None:
+            state.apply(*embedded)
+    return state
+
+
+def dense_replay_fidelity(compiled) -> float:
+    """Fidelity between the dense replay and the mixed-radix replay.
+
+    Two independent simulators executing the same op stream should agree to
+    numerical precision; the external-sim backend asserts this on every
+    compile as its cross-implementation check.
+    """
+    from repro.simulation.verify import replay_compiled
+
+    reference = replay_compiled(compiled)
+    return dense_replay(compiled).fidelity_with(reference.vector)

@@ -436,3 +436,71 @@ class TestStoreServiceVerbs:
         assert "store hits" in out
         assert "total_eps" in out  # the sweep table header
         assert "\nbv" in out      # one row per point
+
+
+class TestBackendCLI:
+    """The --backend flag and the crosscheck command."""
+
+    def test_backend_choices_come_from_the_registry(self):
+        parser = build_parser()
+        args = parser.parse_args(["sweep", "--benchmarks", "bv", "--sizes", "4",
+                                  "--backend", "replay"])
+        assert args.backend == "replay"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "--benchmarks", "bv", "--sizes", "4",
+                               "--backend", "nope"])
+
+    def test_replay_sweep_serves_a_warm_cache(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        target = tmp_path / "sweep.json"
+        cache_dir = tmp_path / "cache"
+        base = ["sweep", "--benchmarks", "bv", "--sizes", "4",
+                "--strategies", "qubit_only", "eqm",
+                "--cache-dir", str(cache_dir), "--json", str(target)]
+        assert main(base) == 0
+        warm = json.loads(target.read_text())
+        capsys.readouterr()
+
+        assert main(base + ["--backend", "replay"]) == 0
+        capsys.readouterr()
+        replayed = json.loads(target.read_text())
+        assert replayed["backend"] == "replay"
+        assert replayed["cache"] == {"enabled": True, "hits": 2, "misses": 0}
+        assert replayed["rows"] == warm["rows"]
+
+    def test_cold_replay_fails_with_a_clean_error(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        code = main(["sweep", "--benchmarks", "bv", "--sizes", "4",
+                     "--strategies", "qubit_only",
+                     "--cache-dir", str(tmp_path / "empty"),
+                     "--backend", "replay"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no stored result" in err
+        assert "Traceback" not in err
+
+    def test_crosscheck_smoke(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "crosscheck.json"
+        assert main(["crosscheck", "--benchmarks", "bv", "--sizes", "4",
+                     "--strategies", "qubit_only", "--shots", "400",
+                     "--json", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "agree" in out
+        data = json.loads(target.read_text())
+        assert data["agree"] is True
+        assert data["backends"] == ["trajectory", "external-sim"]
+        assert len(data["rows"]) == 1
+        assert set(data["rows"][0]["eps"]) == {"trajectory", "external-sim"}
+
+    def test_crosscheck_rejects_single_backend(self, capsys):
+        assert main(["crosscheck", "--backends", "trajectory",
+                     "--shots", "100"]) == 2
+        assert "at least two" in capsys.readouterr().err
+
+    def test_crosscheck_rejects_non_positive_shots(self, capsys):
+        assert main(["crosscheck", "--shots", "0"]) == 2
+        assert "positive" in capsys.readouterr().err

@@ -1,0 +1,93 @@
+"""Tests for the independent dense statevector (the external-sim cross-check)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.runner import SweepPoint
+from repro.simulation.dense import DenseStatevector, dense_replay_fidelity
+
+H = np.array([[1.0, 1.0], [1.0, -1.0]]) / math.sqrt(2.0)
+X = np.array([[0.0, 1.0], [1.0, 0.0]])
+CX = np.array([
+    [1, 0, 0, 0],
+    [0, 1, 0, 0],
+    [0, 0, 0, 1],
+    [0, 0, 1, 0],
+], dtype=float)
+
+
+class TestDenseStatevector:
+    def test_starts_in_the_all_zeros_state(self):
+        state = DenseStatevector((2, 4, 2))
+        assert state.dimension == 16
+        assert state.vector[0] == 1.0
+        assert np.count_nonzero(state.vector) == 1
+
+    def test_rejects_empty_or_non_positive_dims(self):
+        with pytest.raises(ValueError):
+            DenseStatevector(())
+        with pytest.raises(ValueError):
+            DenseStatevector((2, 0))
+
+    def test_rejects_duplicate_units(self):
+        state = DenseStatevector((2, 2))
+        with pytest.raises(ValueError, match="distinct"):
+            state.apply(CX, (0, 0))
+
+    def test_rejects_mismatched_operator_shape(self):
+        state = DenseStatevector((2, 2))
+        with pytest.raises(ValueError, match="does not match"):
+            state.apply(H, (0, 1))
+
+    def test_unit_zero_is_most_significant(self):
+        state = DenseStatevector((2, 2))
+        state.apply(X, (0,))
+        # |10> in the flat convention is index 1*2 + 0 = 2
+        assert state.vector[2] == pytest.approx(1.0)
+
+    def test_bell_state(self):
+        state = DenseStatevector((2, 2))
+        state.apply(H, (0,))
+        state.apply(CX, (0, 1))
+        expected = np.zeros(4)
+        expected[0] = expected[3] = 1 / math.sqrt(2.0)
+        assert state.fidelity_with(expected) == pytest.approx(1.0)
+
+    def test_unit_order_in_the_operator_matters(self):
+        forward = DenseStatevector((2, 2))
+        forward.apply(X, (0,))
+        forward.apply(CX, (0, 1))  # control unit 0 -> |11>
+        reverse = DenseStatevector((2, 2))
+        reverse.apply(X, (0,))
+        reverse.apply(CX, (1, 0))  # control unit 1 -> still |10>
+        assert forward.vector[3] == pytest.approx(1.0)
+        assert reverse.vector[2] == pytest.approx(1.0)
+
+    def test_mixed_radix_qutrit_shift(self):
+        shift = np.roll(np.eye(3), 1, axis=0)
+        state = DenseStatevector((3, 2))
+        state.apply(shift, (0,))
+        assert state.vector[2] == pytest.approx(1.0)  # |1>|0> at 1*2 + 0
+
+    def test_norm_is_preserved(self):
+        state = DenseStatevector((2, 4))
+        rng = np.random.default_rng(7)
+        unitary = np.linalg.qr(rng.normal(size=(8, 8))
+                               + 1j * rng.normal(size=(8, 8)))[0]
+        state.apply(H, (0,))
+        state.apply(unitary, (0, 1))
+        assert np.linalg.norm(state.vector) == pytest.approx(1.0)
+
+
+class TestDenseReplay:
+    @pytest.mark.parametrize("strategy", ["qubit_only", "eqm"])
+    def test_agrees_with_mixed_radix_replay(self, strategy):
+        point = SweepPoint(
+            benchmark="bv", num_qubits=4, strategy=strategy,
+            compiler_kwargs=(("merge_single_qubit_gates", False),),
+        )
+        compiled = get_backend("trajectory").compile_point(point).compiled
+        assert dense_replay_fidelity(compiled) == pytest.approx(1.0, abs=1e-9)

@@ -4,6 +4,7 @@ import pickle
 
 import pytest
 
+from repro.store import ArtifactStore
 from repro.evaluation import run_strategies, strategy_sweep
 from repro.evaluation.reporting import results_to_rows
 from repro.runner import (
@@ -96,7 +97,7 @@ class TestCompileCache:
         return SweepPoint(**fields)
 
     def test_roundtrip(self, tmp_path):
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         point = self._point()
         assert cache.get(point) is None
         result = execute_point(point)
@@ -109,7 +110,7 @@ class TestCompileCache:
         assert len(cache) == 1
 
     def test_key_changes_with_strategy_kwargs_and_device(self, tmp_path):
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         base = self._point()
         assert cache.key(base) == cache.key(self._point())
         assert cache.key(base) != cache.key(self._point(strategy_kwargs=(("max_pairs", 1),)))
@@ -122,14 +123,14 @@ class TestCompileCache:
     def test_key_changes_when_code_changes(self, tmp_path, monkeypatch):
         import repro.runner.cache as cache_module
 
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         before = cache.key(self._point())
         monkeypatch.setattr(cache_module, "code_fingerprint", lambda: "different-code")
         after = cache.key(self._point())
         assert before != after
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         point = self._point()
         blob = cache.put(point, execute_point(point))
         blob.write_bytes(b"not a pickle")
@@ -137,7 +138,7 @@ class TestCompileCache:
         assert not blob.exists()
 
     def test_clear(self, tmp_path):
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         point = self._point()
         cache.put(point, execute_point(point))
         assert cache.size_bytes() > 0
@@ -166,7 +167,7 @@ class TestQasmPoints:
         assert SweepPoint("bv", 6, "eqm").payload()["qasm_sha256"] is None
 
     def test_identical_text_shares_a_key_and_edits_invalidate(self, tmp_path):
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         base = SweepPoint.from_qasm(BELL_QASM, "eqm", name="bell")
         twin = SweepPoint.from_qasm(BELL_QASM, "eqm", name="bell")
         edited = SweepPoint.from_qasm(BELL_QASM + "x q[0];\n", "eqm", name="bell")
@@ -174,7 +175,7 @@ class TestQasmPoints:
         assert cache.key(base) != cache.key(edited)
 
     def test_qasm_points_execute_and_cache(self, tmp_path):
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         point = SweepPoint.from_qasm(BELL_QASM, "qubit_only", name="bell")
         executor = ParallelExecutor(workers=1, cache=cache)
         first = executor.run(SweepPlan((point,)))
@@ -225,7 +226,7 @@ class TestParallelExecutor:
             )
 
     def test_second_cached_run_recompiles_nothing(self, tmp_path):
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         executor = ParallelExecutor(workers=1, cache=cache)
         first = executor.run(self.PLAN)
         assert executor.last_stats.executed == len(self.PLAN)
@@ -235,7 +236,7 @@ class TestParallelExecutor:
         assert [r.report for r in first] == [r.report for r in second]
 
     def test_partial_cache_only_compiles_misses(self, tmp_path):
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         ParallelExecutor(workers=1, cache=cache).run(SweepPlan((self.PLAN[0],)))
         executor = ParallelExecutor(workers=1, cache=cache)
         executor.run(self.PLAN)
@@ -248,7 +249,7 @@ class TestEvaluationIntegration:
         legacy = run_strategies("cnu", 9, strategies=("qubit_only", "eqm"))
         engine = run_strategies(
             "cnu", 9, strategies=("qubit_only", "eqm"),
-            cache=CompileCache(root=tmp_path),
+            cache=CompileCache.from_store(ArtifactStore(tmp_path)),
         )
         assert {name: r.report for name, r in legacy.items()} == {
             name: r.report for name, r in engine.items()

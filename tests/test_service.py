@@ -34,6 +34,9 @@ class SlowPoint:
     def payload(self) -> dict:
         return {"kind": "slow", "name": self.name}
 
+    def key(self) -> str:
+        return point_key(self)
+
     def execute(self) -> dict:
         _EXECUTIONS.append(self.name)
         _STARTED.set()
@@ -49,6 +52,9 @@ class FailingPoint:
 
     def payload(self) -> dict:
         return {"kind": "failing", "name": self.name}
+
+    def key(self) -> str:
+        return point_key(self)
 
     def execute(self):
         raise RuntimeError("injected point failure")

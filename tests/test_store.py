@@ -31,6 +31,9 @@ class FakePoint:
     def payload(self) -> dict:
         return {"kind": "fake", "name": self.name, "extra": self.payload_extra}
 
+    def key(self) -> str:
+        return point_key(self)
+
     def execute(self) -> dict:
         return {"name": self.name, "value": self.payload_extra}
 
@@ -319,7 +322,7 @@ class TestConcurrentWriters:
 
 class TestCompileCacheShim:
     def test_results_live_in_the_store_layout(self, tmp_path):
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         point = SweepPoint("bv", 4, "qubit_only")
         result = execute_point(point)
         blob_path = cache.put(point, result)
@@ -332,7 +335,7 @@ class TestCompileCacheShim:
         # (crash mid-put) used to be fed straight to pickle.load on the next
         # read.  The store re-hashes on read, so truncation must surface as
         # a plain miss that a later put repairs.
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         point = SweepPoint("bv", 4, "qubit_only")
         result = execute_point(point)
         blob_path = cache.put(point, result)
@@ -343,14 +346,14 @@ class TestCompileCacheShim:
         assert cache.get(point).report == result.report
 
     def test_two_caches_share_one_store(self, tmp_path):
-        writer, reader = CompileCache(root=tmp_path), CompileCache(root=tmp_path)
+        writer, reader = CompileCache.from_store(ArtifactStore(tmp_path)), CompileCache.from_store(ArtifactStore(tmp_path))
         point = SweepPoint("bv", 4, "qubit_only")
         writer.put(point, execute_point(point))
         assert reader.get(point) is not None
         assert reader.stats.hits == 1
 
     def test_pickle_protocol_is_stable_for_identical_results(self, tmp_path):
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         point = SweepPoint("bv", 4, "qubit_only")
         result = execute_point(point)
         data = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)

@@ -4,6 +4,7 @@ import pickle
 
 import pytest
 
+from repro.store import ArtifactStore
 from repro.metrics.eps import total_eps
 from repro.noise import (
     NoisePoint,
@@ -203,7 +204,7 @@ class TestRunnerIntegration:
     def test_chunks_cache_and_replay(self, tmp_path):
         point = SweepPoint("bv", 4, "qubit_only")
         plan = shot_plan(point, TABLE1, shots=400, seed=9, chunk_size=100)
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         executor = ParallelExecutor(workers=1, cache=cache)
         first = executor.run(plan)
         assert executor.last_stats.executed == 4
@@ -214,7 +215,7 @@ class TestRunnerIntegration:
 
     def test_cached_and_fresh_merges_agree(self, tmp_path):
         point = SweepPoint("bv", 4, "qubit_only")
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         fresh = simulate_point(point, TABLE1, 300, seed=1, chunk_size=100,
                                cache=cache)
         served = simulate_point(point, TABLE1, 300, seed=1, chunk_size=100,

@@ -12,6 +12,7 @@ import json
 
 import pytest
 
+from repro.store import ArtifactStore
 from repro.evaluation import (
     DEFAULT_VALIDATION_BENCHMARKS,
     DEFAULT_VALIDATION_SIZES,
@@ -85,7 +86,7 @@ class TestDeterminism:
     def test_cache_round_trip_is_identical(self, tmp_path):
         from repro.runner import CompileCache
 
-        cache = CompileCache(root=tmp_path)
+        cache = CompileCache.from_store(ArtifactStore(tmp_path))
         fresh = validate_eps(cache=cache, **self.CONFIG)
         served = validate_eps(cache=cache, **self.CONFIG)
         assert [row.result for row in fresh] == [row.result for row in served]
