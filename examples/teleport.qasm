@@ -1,10 +1,12 @@
 // name: teleport
 // Quantum teleportation of an arbitrary single-qubit state from q[0] to
-// q[2], written as an ordinary external OpenQASM 2.0 program.  The
-// classically-controlled Pauli corrections are omitted (OpenQASM `if` is
-// classical control, which the Qompress pipeline does not model); by the
-// deferred-measurement principle the entangling core below is the
-// interesting part for compilation anyway.
+// q[2], written as an ordinary external OpenQASM 2.0 program — including
+// the classically-controlled Pauli corrections, which make this a true
+// feed-forward *dynamic* circuit: the frontend classifies the two Bell
+// measurements as mid-circuit, the compiler threads decode-before-measure
+// through any compressed pair holding a measured qubit, and the trajectory
+// engine branches on the recorded outcomes.  Each measured bit gets its
+// own single-bit register so the per-bit corrections serialize exactly.
 OPENQASM 2.0;
 include "qelib1.inc";
 
@@ -12,7 +14,9 @@ include "qelib1.inc";
 gate bell a,b { h a; cx a,b; }
 
 qreg q[3];
-creg c[3];
+creg c0[1];
+creg c1[1];
+creg c2[1];
 
 // state to teleport
 u3(0.3,0.2,0.1) q[0];
@@ -23,6 +27,10 @@ bell q[1],q[2];
 // Bell measurement on Alice's side
 cx q[0],q[1];
 h q[0];
-barrier q;
-measure q[0] -> c[0];
-measure q[1] -> c[1];
+measure q[0] -> c0[0];
+measure q[1] -> c1[0];
+
+// Bob's feed-forward corrections, then readout of the arrived state
+if(c1==1) x q[2];
+if(c0==1) z q[2];
+measure q[2] -> c2[0];

@@ -75,7 +75,13 @@ class ExternalSimBackend(ExecutionBackend):
         qasm_text = compiled.to_qasm()
         program = parse_physical_qasm(qasm_text)
         self._check_roundtrip(compiled, program)
-        if math.prod(register_dims(compiled)) <= self.MAX_DENSE_DIMENSION:
+        # Dynamic programs branch at runtime; the dense replayer is a
+        # single-unitary pipeline, so the statevector cross-check only
+        # covers static compiles (the round-trip check above still runs).
+        if (
+            not compiled.is_dynamic
+            and math.prod(register_dims(compiled)) <= self.MAX_DENSE_DIMENSION
+        ):
             fidelity = dense_replay_fidelity(compiled)
             if fidelity < self.MIN_REPLAY_FIDELITY:
                 raise BackendError(
@@ -88,21 +94,66 @@ class ExternalSimBackend(ExecutionBackend):
         )
 
     @staticmethod
-    def _check_roundtrip(compiled, program) -> None:
-        """Structurally compare the re-imported program to the op stream."""
+    def _dense_cbit_map(compiled) -> dict[int, int]:
+        """Logical classical bit -> its dense physical-QASM renumbering.
+
+        The physical serializer declares one register per condition run and
+        one singleton per other measured bit, in ascending bit order — so a
+        re-imported program addresses bit ``b`` as the rank of ``b`` among
+        all classically used bits.
+        """
+        used: set[int] = set()
+        for op in compiled.ops:
+            used.update(op.cbits)
+            if op.condition is not None:
+                used.update(op.condition[0])
+        return {bit: rank for rank, bit in enumerate(sorted(used))}
+
+    @classmethod
+    def _check_roundtrip(cls, compiled, program) -> None:
+        """Structurally compare the re-imported program to the op stream.
+
+        Static compiles compare ``(gate, units)`` per instruction.  Dynamic
+        compiles additionally compare classical targets and controls under
+        the dense bit renumbering, with ``measure_mid`` normalised to
+        ``measure`` (the re-import classifies terminal vs mid by role, which
+        is exact for every bit that is read or followed by later ops).
+        """
         if program.num_units != compiled.device.num_units:
             raise BackendError(
                 f"round trip changed the register width: emitted "
                 f"{compiled.device.num_units} units, re-imported {program.num_units}"
             )
-        expected = [
-            (op.gate, tuple(op.units))
-            for op in sorted(compiled.ops, key=lambda op: op.start_ns)
-        ]
-        parsed = [
-            (instruction.gate, tuple(instruction.units))
-            for instruction in program.instructions
-        ]
+        if compiled.is_dynamic:
+            rank = cls._dense_cbit_map(compiled)
+            expected = [
+                (
+                    "measure" if op.gate == "measure_mid" else op.gate,
+                    tuple(op.units),
+                    tuple(rank[bit] for bit in op.cbits),
+                    (tuple(rank[bit] for bit in op.condition[0]), op.condition[1])
+                    if op.condition is not None else None,
+                )
+                for op in sorted(compiled.ops, key=lambda op: op.start_ns)
+            ]
+            parsed = [
+                (
+                    "measure" if instruction.gate == "measure_mid" else instruction.gate,
+                    tuple(instruction.units),
+                    tuple(instruction.cbits),
+                    instruction.condition,
+                )
+                for instruction in program.instructions
+            ]
+        else:
+            expected = [
+                (op.gate, tuple(op.units))
+                for op in sorted(compiled.ops, key=lambda op: op.start_ns)
+            ]
+            parsed = [
+                (instruction.gate, tuple(instruction.units))
+                for instruction in program.instructions
+            ]
         if len(parsed) != len(expected):
             raise BackendError(
                 f"round trip changed the instruction count for "

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from collections.abc import Iterable, Iterator
+from dataclasses import replace
 
 from repro.circuits.gates import Gate
 
@@ -32,6 +33,10 @@ class QuantumCircuit:
         self.num_qubits = int(num_qubits)
         self.name = name
         self._gates: list[Gate] = []
+        # Declared classical registers as (name, size) in flat-offset order.
+        # Pure serialisation metadata (QASM register names); never part of
+        # circuit equality.
+        self._cregs: list[tuple[str, int]] = []
 
     # ------------------------------------------------------------------
     # container protocol
@@ -74,9 +79,18 @@ class QuantumCircuit:
         self._gates.append(gate)
         return self
 
-    def add(self, name: str, *qubits: int, params: Iterable[float] = ()) -> "QuantumCircuit":
+    def add(
+        self,
+        name: str,
+        *qubits: int,
+        params: Iterable[float] = (),
+        cbits: Iterable[int] = (),
+        condition: tuple[tuple[int, ...], int] | None = None,
+    ) -> "QuantumCircuit":
         """Append a gate by name; convenience wrapper around :meth:`append`."""
-        return self.append(Gate(name, tuple(qubits), tuple(params)))
+        return self.append(
+            Gate(name, tuple(qubits), tuple(params), cbits=tuple(cbits), condition=condition)
+        )
 
     def i(self, q: int) -> "QuantumCircuit":
         return self.add("i", q)
@@ -132,8 +146,16 @@ class QuantumCircuit:
     def cswap(self, control: int, a: int, b: int) -> "QuantumCircuit":
         return self.add("cswap", control, a, b)
 
-    def measure(self, q: int) -> "QuantumCircuit":
-        return self.add("measure", q)
+    def measure(self, q: int, cbit: int | None = None) -> "QuantumCircuit":
+        return self.add("measure", q, cbits=() if cbit is None else (cbit,))
+
+    def measure_mid(self, q: int, cbit: int | None = None) -> "QuantumCircuit":
+        """Mid-circuit measurement: later gates may depend on its outcome."""
+        return self.add("measure_mid", q, cbits=() if cbit is None else (cbit,))
+
+    def reset(self, q: int) -> "QuantumCircuit":
+        """Re-initialise a qubit to |0> mid-circuit."""
+        return self.add("reset", q)
 
     def measure_all(self) -> "QuantumCircuit":
         for q in range(self.num_qubits):
@@ -143,6 +165,57 @@ class QuantumCircuit:
     def barrier(self, *qubits: int) -> "QuantumCircuit":
         targets = qubits if qubits else tuple(range(self.num_qubits))
         return self.add("barrier", *targets)
+
+    # ------------------------------------------------------------------
+    # classical registers & control
+    # ------------------------------------------------------------------
+    def add_creg(self, name: str, size: int) -> "QuantumCircuit":
+        """Declare a named classical register spanning the next flat bits."""
+        if size <= 0:
+            raise ValueError("a classical register needs at least one bit")
+        if any(existing == name for existing, _ in self._cregs):
+            raise ValueError(f"duplicate classical register {name!r}")
+        self._cregs.append((name, int(size)))
+        return self
+
+    @property
+    def cregs(self) -> tuple[tuple[str, int], ...]:
+        """Declared classical registers as ``(name, size)`` in flat order."""
+        return tuple(self._cregs)
+
+    @property
+    def num_clbits(self) -> int:
+        """Size of the flat classical register the circuit addresses."""
+        highest = -1
+        for gate in self._gates:
+            for bit in gate.clbits_touched:
+                highest = max(highest, bit)
+        declared = sum(size for _, size in self._cregs)
+        return max(highest + 1, declared)
+
+    def apply_condition(
+        self, start_index: int, condition: tuple[tuple[int, ...], int]
+    ) -> "QuantumCircuit":
+        """Attach ``condition`` to every gate appended since ``start_index``.
+
+        Used by the QASM frontends: one conditioned source statement may
+        macro-expand into several gates, all of which inherit the condition
+        (sound because macro bodies are unitary).
+        """
+        for index in range(start_index, len(self._gates)):
+            gate = self._gates[index]
+            if gate.condition is not None and gate.condition != condition:
+                raise ValueError("gate is already conditioned on different bits")
+            self._gates[index] = replace(gate, condition=condition)
+        return self
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True when the circuit uses mid-circuit measurement, reset or control."""
+        return any(
+            gate.name in ("measure_mid", "reset") or gate.condition is not None
+            for gate in self._gates
+        )
 
     # ------------------------------------------------------------------
     # structural queries
@@ -178,17 +251,25 @@ class QuantumCircuit:
         """Greedy ASAP layering of gate indices.
 
         Each moment is a list of gate indices that act on disjoint qubits;
-        barriers force a new moment across their operands.
+        barriers force a new moment across their operands.  Classical bits
+        serialise conservatively: any two gates touching the same classical
+        bit (a measurement writing it or a conditioned gate reading it)
+        never share a moment.
         """
         layers: list[list[int]] = []
         frontier: dict[int, int] = defaultdict(int)  # qubit -> first free layer
+        clbit_frontier: dict[int, int] = defaultdict(int)  # classical bit -> first free layer
         for index, gate in enumerate(self._gates):
             start = max((frontier[q] for q in gate.qubits), default=0)
+            for bit in gate.clbits_touched:
+                start = max(start, clbit_frontier[bit])
             while len(layers) <= start:
                 layers.append([])
             layers[start].append(index)
             for q in gate.qubits:
                 frontier[q] = start + 1
+            for bit in gate.clbits_touched:
+                clbit_frontier[bit] = start + 1
         return layers
 
     def depth(self) -> int:
@@ -214,6 +295,7 @@ class QuantumCircuit:
         """Return a shallow copy (gates are immutable, so this is safe)."""
         clone = QuantumCircuit(self.num_qubits, name or self.name)
         clone._gates = list(self._gates)
+        clone._cregs = list(self._cregs)
         return clone
 
     def remapped(self, mapping: dict[int, int], num_qubits: int | None = None) -> "QuantumCircuit":
@@ -234,11 +316,58 @@ class QuantumCircuit:
         return clone
 
     def without_meta(self) -> "QuantumCircuit":
-        """Return a copy with measure/barrier operations removed."""
+        """Return a copy with measure/barrier/reset operations removed."""
         clone = QuantumCircuit(self.num_qubits, self.name)
         for gate in self._gates:
             if not gate.is_meta:
                 clone.append(gate)
+        return clone
+
+    def _is_terminal_measure(self, index: int) -> bool:
+        """A measure at ``index`` is terminal when nothing depends on it."""
+        gate = self._gates[index]
+        if gate.condition is not None:
+            return False
+        qubit = gate.qubits[0]
+        written = set(gate.cbits)
+        for later in self._gates[index + 1:]:
+            if later.name != "barrier" and qubit in later.qubits:
+                return False
+            if written & set(later.clbits_touched):
+                return False
+        return True
+
+    def classify_measurements(self) -> "QuantumCircuit":
+        """Return a copy with each measurement named by its true role.
+
+        A ``measure`` becomes ``measure_mid`` when a later non-barrier gate
+        acts on its qubit, a later gate touches its classical bit, or the
+        measurement itself is conditioned; a ``measure_mid`` with no such
+        dependency becomes a plain terminal ``measure``.  The result is
+        deterministic in the gate list, so QASM round-trips are exact.
+        """
+        clone = self.copy()
+        for index, gate in enumerate(clone._gates):
+            if not gate.is_measurement:
+                continue
+            name = "measure" if clone._is_terminal_measure(index) else "measure_mid"
+            if name != gate.name:
+                clone._gates[index] = replace(gate, name=name)
+        return clone
+
+    def remove_final_measurements(self) -> "QuantumCircuit":
+        """Return a copy with terminal measurements removed.
+
+        Mid-circuit measurements — anything a later gate depends on, via
+        either the measured qubit or the written classical bit, or that is
+        itself conditioned — are preserved.
+        """
+        clone = QuantumCircuit(self.num_qubits, self.name)
+        clone._cregs = list(self._cregs)
+        for index, gate in enumerate(self._gates):
+            if gate.is_measurement and self._is_terminal_measure(index):
+                continue
+            clone.append(gate)
         return clone
 
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ class CircuitDAG:
 
     def _build(self) -> None:
         last_on_qubit: dict[int, int] = {}
+        last_on_clbit: dict[int, int] = {}
         for index, gate in enumerate(self.circuit):
             for qubit in gate.qubits:
                 previous = last_on_qubit.get(qubit)
@@ -39,6 +40,14 @@ class CircuitDAG:
                     self._successors[previous].add(index)
                     self._predecessors[index].add(previous)
                 last_on_qubit[qubit] = index
+            # Classical bits order conservatively: a measurement writing a
+            # bit and any gate conditioned on it form a dependency chain.
+            for bit in gate.clbits_touched:
+                previous = last_on_clbit.get(bit)
+                if previous is not None and previous != index:
+                    self._successors[previous].add(index)
+                    self._predecessors[index].add(previous)
+                last_on_clbit[bit] = index
 
     # ------------------------------------------------------------------
     # basic graph accessors

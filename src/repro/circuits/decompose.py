@@ -112,7 +112,9 @@ def decompose_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
     to understand ``cx`` and ``swap`` two-qubit interactions.
     """
     lowered = QuantumCircuit(circuit.num_qubits, circuit.name)
+    lowered._cregs = list(circuit.cregs)
     for gate in circuit:
+        start = len(lowered)
         if gate.name == "ccx":
             _append_ccx(lowered, *gate.qubits)
         elif gate.name == "cswap":
@@ -123,5 +125,13 @@ def decompose_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
             lowered.rz(gate.params[0], b)
             lowered.cx(a, b)
         else:
-            lowered.append(Gate(gate.name, gate.qubits, gate.params))
+            lowered.append(
+                Gate(gate.name, gate.qubits, gate.params,
+                     cbits=gate.cbits, condition=gate.condition)
+            )
+            continue
+        # Conditioned multi-qubit gates expand to all-conditioned bodies:
+        # the expansion is unitary, so conditioning every piece is exact.
+        if gate.condition is not None:
+            lowered.apply_condition(start, gate.condition)
     return lowered

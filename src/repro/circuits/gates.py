@@ -22,8 +22,13 @@ TWO_QUBIT_GATES = frozenset({"cx", "cz", "swap", "rzz"})
 #: Names of supported three-qubit gates (decomposed before compilation).
 THREE_QUBIT_GATES = frozenset({"ccx", "cswap"})
 
-#: Non-unitary / structural operations.
-META_GATES = frozenset({"measure", "barrier"})
+#: Non-unitary / structural operations.  ``measure`` is a terminal
+#: measurement, ``measure_mid`` a mid-circuit one (later gates depend on its
+#: qubit or classical bit), ``reset`` re-initialises a qubit to |0>.
+META_GATES = frozenset({"measure", "barrier", "measure_mid", "reset"})
+
+#: Meta operations that project / write a classical bit.
+MEASUREMENT_GATES = frozenset({"measure", "measure_mid"})
 
 _ALL_GATES = SINGLE_QUBIT_GATES | TWO_QUBIT_GATES | THREE_QUBIT_GATES | META_GATES
 
@@ -44,11 +49,21 @@ class Gate:
         controlled gates the control(s) come first and the target last.
     params:
         Tuple of real parameters (rotation angles in radians).
+    cbits:
+        Classical bits written by the gate.  Only measurements write bits;
+        a measurement with no explicit target defaults to the classical bit
+        with the same index as its qubit (the historic ``measure q`` form).
+    condition:
+        Optional classical control ``((bits...), value)``: the gate executes
+        only when the named classical bits, read LSB-first in ascending
+        order, currently encode ``value``.
     """
 
     name: str
     qubits: tuple[int, ...]
     params: tuple[float, ...] = field(default=())
+    cbits: tuple[int, ...] = field(default=())
+    condition: tuple[tuple[int, ...], int] | None = field(default=None)
 
     def __post_init__(self) -> None:
         if self.name not in _ALL_GATES:
@@ -57,6 +72,8 @@ class Gate:
             object.__setattr__(self, "qubits", tuple(self.qubits))
         if not isinstance(self.params, tuple):
             object.__setattr__(self, "params", tuple(self.params))
+        if not isinstance(self.cbits, tuple):
+            object.__setattr__(self, "cbits", tuple(self.cbits))
         if len(set(self.qubits)) != len(self.qubits):
             raise ValueError(f"duplicate qubit operands in gate {self.name}: {self.qubits}")
         if any(q < 0 for q in self.qubits):
@@ -71,6 +88,34 @@ class Gate:
             raise ValueError(
                 f"gate {self.name} expects {expected_params} parameter(s), got {len(self.params)}"
             )
+        if self.name in MEASUREMENT_GATES:
+            if not self.cbits:
+                object.__setattr__(self, "cbits", self.qubits)
+            if len(self.cbits) != len(self.qubits):
+                raise ValueError(
+                    f"gate {self.name} needs one classical bit per qubit, "
+                    f"got {self.cbits} for {self.qubits}"
+                )
+        elif self.cbits:
+            raise ValueError(f"gate {self.name} cannot write classical bits")
+        if any(bit < 0 for bit in self.cbits):
+            raise ValueError(f"negative classical bit in gate {self.name}: {self.cbits}")
+        if self.condition is not None:
+            if self.name == "barrier":
+                raise ValueError("a barrier cannot be classically conditioned")
+            bits, value = self.condition
+            bits = tuple(bits)
+            if not bits or any(bit < 0 for bit in bits):
+                raise ValueError(f"invalid condition bits in gate {self.name}: {bits}")
+            if list(bits) != sorted(set(bits)):
+                raise ValueError(
+                    f"condition bits must be strictly increasing, got {bits}"
+                )
+            if not 0 <= int(value) < (1 << len(bits)):
+                raise ValueError(
+                    f"condition value {value} does not fit in {len(bits)} bit(s)"
+                )
+            object.__setattr__(self, "condition", (bits, int(value)))
 
     def _expected_arity(self) -> int | None:
         if self.name in SINGLE_QUBIT_GATES:
@@ -79,7 +124,7 @@ class Gate:
             return 2
         if self.name in THREE_QUBIT_GATES:
             return 3
-        if self.name == "measure":
+        if self.name in MEASUREMENT_GATES or self.name == "reset":
             return 1
         return None  # barrier takes any number of qubits
 
@@ -105,12 +150,36 @@ class Gate:
 
     @property
     def is_meta(self) -> bool:
-        """True for non-unitary structural operations (measure, barrier)."""
+        """True for non-unitary structural operations (measure, barrier, ...)."""
         return self.name in META_GATES
 
+    @property
+    def is_measurement(self) -> bool:
+        """True for terminal and mid-circuit measurements."""
+        return self.name in MEASUREMENT_GATES
+
+    @property
+    def condition_bits(self) -> tuple[int, ...]:
+        """Classical bits the gate *reads* (empty when unconditioned)."""
+        return self.condition[0] if self.condition is not None else ()
+
+    @property
+    def clbits_touched(self) -> tuple[int, ...]:
+        """Every classical bit the gate reads or writes, deduplicated."""
+        return tuple(sorted(set(self.cbits) | set(self.condition_bits)))
+
     def remapped(self, mapping: dict[int, int]) -> "Gate":
-        """Return a copy with qubit indices translated through ``mapping``."""
-        return Gate(self.name, tuple(mapping[q] for q in self.qubits), self.params)
+        """Return a copy with qubit indices translated through ``mapping``.
+
+        Classical bits are left untouched: remapping renames qubits only.
+        """
+        return Gate(
+            self.name,
+            tuple(mapping[q] for q in self.qubits),
+            self.params,
+            cbits=self.cbits,
+            condition=self.condition,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         params = f", params={self.params}" if self.params else ""

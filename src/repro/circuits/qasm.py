@@ -17,8 +17,12 @@ Three entry points:
     ``tan``/``exp``/``ln``/``sqrt``).  Gates outside the IR's native set
     (``cu1``/``cp``, ``crz``, ``cy``, ``ch``, ``cu3``, ``u1``/``u2``,
     ``sx``…) are lowered on the fly through
-    :mod:`repro.circuits.decompose` helpers.  Classical control (``if``)
-    and ``reset`` are rejected with a clear error.
+    :mod:`repro.circuits.decompose` helpers.  Dynamic-circuit statements —
+    ``reset`` and classical control ``if (creg == n)`` — map onto the IR's
+    ``reset``/``condition`` fields, and measurements are classified as
+    terminal ``measure`` or mid-circuit ``measure_mid`` from the gate
+    stream.  ``OPENQASM 3;`` sources dispatch to the OpenQASM 3 subset
+    frontend in :mod:`repro.dynamic.qasm3`.
 
 ``circuit_to_qasm``
     :class:`QuantumCircuit` → OpenQASM 2.0.  Parameters are emitted with
@@ -71,7 +75,7 @@ _TOKEN_RE = re.compile(
     | (?P<string>"[^"]*")
     | (?P<arrow>->)
     | (?P<eq>==)
-    | (?P<symbol>[{}()\[\],;+\-*/^])
+    | (?P<symbol>[{}()\[\],;+\-*/^=])
     """,
     re.VERBOSE,
 )
@@ -79,10 +83,18 @@ _TOKEN_RE = re.compile(
 #: Directive comment carrying the circuit name through a round-trip.
 _NAME_DIRECTIVE_RE = re.compile(r"^\s*//\s*name:\s*(?P<name>.+?)\s*$", re.MULTILINE)
 
+#: A token: ``(kind, text, line, column)`` with 1-based line and column.
+Token = tuple[str, str, int, int]
 
-def _tokenize(text: str) -> list[tuple[str, str, int]]:
-    """Split QASM source into ``(kind, text, line)`` tokens, dropping comments."""
-    tokens: list[tuple[str, str, int]] = []
+
+def _tokenize(text: str) -> list[Token]:
+    """Split QASM source into ``(kind, text, line, column)`` tokens.
+
+    Comments are dropped; line and column are 1-based and point at the
+    first character of the token, so every parse error can name the exact
+    position of the offending token.
+    """
+    tokens: list[Token] = []
     for line_number, line in enumerate(text.splitlines(), start=1):
         code = line.split("//", 1)[0]
         position = 0
@@ -93,10 +105,11 @@ def _tokenize(text: str) -> list[tuple[str, str, int]]:
             match = _TOKEN_RE.match(code, position)
             if match is None:
                 raise QasmError(
-                    f"line {line_number}: unexpected character {code[position]!r}"
+                    f"line {line_number}, column {position + 1}: "
+                    f"unexpected character {code[position]!r}"
                 )
             kind = match.lastgroup or "symbol"
-            tokens.append((kind, match.group(), line_number))
+            tokens.append((kind, match.group(), line_number, position + 1))
             position = match.end()
     return tokens
 
@@ -257,32 +270,38 @@ class _GateDef:
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
+def _loc(token: Token) -> str:
+    """Human-readable position of a token: ``line L, column C``."""
+    return f"line {token[2]}, column {token[3]}"
+
+
 class _Parser:
-    def __init__(self, tokens: list[tuple[str, str, int]]) -> None:
+    def __init__(self, tokens: list[Token]) -> None:
         self.tokens = tokens
         self.position = 0
         self.qregs: dict[str, tuple[int, int]] = {}  # name -> (offset, size)
-        self.cregs: dict[str, int] = {}
+        self.cregs: dict[str, tuple[int, int]] = {}  # name -> (offset, size)
         self.num_qubits = 0
+        self.num_clbits = 0
         self.gate_defs: dict[str, _GateDef] = {}
         self.opaque: dict[str, int] = {}  # name -> declared qubit arity
         self.statements: list = []  # deferred applications, replayed onto the circuit
 
     # -- token plumbing -------------------------------------------------
-    def _peek(self) -> tuple[str, str, int] | None:
+    def _peek(self) -> Token | None:
         return self.tokens[self.position] if self.position < len(self.tokens) else None
 
-    def _next(self) -> tuple[str, str, int]:
+    def _next(self) -> Token:
         token = self._peek()
         if token is None:
             raise QasmError("unexpected end of input")
         self.position += 1
         return token
 
-    def _expect(self, text: str) -> tuple[str, str, int]:
+    def _expect(self, text: str) -> Token:
         token = self._next()
         if token[1] != text:
-            raise QasmError(f"line {token[2]}: expected {text!r}, got {token[1]!r}")
+            raise QasmError(f"{_loc(token)}: expected {text!r}, got {token[1]!r}")
         return token
 
     def _accept(self, text: str) -> bool:
@@ -294,9 +313,10 @@ class _Parser:
 
     def _expect_uint(self, what: str) -> int:
         """Consume a non-negative integer literal (register size or index)."""
-        kind, text, line = self._next()
+        token = self._next()
+        kind, text = token[0], token[1]
         if kind != "number" or not text.isdigit():
-            raise QasmError(f"line {line}: expected an integer {what}, got {text!r}")
+            raise QasmError(f"{_loc(token)}: expected an integer {what}, got {text!r}")
         return int(text)
 
     # -- grammar --------------------------------------------------------
@@ -304,62 +324,96 @@ class _Parser:
         if self._accept("OPENQASM"):
             version = self._next()
             if not version[1].startswith("2"):
-                raise QasmError(f"unsupported OpenQASM version {version[1]}")
+                raise QasmError(
+                    f"{_loc(version)}: unsupported OpenQASM version {version[1]}"
+                )
             self._expect(";")
         while self._peek() is not None:
             self._parse_statement()
 
-    def _parse_statement(self) -> None:
-        kind, text, line = self._next()
+    def _parse_statement(self, condition: tuple[str, int, str] | None = None) -> None:
+        token = self._next()
+        kind, text = token[0], token[1]
+        loc = _loc(token)
+        if condition is not None and text in (
+            "include", "qreg", "creg", "gate", "opaque", "if", "barrier"
+        ):
+            raise QasmError(f"{loc}: {text!r} cannot be classically conditioned")
         if text == "include":
             name = self._next()
             self._expect(";")
             if name[1].strip('"') != "qelib1.inc":
                 raise QasmError(
-                    f"line {line}: only qelib1.inc is supported, got {name[1]}"
+                    f"{loc}: only qelib1.inc is supported, got {name[1]}"
                 )
             return
         if text in ("qreg", "creg"):
-            self._parse_register(text, line)
+            self._parse_register(text, loc)
             return
         if text == "gate":
-            self._parse_gate_def(line)
+            self._parse_gate_def(loc)
             return
         if text == "opaque":
             self._parse_opaque()
             return
         if text == "if":
-            raise QasmError(f"line {line}: classical control (if) is not supported")
+            self._parse_if(loc)
+            return
         if text == "reset":
-            raise QasmError(f"line {line}: reset is not supported")
+            operands = self._parse_operands()
+            self._expect(";")
+            self.statements.append(("reset", loc, operands, condition))
+            return
         if text == "measure":
-            self._parse_measure(line)
+            self._parse_measure(loc, condition)
             return
         if text == "barrier":
             operands = self._parse_operands()
             self._expect(";")
-            self.statements.append(("barrier", line, operands))
+            self.statements.append(("barrier", loc, operands))
             return
         if kind == "id":
-            self._parse_application(text, line)
+            self._parse_application(text, loc, condition)
             return
-        raise QasmError(f"line {line}: unexpected token {text!r}")
+        raise QasmError(f"{loc}: unexpected token {text!r}")
 
-    def _parse_register(self, which: str, line: int) -> None:
+    def _parse_if(self, loc: str) -> None:
+        """``if (creg == value) <statement>`` — one conditioned statement."""
+        self._expect("(")
+        name_token = self._next()
+        name = name_token[1]
+        if name not in self.cregs:
+            raise QasmError(
+                f"{_loc(name_token)}: unknown classical register {name!r} in if"
+            )
+        eq = self._next()
+        if eq[1] != "==":
+            raise QasmError(f"{_loc(eq)}: expected '==' in if condition, got {eq[1]!r}")
+        value = self._expect_uint("comparison value")
+        self._expect(")")
+        _, size = self.cregs[name]
+        if value >= (1 << size):
+            raise QasmError(
+                f"{loc}: condition value {value} does not fit in {name}[{size}]"
+            )
+        self._parse_statement(condition=(name, value, loc))
+
+    def _parse_register(self, which: str, loc: str) -> None:
         name = self._next()[1]
         self._expect("[")
         size = self._expect_uint("register size")
         self._expect("]")
         self._expect(";")
         if size < 1:
-            raise QasmError(f"line {line}: register {name!r} must have positive size")
+            raise QasmError(f"{loc}: register {name!r} must have positive size")
         if name in self.qregs or name in self.cregs:
-            raise QasmError(f"line {line}: register {name!r} already declared")
+            raise QasmError(f"{loc}: register {name!r} already declared")
         if which == "qreg":
             self.qregs[name] = (self.num_qubits, size)
             self.num_qubits += size
         else:
-            self.cregs[name] = size
+            self.cregs[name] = (self.num_clbits, size)
+            self.num_clbits += size
 
     def _parse_opaque(self) -> None:
         """``opaque name [(params)] q0, q1, ...;`` — declaration with arity."""
@@ -375,16 +429,16 @@ class _Parser:
                 arity += 1
             elif token[1] != ",":
                 raise QasmError(
-                    f"line {token[2]}: unexpected {token[1]!r} in opaque declaration"
+                    f"{_loc(token)}: unexpected {token[1]!r} in opaque declaration"
                 )
             token = self._next()
         if arity == 0:
             raise QasmError(
-                f"line {name_token[2]}: opaque gate {name!r} declares no qubit arguments"
+                f"{_loc(name_token)}: opaque gate {name!r} declares no qubit arguments"
             )
         self.opaque[name] = arity
 
-    def _parse_gate_def(self, line: int) -> None:
+    def _parse_gate_def(self, loc: str) -> None:
         name = self._next()[1]
         params: list[str] = []
         if self._accept("("):
@@ -397,17 +451,19 @@ class _Parser:
         while self._accept(","):
             qubits.append(self._next()[1])
         if len(set(qubits)) != len(qubits):
-            raise QasmError(f"line {line}: duplicate qubit argument in gate {name!r}")
+            raise QasmError(f"{loc}: duplicate qubit argument in gate {name!r}")
         self._expect("{")
-        body: list[tuple[str, list, list[str], int]] = []
+        body: list[tuple[str, list, list[str], str]] = []
         while not self._accept("}"):
             body.append(self._parse_body_statement(name, set(params), set(qubits)))
         self.gate_defs[name] = _GateDef(name, params, qubits, body)
 
     def _parse_body_statement(
         self, owner: str, params: set[str], qubits: set[str]
-    ) -> tuple[str, list, list[str], int]:
-        kind, text, line = self._next()
+    ) -> tuple[str, list, list[str], str]:
+        token = self._next()
+        kind, text = token[0], token[1]
+        loc = _loc(token)
         if text == "barrier":
             operands = [self._next()[1]]
             while self._accept(","):
@@ -416,11 +472,11 @@ class _Parser:
             for operand in operands:
                 if operand not in qubits:
                     raise QasmError(
-                        f"line {line}: gate {owner!r} body uses undeclared qubit {operand!r}"
+                        f"{loc}: gate {owner!r} body uses undeclared qubit {operand!r}"
                     )
-            return ("barrier", [], operands, line)
+            return ("barrier", [], operands, loc)
         if kind != "id":
-            raise QasmError(f"line {line}: unexpected {text!r} in gate {owner!r} body")
+            raise QasmError(f"{loc}: unexpected {text!r} in gate {owner!r} body")
         param_asts: list = []
         if self._accept("("):
             if not self._accept(")"):
@@ -435,19 +491,21 @@ class _Parser:
         for operand in operands:
             if operand not in qubits:
                 raise QasmError(
-                    f"line {line}: gate {owner!r} body uses undeclared qubit {operand!r} "
+                    f"{loc}: gate {owner!r} body uses undeclared qubit {operand!r} "
                     "(register indexing is not allowed inside gate bodies)"
                 )
-        return (text, param_asts, operands, line)
+        return (text, param_asts, operands, loc)
 
-    def _parse_measure(self, line: int) -> None:
+    def _parse_measure(self, loc: str, condition: tuple[str, int, str] | None = None) -> None:
         source = self._parse_operand()
         self._expect("->")
-        target = self._parse_creg_operand(line)
+        target = self._parse_creg_operand(loc)
         self._expect(";")
-        self.statements.append(("measure", line, source, target))
+        self.statements.append(("measure", loc, source, target, condition))
 
-    def _parse_application(self, name: str, line: int) -> None:
+    def _parse_application(
+        self, name: str, loc: str, condition: tuple[str, int, str] | None = None
+    ) -> None:
         param_asts: list = []
         if self._accept("("):
             if not self._accept(")"):
@@ -458,7 +516,7 @@ class _Parser:
         operands = self._parse_operands()
         self._expect(";")
         params = [_evaluate(ast, {}) for ast in param_asts]
-        self.statements.append(("apply", line, name, params, operands))
+        self.statements.append(("apply", loc, name, params, operands, condition))
 
     # -- operands -------------------------------------------------------
     def _parse_operands(self) -> list[list[int]]:
@@ -472,30 +530,39 @@ class _Parser:
         name_token = self._next()
         name = name_token[1]
         if name not in self.qregs:
-            raise QasmError(f"line {name_token[2]}: unknown quantum register {name!r}")
+            raise QasmError(f"{_loc(name_token)}: unknown quantum register {name!r}")
         offset, size = self.qregs[name]
         if self._accept("["):
             index = self._expect_uint("qubit index")
             self._expect("]")
             if index >= size:
                 raise QasmError(
-                    f"line {name_token[2]}: index {index} out of range for {name}[{size}]"
+                    f"{_loc(name_token)}: index {index} out of range for {name}[{size}]"
                 )
             return [offset + index]
         return [offset + i for i in range(size)]
 
-    def _parse_creg_operand(self, line: int) -> list[int]:
-        name = self._next()[1]
+    def _parse_creg_operand(self, loc: str) -> list[int]:
+        """One classical operand, resolved to *flat* classical bit indices."""
+        name_token = self._next()
+        name = name_token[1]
         if name not in self.cregs:
-            raise QasmError(f"line {line}: unknown classical register {name!r}")
-        size = self.cregs[name]
+            raise QasmError(f"{_loc(name_token)}: unknown classical register {name!r}")
+        offset, size = self.cregs[name]
         if self._accept("["):
             index = self._expect_uint("bit index")
             self._expect("]")
             if index >= size:
-                raise QasmError(f"line {line}: index {index} out of range for {name}[{size}]")
-            return [index]
-        return list(range(size))
+                raise QasmError(
+                    f"{_loc(name_token)}: index {index} out of range for {name}[{size}]"
+                )
+            return [offset + index]
+        return [offset + i for i in range(size)]
+
+    def condition_bits(self, name: str) -> tuple[int, ...]:
+        """Flat classical bits of a declared creg, LSB-first ascending."""
+        offset, size = self.cregs[name]
+        return tuple(range(offset, offset + size))
 
     # -- expressions ----------------------------------------------------
     def _parse_expression(self):
@@ -525,7 +592,8 @@ class _Parser:
         return node
 
     def _parse_base(self):
-        kind, text, line = self._next()
+        token = self._next()
+        kind, text = token[0], token[1]
         if text == "-":
             return ("neg", self._parse_factor())
         if text == "(":
@@ -543,7 +611,7 @@ class _Parser:
             return ("call", text, argument)
         if kind == "id":
             return ("var", text)
-        raise QasmError(f"line {line}: unexpected {text!r} in expression")
+        raise QasmError(f"{_loc(token)}: unexpected {text!r} in expression")
 
 
 # ----------------------------------------------------------------------
@@ -555,58 +623,58 @@ def _apply_gate(
     name: str,
     params: list[float],
     qubits: list[int],
-    line: int,
+    loc: str,
     depth: int = 0,
 ) -> None:
     if depth > 64:
-        raise QasmError(f"line {line}: gate {name!r} expands recursively without bound")
+        raise QasmError(f"{loc}: gate {name!r} expands recursively without bound")
     definition = parser.gate_defs.get(name)
     if definition is not None:
         if len(params) != len(definition.params):
             raise QasmError(
-                f"line {line}: gate {name!r} expects {len(definition.params)} "
+                f"{loc}: gate {name!r} expects {len(definition.params)} "
                 f"parameter(s), got {len(params)}"
             )
         if len(qubits) != len(definition.qubits):
             raise QasmError(
-                f"line {line}: gate {name!r} expects {len(definition.qubits)} "
+                f"{loc}: gate {name!r} expects {len(definition.qubits)} "
                 f"qubit(s), got {len(qubits)}"
             )
         env = dict(zip(definition.params, params))
         binding = dict(zip(definition.qubits, qubits))
-        for body_name, param_asts, operands, body_line in definition.body:
+        for body_name, param_asts, operands, body_loc in definition.body:
             if body_name == "barrier":
                 circuit.barrier(*(binding[operand] for operand in operands))
                 continue
             bound_params = [_evaluate(ast, env) for ast in param_asts]
             bound_qubits = [binding[operand] for operand in operands]
             _apply_gate(circuit, parser, body_name, bound_params, bound_qubits,
-                        body_line, depth + 1)
+                        body_loc, depth + 1)
         return
     if name in parser.opaque:
         raise QasmError(
-            f"line {line}: opaque gate {name!r} has no definition and cannot be compiled"
+            f"{loc}: opaque gate {name!r} has no definition and cannot be compiled"
         )
     builtin = _BUILTINS.get(name)
     if builtin is None:
-        raise QasmError(f"line {line}: unknown gate {name!r}")
+        raise QasmError(f"{loc}: unknown gate {name!r}")
     num_params, num_qubits, applier = builtin
     if len(params) != num_params:
         raise QasmError(
-            f"line {line}: gate {name!r} expects {num_params} parameter(s), got {len(params)}"
+            f"{loc}: gate {name!r} expects {num_params} parameter(s), got {len(params)}"
         )
     if len(qubits) != num_qubits:
         raise QasmError(
-            f"line {line}: gate {name!r} expects {num_qubits} qubit(s), got {len(qubits)}"
+            f"{loc}: gate {name!r} expects {num_qubits} qubit(s), got {len(qubits)}"
         )
     applier(circuit, params, qubits)
 
 
-def _broadcast(operands: list[list[int]], line: int) -> list[tuple[int, ...]]:
+def _broadcast(operands: list[list[int]], loc: str) -> list[tuple[int, ...]]:
     """Expand whole-register operands into per-index applications."""
     lengths = {len(operand) for operand in operands if len(operand) > 1}
     if len(lengths) > 1:
-        raise QasmError(f"line {line}: mismatched register sizes in broadcast")
+        raise QasmError(f"{loc}: mismatched register sizes in broadcast")
     width = lengths.pop() if lengths else 1
     rows = []
     for step in range(width):
@@ -616,12 +684,73 @@ def _broadcast(operands: list[list[int]], line: int) -> list[tuple[int, ...]]:
     return rows
 
 
+#: Version sniffer for frontend dispatch (2.x handled here, 3.x delegated).
+_VERSION_RE = re.compile(r"^\s*OPENQASM\s+(?P<version>[0-9.]+)\s*;", re.MULTILINE)
+
+
+def _resolve_condition(
+    parser: _Parser, condition: tuple[str, int, str] | None
+) -> tuple[tuple[int, ...], int] | None:
+    if condition is None:
+        return None
+    creg_name, value, _loc_str = condition
+    return (parser.condition_bits(creg_name), value)
+
+
+def _replay_statements(parser: _Parser, circuit: QuantumCircuit) -> QuantumCircuit:
+    """Replay a parser's deferred statements onto a circuit.
+
+    Shared by the OpenQASM 2 frontend here and the OpenQASM 3 subset
+    frontend in :mod:`repro.dynamic.qasm3` — both parse into the same
+    deferred-statement representation.
+    """
+    for statement in parser.statements:
+        tag, loc = statement[0], statement[1]
+        if tag == "barrier":
+            targets = [index for operand in statement[2] for index in operand]
+            circuit.barrier(*targets)
+        elif tag == "measure":
+            source, target, condition = statement[2], statement[3], statement[4]
+            if len(source) != len(target):
+                raise QasmError(f"{loc}: measure operand sizes do not match")
+            resolved = _resolve_condition(parser, condition)
+            for qubit, cbit in zip(source, target):
+                circuit.add("measure", qubit, cbits=(cbit,), condition=resolved)
+        elif tag == "reset":
+            resolved = _resolve_condition(parser, statement[3])
+            for operand in statement[2]:
+                for qubit in operand:
+                    circuit.add("reset", qubit, condition=resolved)
+        else:
+            _, _, gate_name, params, operands, condition = statement
+            resolved = _resolve_condition(parser, condition)
+            start = len(circuit)
+            for row in _broadcast(operands, loc):
+                if len(set(row)) != len(row):
+                    raise QasmError(
+                        f"{loc}: gate {gate_name!r} applied to duplicate qubits"
+                    )
+                _apply_gate(circuit, parser, gate_name, params, list(row), loc)
+            if resolved is not None:
+                circuit.apply_condition(start, resolved)
+    # Name each measurement by its true role (terminal vs mid-circuit);
+    # deterministic in the gate stream, so round-trips stay exact.
+    return circuit.classify_measurements()
+
+
 def parse_qasm(text: str, name: str | None = None) -> QuantumCircuit:
-    """Parse an OpenQASM 2.0 program into a :class:`QuantumCircuit`.
+    """Parse an OpenQASM 2.0 (or supported 3.x subset) program.
 
     ``name`` overrides the circuit name; otherwise a ``// name: <x>``
     directive in the source is honoured, falling back to ``"qasm"``.
+    OpenQASM 3 sources (``OPENQASM 3;``) are delegated to
+    :func:`repro.dynamic.qasm3.parse_qasm3`.
     """
+    version = _VERSION_RE.search(text)
+    if version is not None and version.group("version").startswith("3"):
+        from repro.dynamic.qasm3 import parse_qasm3
+
+        return parse_qasm3(text, name=name)
     if name is None:
         directive = _NAME_DIRECTIVE_RE.search(text)
         name = directive.group("name") if directive else "qasm"
@@ -630,26 +759,9 @@ def parse_qasm(text: str, name: str | None = None) -> QuantumCircuit:
     if parser.num_qubits == 0:
         raise QasmError("the program declares no quantum registers")
     circuit = QuantumCircuit(parser.num_qubits, name)
-    for statement in parser.statements:
-        tag, line = statement[0], statement[1]
-        if tag == "barrier":
-            targets = [index for operand in statement[2] for index in operand]
-            circuit.barrier(*targets)
-        elif tag == "measure":
-            source, target = statement[2], statement[3]
-            if len(source) != len(target):
-                raise QasmError(f"line {line}: measure operand sizes do not match")
-            for qubit in source:
-                circuit.measure(qubit)
-        else:
-            _, _, gate_name, params, operands = statement
-            for row in _broadcast(operands, line):
-                if len(set(row)) != len(row):
-                    raise QasmError(
-                        f"line {line}: gate {gate_name!r} applied to duplicate qubits"
-                    )
-                _apply_gate(circuit, parser, gate_name, params, list(row), line)
-    return circuit
+    for creg_name, (_offset, size) in parser.cregs.items():
+        circuit.add_creg(creg_name, size)
+    return _replay_statements(parser, circuit)
 
 
 def parse_qasm_file(path: str | Path, name: str | None = None) -> QuantumCircuit:
@@ -674,10 +786,17 @@ _MAKESPAN_DIRECTIVE_RE = re.compile(
 
 @dataclass(frozen=True)
 class PhysicalInstruction:
-    """One re-imported physical operation: a gate name over unit indices."""
+    """One re-imported physical operation: a gate name over unit indices.
+
+    ``cbits`` are the flat classical bits a measurement writes (declaration
+    order); ``condition`` mirrors the logical IR's ``((bits...), value)``
+    classical control.
+    """
 
     gate: str
     units: tuple[int, ...]
+    cbits: tuple[int, ...] = ()
+    condition: tuple[tuple[int, ...], int] | None = None
 
 
 @dataclass(frozen=True)
@@ -723,35 +842,78 @@ def parse_physical_qasm(text: str) -> PhysicalProgram:
                         + ", ".join(sorted(parser.gate_defs)))
     instructions: list[PhysicalInstruction] = []
     for statement in parser.statements:
-        tag, line = statement[0], statement[1]
+        tag, loc = statement[0], statement[1]
         if tag == "barrier":
             continue
         if tag == "measure":
-            for unit in statement[2]:
-                instructions.append(PhysicalInstruction("measure", (unit,)))
+            source, target = statement[2], statement[3]
+            if len(source) != len(target):
+                raise QasmError(f"{loc}: measure operand sizes do not match")
+            condition = _resolve_condition(parser, statement[4])
+            for unit, cbit in zip(source, target):
+                instructions.append(
+                    PhysicalInstruction("measure", (unit,), cbits=(cbit,),
+                                        condition=condition)
+                )
             continue
-        _, _, gate_name, params, operands = statement
+        if tag == "reset":
+            condition = _resolve_condition(parser, statement[3])
+            for operand in statement[2]:
+                for unit in operand:
+                    instructions.append(
+                        PhysicalInstruction("reset", (unit,), condition=condition)
+                    )
+            continue
+        _, _, gate_name, params, operands, raw_condition = statement
         arity = parser.opaque.get(gate_name)
         if arity is None:
             raise QasmError(
-                f"line {line}: gate {gate_name!r} is not declared opaque; "
+                f"{loc}: gate {gate_name!r} is not declared opaque; "
                 "physical programs contain only opaque gate applications"
             )
         if params:
             raise QasmError(
-                f"line {line}: opaque gate {gate_name!r} takes no parameters here"
+                f"{loc}: opaque gate {gate_name!r} takes no parameters here"
             )
-        for row in _broadcast(operands, line):
+        condition = _resolve_condition(parser, raw_condition)
+        for row in _broadcast(operands, loc):
             if len(row) != arity:
                 raise QasmError(
-                    f"line {line}: gate {gate_name!r} expects {arity} unit(s), "
+                    f"{loc}: gate {gate_name!r} expects {arity} unit(s), "
                     f"got {len(row)}"
                 )
             if len(set(row)) != len(row):
                 raise QasmError(
-                    f"line {line}: gate {gate_name!r} applied to duplicate units"
+                    f"{loc}: gate {gate_name!r} applied to duplicate units"
                 )
-            instructions.append(PhysicalInstruction(gate_name, tuple(row)))
+            instructions.append(
+                PhysicalInstruction(gate_name, tuple(row), condition=condition)
+            )
+    # Name measurements by role, mirroring the logical classification: a
+    # measure whose unit sees later ops or whose bit is later read is a
+    # mid-circuit measure.
+    for index, instruction in enumerate(instructions):
+        if instruction.gate != "measure":
+            continue
+        unit = instruction.units[0]
+        written = set(instruction.cbits)
+        mid = instruction.condition is not None
+        for later in instructions[index + 1:]:
+            # A later terminal measure on the same unit (or re-writing the
+            # same bit) does not make this one mid-circuit: a ququart unit
+            # is read out once per encoded qubit at the end of the program.
+            later_bits = set(later.condition[0]) if later.condition is not None else set()
+            if later.gate != "measure":
+                later_bits.update(later.cbits)
+            later_on_unit = unit in later.units and later.gate != "measure"
+            if later_on_unit or (written & later_bits):
+                mid = True
+                break
+        if mid:
+            instructions[index] = PhysicalInstruction(
+                "measure_mid", instruction.units, cbits=instruction.cbits,
+                condition=instruction.condition,
+            )
     directive = _NAME_DIRECTIVE_RE.search(text)
     strategy = _STRATEGY_DIRECTIVE_RE.search(text)
     device = _DEVICE_DIRECTIVE_RE.search(text)
@@ -778,12 +940,59 @@ def _format_param(value: float) -> str:
     return repr(float(value))
 
 
+def _creg_layout(circuit: QuantumCircuit) -> list[tuple[str, int, int]]:
+    """Classical registers to serialise: ``(name, offset, size)`` rows.
+
+    Declared registers are honoured; otherwise one register ``c`` covers
+    the flat classical address space (sized like the historic emission).
+    """
+    if circuit.cregs:
+        layout: list[tuple[str, int, int]] = []
+        offset = 0
+        for name, size in circuit.cregs:
+            layout.append((name, offset, size))
+            offset += size
+        return layout
+    width = max(circuit.num_qubits, circuit.num_clbits)
+    return [("c", 0, width)]
+
+
+def _creg_bit_ref(layout: list[tuple[str, int, int]], bit: int) -> str:
+    """``name[i]`` reference for a flat classical bit."""
+    for name, offset, size in layout:
+        if offset <= bit < offset + size:
+            return f"{name}[{bit - offset}]"
+    raise QasmError(
+        f"classical bit {bit} is outside every declared classical register"
+    )
+
+
+def _condition_prefix(
+    layout: list[tuple[str, int, int]],
+    condition: tuple[tuple[int, ...], int] | None,
+) -> str:
+    """``if(name==value) `` prefix for a conditioned gate (empty if none)."""
+    if condition is None:
+        return ""
+    bits, value = condition
+    for name, offset, size in layout:
+        if bits == tuple(range(offset, offset + size)):
+            return f"if({name}=={value}) "
+    raise QasmError(
+        f"condition bits {bits} do not align with a declared classical register; "
+        "declare a creg covering exactly those bits"
+    )
+
+
 def circuit_to_qasm(circuit: QuantumCircuit) -> str:
     """Serialise a logical circuit as OpenQASM 2.0 (qelib1 gate names).
 
     The output round-trips exactly: re-parsing it yields an equal circuit
     (``swap``, ``rzz`` and ``cswap`` are emitted natively, matching the
-    extended qelib1 shipped with Qiskit).
+    extended qelib1 shipped with Qiskit).  Dynamic circuits serialise
+    mid-circuit measurements as plain ``measure`` statements (re-import
+    reclassifies them), ``reset`` natively, and classical control as
+    ``if(creg==value)`` prefixes.
     """
     lines = [
         f"// name: {circuit.name}",
@@ -791,12 +1000,22 @@ def circuit_to_qasm(circuit: QuantumCircuit) -> str:
         'include "qelib1.inc";',
         f"qreg q[{circuit.num_qubits}];",
     ]
-    if any(gate.name == "measure" for gate in circuit):
-        lines.append(f"creg c[{circuit.num_qubits}];")
+    needs_cregs = any(
+        gate.is_measurement or gate.condition is not None for gate in circuit
+    )
+    layout = _creg_layout(circuit)
+    if needs_cregs:
+        for reg_name, _offset, size in layout:
+            lines.append(f"creg {reg_name}[{size}];")
     for gate in circuit:
-        if gate.name == "measure":
+        prefix = _condition_prefix(layout, gate.condition)
+        if gate.is_measurement:
             qubit = gate.qubits[0]
-            lines.append(f"measure q[{qubit}] -> c[{qubit}];")
+            target = _creg_bit_ref(layout, gate.cbits[0])
+            lines.append(f"{prefix}measure q[{qubit}] -> {target};")
+            continue
+        if gate.name == "reset":
+            lines.append(f"{prefix}reset q[{gate.qubits[0]}];")
             continue
         if gate.name == "barrier":
             operands = ",".join(f"q[{qubit}]" for qubit in gate.qubits)
@@ -807,7 +1026,7 @@ def circuit_to_qasm(circuit: QuantumCircuit) -> str:
         if gate.params:
             params = "(" + ",".join(_format_param(p) for p in gate.params) + ")"
         operands = ",".join(f"q[{qubit}]" for qubit in gate.qubits)
-        lines.append(f"{name}{params} {operands};")
+        lines.append(f"{prefix}{name}{params} {operands};")
     return "\n".join(lines) + "\n"
 
 
@@ -829,14 +1048,18 @@ def compiled_to_qasm(compiled) -> str:
         f"// makespan_ns: {compiled.makespan_ns}",
         "OPENQASM 2.0;",
     ]
-    measured = any(op.gate == "measure" for op in compiled.ops)
+    measured = any(op.gate in ("measure", "measure_mid") for op in compiled.ops)
+    dynamic = any(
+        op.gate in ("measure_mid", "reset") or op.condition is not None
+        for op in compiled.ops
+    )
     # declare each used gate with the arity it is actually applied at —
     # robust even for gates outside the static library catalogue.  An op
     # stream applying one name at two arities cannot be declared (and
     # would not re-import), so it is rejected at the source.
     arities: dict[str, int] = {}
     for op in compiled.ops:
-        if op.gate == "measure":
+        if op.gate in ("measure", "measure_mid", "reset"):
             continue
         declared = arities.setdefault(op.gate, len(op.units))
         if declared != len(op.units):
@@ -849,13 +1072,63 @@ def compiled_to_qasm(compiled) -> str:
         operands = ",".join(chr(ord("a") + i) for i in range(arities[gate_name]))
         lines.append(f"opaque {gate_name} {operands};")
     lines.append(f"qreg u[{compiled.device.num_units}];")
-    if measured:
+    layout: list[tuple[str, int, int]] = []
+    if dynamic:
+        layout = _physical_creg_layout(compiled.ops)
+        for reg_name, _offset, size in layout:
+            lines.append(f"creg {reg_name}[{size}];")
+    elif measured:
         lines.append(f"creg m[{compiled.device.num_units}];")
     for op in sorted(compiled.ops, key=lambda op: op.start_ns):
         operands = ",".join(f"u[{unit}]" for unit in op.units)
         comment = f"  // t={op.start_ns:.1f}ns dur={op.duration_ns:.1f}ns"
-        if op.gate == "measure":
-            lines.append(f"measure u[{op.units[0]}] -> m[{op.units[0]}];" + comment)
+        prefix = _condition_prefix(layout, op.condition) if dynamic else ""
+        if op.gate in ("measure", "measure_mid"):
+            if dynamic:
+                cbit = op.cbits[0] if op.cbits else op.units[0]
+                target = _creg_bit_ref(layout, cbit)
+            else:
+                target = f"m[{op.units[0]}]"
+            lines.append(f"{prefix}measure u[{op.units[0]}] -> {target};" + comment)
+        elif op.gate == "reset":
+            lines.append(f"{prefix}reset u[{op.units[0]}];" + comment)
         else:
-            lines.append(f"{op.gate} {operands};" + comment)
+            lines.append(f"{prefix}{op.gate} {operands};" + comment)
     return "\n".join(lines) + "\n"
+
+
+def _physical_creg_layout(ops) -> list[tuple[str, int, int]]:
+    """Classical registers for a dynamic physical program.
+
+    Every distinct condition bit-tuple becomes one register (it must be a
+    contiguous ascending run, disjoint from or identical to every other
+    condition); measured bits not covered by a condition get singleton
+    registers.  Registers are named ``c<first-flat-bit>`` and declared in
+    ascending flat order, so re-importing assigns each bit a dense index
+    in the same relative order.
+    """
+    condition_runs: set[tuple[int, ...]] = set()
+    measured_bits: set[int] = set()
+    for op in ops:
+        if op.condition is not None:
+            condition_runs.add(tuple(op.condition[0]))
+        if op.gate in ("measure", "measure_mid"):
+            measured_bits.update(op.cbits if op.cbits else (op.units[0],))
+    for bits in condition_runs:
+        if bits != tuple(range(bits[0], bits[0] + len(bits))):
+            raise QasmError(
+                f"condition bits {bits} are not contiguous; cannot be declared "
+                "as one classical register"
+            )
+    runs = sorted(condition_runs)
+    for first, second in zip(runs, runs[1:]):
+        if first != second and set(first) & set(second):
+            raise QasmError(
+                f"condition bit runs {first} and {second} overlap; they cannot "
+                "both be declared as registers"
+            )
+    covered = {bit for bits in condition_runs for bit in bits}
+    layout = [(f"c{bits[0]}", bits[0], len(bits)) for bits in runs]
+    layout.extend((f"c{bit}", bit, 1) for bit in sorted(measured_bits - covered))
+    layout.sort(key=lambda entry: entry[1])
+    return layout

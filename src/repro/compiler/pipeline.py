@@ -37,10 +37,22 @@ class QompressCompiler:
         Extended Qubit Mapping behaviour (free pairing) is used.
     """
 
-    def __init__(self, device: Device, strategy=None, merge_single_qubit_gates: bool = True) -> None:
+    def __init__(
+        self,
+        device: Device,
+        strategy=None,
+        merge_single_qubit_gates: bool = True,
+        reencode_after_measure: bool = True,
+    ) -> None:
         self.device = device
         self.strategy = strategy
         self.merge_single_qubit_gates = merge_single_qubit_gates
+        #: Strategy decision for dynamic circuits: after a mid-circuit
+        #: measurement forces a ququart decode, re-encode the pair (True,
+        #: preserves the compressed layout) or leave it decoded (False,
+        #: saves the 608 ns re-encode at the cost of a permanently bare
+        #: partner on an ancilla unit).
+        self.reencode_after_measure = reencode_after_measure
 
     # ------------------------------------------------------------------
     # public entry point
@@ -75,7 +87,8 @@ class QompressCompiler:
             qubit_only=plan.qubit_only,
         )
         cost_model = CostModel(self.device, ququart_units)
-        router = Router(self.device, cost_model, placement)
+        router = Router(self.device, cost_model, placement,
+                        reencode_after_measure=self.reencode_after_measure)
         ops, final_placement = router.run(lowered)
         durations = self.device.durations
         ops = schedule_ops(
@@ -136,7 +149,9 @@ class QompressCompiler:
 
         def emit(gate: str, units: tuple[int, ...], logical: tuple[int, ...],
                  communication: bool = False, moves: dict[int, Slot] | None = None,
-                 source: int = -1, slots: tuple[Slot, ...] = ()) -> None:
+                 source: int = -1, slots: tuple[Slot, ...] = (),
+                 cbits: tuple[int, ...] = (),
+                 condition: tuple[tuple[int, ...], int] | None = None) -> None:
             ops.append(
                 PhysicalOp(
                     gate=gate,
@@ -148,6 +163,8 @@ class QompressCompiler:
                     moves=dict(moves or {}),
                     source_gate=source,
                     slots=slots,
+                    cbits=cbits,
+                    condition=condition,
                 )
             )
 
@@ -169,16 +186,39 @@ class QompressCompiler:
                 continue
             if gate.name == "measure":
                 qubit = gate.qubits[0]
-                emit("measure", (unit_of[qubit],), gate.qubits, source=index)
+                emit("measure", (unit_of[qubit],), gate.qubits, source=index,
+                     cbits=gate.cbits)
+                continue
+            if gate.name in ("measure_mid", "reset"):
+                # Decode-before-measure: FQ has no partial operations, so a
+                # mid-circuit measurement of a paired qubit always decodes
+                # the ququart to an ancilla and re-encodes afterwards.
+                qubit = gate.qubits[0]
+                unit = unit_of[qubit]
+                other = partner.get(qubit)
+                if unit in ququart_units and other is not None:
+                    ancilla = self._fq_ancilla(unit, ququart_units)
+                    emit("dec", (unit, ancilla), (qubit, other), communication=True,
+                         source=index, slots=(slot_of[other], (ancilla, 0)))
+                    emit(gate.name, (unit,), (qubit,), source=index,
+                         slots=(slot_of[qubit],), cbits=gate.cbits,
+                         condition=gate.condition)
+                    emit("enc", (unit, ancilla), (qubit, other), communication=True,
+                         source=index, slots=(slot_of[other], (ancilla, 0)))
+                else:
+                    emit(gate.name, (unit,), (qubit,), source=index,
+                         slots=(slot_of[qubit],), cbits=gate.cbits,
+                         condition=gate.condition)
                 continue
             if gate.num_qubits == 1:
                 qubit = gate.qubits[0]
                 unit = unit_of[qubit]
                 if unit in ququart_units:
                     emit("x0" if slot_of[qubit][1] == 0 else "x1", (unit,), (qubit,),
-                         source=index, slots=(slot_of[qubit],))
+                         source=index, slots=(slot_of[qubit],), condition=gate.condition)
                 else:
-                    emit("x", (unit,), (qubit,), source=index, slots=(slot_of[qubit],))
+                    emit("x", (unit,), (qubit,), source=index, slots=(slot_of[qubit],),
+                         condition=gate.condition)
                 continue
             control, target = gate.qubits
             if partner.get(control) == target:
@@ -187,12 +227,12 @@ class QompressCompiler:
                     "cx0_in" if slot_of[control][1] == 0 else "cx1_in"
                 )
                 emit(gate_name, (unit_of[control],), (control, target), source=index,
-                     slots=(slot_of[control], slot_of[target]))
+                     slots=(slot_of[control], slot_of[target]), condition=gate.condition)
                 continue
             # External operation: route ququarts adjacent, decode, act, re-encode.
             self._fq_external_op(
                 gate.name, control, target, index, unit_of, slot_of, partner,
-                ququart_units, emit, weights,
+                ququart_units, emit, weights, condition=gate.condition,
             )
 
         ops = schedule_ops(
@@ -218,6 +258,7 @@ class QompressCompiler:
         self, name: str, control: int, target: int, source: int,
         unit_of: dict[int, int], slot_of: dict[int, Slot], partner: dict[int, int],
         ququart_units: frozenset[int], emit, weights,
+        condition: tuple[tuple[int, ...], int] | None = None,
     ) -> None:
         topology = self.device.topology
         unit_c = unit_of[control]
@@ -268,8 +309,11 @@ class QompressCompiler:
                      source=source, slots=(slot_of[other], (ancilla, 0)))
                 decoded.append((unit, qubit, other, ancilla))
         bare_gate = "swap2" if name == "swap" else "cx2"
+        # Communication (swap4/dec/enc) stays unconditional; only the logical
+        # interaction itself is classically controlled.
         emit(bare_gate, (unit_of[control], unit_of[target]), (control, target),
-             source=source, slots=(slot_of[control], slot_of[target]))
+             source=source, slots=(slot_of[control], slot_of[target]),
+             condition=condition)
         for unit, qubit, other, ancilla in reversed(decoded):
             emit("enc", (unit, ancilla), (qubit, other), communication=True,
                  source=source, slots=(slot_of[other], (ancilla, 0)))

@@ -76,6 +76,11 @@ class PhysicalOp:
     #: Slot operands (unit, encoding position) in gate semantic order; used
     #: by the simulation-based equivalence checker.
     slots: tuple[tuple[int, int], ...] = ()
+    #: Classical bits written by a measurement op (flat logical indices).
+    cbits: tuple[int, ...] = ()
+    #: Classical control ``((bits...), value)``: the op executes only when
+    #: the flat classical bits, read LSB-first ascending, encode ``value``.
+    condition: tuple[tuple[int, ...], int] | None = None
 
     @property
     def style(self) -> GateStyle:
@@ -86,6 +91,11 @@ class PhysicalOp:
     def end_ns(self) -> float:
         """Scheduled end time (start + duration)."""
         return self.start_ns + self.duration_ns
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True for mid-circuit measurement/reset or conditioned ops."""
+        return self.gate in ("measure_mid", "reset") or self.condition is not None
 
 
 @dataclass
@@ -123,6 +133,12 @@ class CompiledCircuit:
         if not self.ops:
             return 0.0
         return max(op.end_ns for op in self.ops)
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True when the program contains mid-circuit measurement/reset or
+        classically conditioned operations."""
+        return any(op.is_dynamic for op in self.ops)
 
     @property
     def num_ops(self) -> int:

@@ -29,9 +29,16 @@ class RoutingError(RuntimeError):
 class Router:
     """Route a logical circuit given an initial placement and fixed unit modes."""
 
-    def __init__(self, device: Device, cost_model: CostModel, placement: Placement) -> None:
+    def __init__(
+        self,
+        device: Device,
+        cost_model: CostModel,
+        placement: Placement,
+        reencode_after_measure: bool = True,
+    ) -> None:
         self.device = device
         self.costs = cost_model
+        self.reencode_after_measure = reencode_after_measure
         self.slot_of: dict[int, Slot] = dict(placement)
         self.occupant: dict[Slot, int] = {slot: qubit for qubit, slot in placement.items()}
         if len(self.occupant) != len(self.slot_of):
@@ -53,6 +60,8 @@ class Router:
         moves: dict[int, Slot] | None = None,
         source_gate: int = -1,
         slots: tuple[Slot, ...] = (),
+        cbits: tuple[int, ...] = (),
+        condition: tuple[tuple[int, ...], int] | None = None,
     ) -> PhysicalOp:
         op = PhysicalOp(
             gate=gate,
@@ -64,6 +73,8 @@ class Router:
             moves=dict(moves or {}),
             source_gate=source_gate,
             slots=slots,
+            cbits=cbits,
+            condition=condition,
         )
         self.ops.append(op)
         return op
@@ -114,25 +125,155 @@ class Router:
                 continue
             if gate.name == "measure":
                 slot = self.slot_of[gate.qubits[0]]
-                self._emit("measure", (slot[0],), gate.qubits, source_gate=index, slots=(slot,))
+                self._emit("measure", (slot[0],), gate.qubits, source_gate=index,
+                           slots=(slot,), cbits=gate.cbits)
+                continue
+            if gate.name in ("measure_mid", "reset"):
+                self._route_mid_measure(gate, index)
                 continue
             if gate.num_qubits == 1:
-                self._route_single(gate.qubits[0], index)
+                self._route_single(gate.qubits[0], index, condition=gate.condition)
             elif gate.num_qubits == 2:
-                self._route_two_qubit(gate.name, gate.qubits[0], gate.qubits[1], index)
+                self._route_two_qubit(gate.name, gate.qubits[0], gate.qubits[1], index,
+                                      condition=gate.condition)
             else:
                 raise RoutingError(
                     f"gate {gate.name} on {gate.num_qubits} qubits must be decomposed first"
                 )
         return self.ops, dict(self.slot_of)
 
-    def _route_single(self, qubit: int, source_gate: int) -> None:
+    def _route_mid_measure(self, gate, source_gate: int) -> None:
+        """Emit a mid-circuit measurement/reset, decoding its ququart first.
+
+        Measuring one encoded qubit of a ququart destroys its partner, so
+        the paper's decode-before-measure rule applies: the pair is decoded
+        (partner ejected to an adjacent free slot), the single qubit is
+        measured, and — when ``reencode_after_measure`` — the pair is
+        re-encoded immediately afterwards so later gates see the original
+        layout.  Bare qubits are measured in place with no extra cost.
+        """
+        qubit = gate.qubits[0]
+        slot = self.slot_of[qubit]
+        unit = slot[0]
+        partner_slot = (unit, 1 - slot[1])
+        partner = self.occupant.get(partner_slot)
+        needs_decode = self.costs.is_enabled((unit, 1)) and partner is not None
+        if needs_decode:
+            ancilla = self._find_ancilla(unit, source_gate)
+            if self.reencode_after_measure:
+                # Transient decode: the pair is re-encoded straight after the
+                # measurement, so the logical layout is unchanged (no moves).
+                self._emit("dec", (unit, ancilla[0]), (qubit, partner),
+                           is_communication=True, source_gate=source_gate,
+                           slots=(partner_slot, ancilla))
+                self._emit(gate.name, (unit,), (qubit,), source_gate=source_gate,
+                           slots=(slot,), cbits=gate.cbits, condition=gate.condition)
+                self._emit("enc", (ancilla[0], unit), (qubit, partner),
+                           is_communication=True, source_gate=source_gate,
+                           slots=(ancilla, partner_slot))
+                return
+            # Permanent decode: the partner stays on the ancilla unit.
+            self._emit("dec", (unit, ancilla[0]), (qubit, partner),
+                       is_communication=True, moves={partner: ancilla},
+                       source_gate=source_gate, slots=(partner_slot, ancilla))
+            self.slot_of[partner] = ancilla
+            self.occupant[ancilla] = partner
+            self.occupant.pop(partner_slot, None)
+        self._emit(gate.name, (unit,), (qubit,), source_gate=source_gate,
+                   slots=(slot,), cbits=gate.cbits, condition=gate.condition)
+
+    def _find_ancilla(self, unit: int, source_gate: int) -> Slot:
+        """Free enabled slot on a neighbouring unit, preferring bare units.
+
+        When every adjacent slot is occupied, the nearest free slot on the
+        device is shifted next to ``unit`` by a chain of routing SWAPs
+        (walking the hole inwards), so decode-before-measure works wherever
+        the register has *any* spare capacity.
+        """
+        candidates: list[tuple[int, Slot]] = []
+        for slot in self._adjacent_slots(unit):
+            if slot in self.occupant:
+                continue
+            candidates.append((1 if self.costs.is_enabled((slot[0], 1)) else 0, slot))
+        if candidates:
+            return min(candidates)[1]
+        return self._vacate_adjacent_slot(unit, source_gate)
+
+    def _adjacent_slots(self, unit: int) -> list[Slot]:
+        """Enabled slots on the units neighbouring ``unit``, in sorted order."""
+        slots: list[Slot] = []
+        for neighbor in sorted(self.device.topology.neighbors(unit)):
+            is_ququart = self.costs.is_enabled((neighbor, 1))
+            for position in (0, 1) if is_ququart else (0,):
+                slots.append((neighbor, position))
+        return slots
+
+    def _vacate_adjacent_slot(self, unit: int, source_gate: int) -> Slot:
+        """Free an adjacent slot by walking the cheapest hole next to ``unit``.
+
+        Every swap displaces a bystander qubit one step along the path; the
+        measured unit itself is never touched, so the pair being decoded
+        stays in place.  Runs unconditionally (like all routing movement) to
+        keep the layout branch-free.
+        """
+        free = [
+            slot for slot in self._enabled_slots()
+            if slot not in self.occupant and slot[0] != unit
+        ]
+        best: tuple[float, list[Slot]] | None = None
+        for start in self._adjacent_slots(unit):
+            for hole in free:
+                try:
+                    path = self.costs.shortest_slot_path(start, hole)
+                except RuntimeError:
+                    continue
+                if any(step[0] == unit for step in path):
+                    continue
+                cost = sum(
+                    self.costs.swap_cost(a, b) for a, b in zip(path, path[1:])
+                )
+                if best is None or cost < best[0]:
+                    best = (cost, path)
+        if best is None:
+            raise RoutingError(
+                f"mid-circuit measurement on unit {unit} needs a free slot to "
+                "decode its ququart partner into, but the register is full"
+            )
+        path = best[1]
+        for slot_a, slot_b in zip(reversed(path[:-1]), reversed(path[1:])):
+            self._apply_swap(slot_a, slot_b, source_gate)
+        return path[0]
+
+    def _enabled_slots(self):
+        for unit in range(self.device.num_units):
+            for position in (0, 1):
+                slot = (unit, position)
+                if self.costs.is_enabled(slot):
+                    yield slot
+
+    def _route_single(
+        self,
+        qubit: int,
+        source_gate: int,
+        condition: tuple[tuple[int, ...], int] | None = None,
+    ) -> None:
         slot = self.slot_of[qubit]
         gate = self.costs.single_qubit_gate(slot)
-        self._emit(gate, (slot[0],), (qubit,), source_gate=source_gate, slots=(slot,))
+        self._emit(gate, (slot[0],), (qubit,), source_gate=source_gate, slots=(slot,),
+                   condition=condition)
 
-    def _route_two_qubit(self, name: str, control: int, target: int, source_gate: int) -> None:
+    def _route_two_qubit(
+        self,
+        name: str,
+        control: int,
+        target: int,
+        source_gate: int,
+        condition: tuple[tuple[int, ...], int] | None = None,
+    ) -> None:
         want_swap = name == "swap"
+        # Routing SWAPs run unconditionally even for conditioned gates: the
+        # movement must happen on every shot so the layout stays branch-free;
+        # only the final interaction carries the classical control.
         self._make_adjacent(control, target, source_gate)
         slot_c = self.slot_of[control]
         slot_t = self.slot_of[target]
@@ -144,11 +285,11 @@ class Router:
             # SWAPs, which relocate qubits).
             gate = self.costs.swap_gate(slot_c, slot_t)
             self._emit(gate, units, (control, target), source_gate=source_gate,
-                       slots=(slot_c, slot_t))
+                       slots=(slot_c, slot_t), condition=condition)
             return
         gate = self.costs.cx_gate(slot_c, slot_t)
         self._emit(gate, units, (control, target), source_gate=source_gate,
-                   slots=(slot_c, slot_t))
+                   slots=(slot_c, slot_t), condition=condition)
 
     # ------------------------------------------------------------------
     # movement

@@ -29,7 +29,11 @@ def merge_single_qubit_ops(ops: list[PhysicalOp]) -> list[PhysicalOp]:
     merged: list[PhysicalOp] = []
     pending_index: dict[int, int] = {}  # unit -> index into `merged` of a mergeable op
     for op in ops:
-        if op.style is GateStyle.SINGLE_QUQUART and len(op.units) == 1:
+        if (
+            op.style is GateStyle.SINGLE_QUQUART
+            and len(op.units) == 1
+            and op.condition is None
+        ):
             unit = op.units[0]
             previous_index = pending_index.get(unit)
             if previous_index is not None:
@@ -86,12 +90,23 @@ def schedule_ops(
                 if combined_fidelity is not None:
                     op.fidelity = combined_fidelity
     unit_free_at: dict[int, float] = {}
+    clbit_free_at: dict[int, float] = {}
     for op in scheduled:
         start = max((unit_free_at.get(unit, 0.0) for unit in op.units), default=0.0)
+        # Classical dependencies serialize too: a conditioned op cannot start
+        # before every bit it reads is written, and a measurement cannot
+        # overwrite a bit a pending conditioned op still has to read.
+        touched_bits = set(op.cbits)
+        if op.condition is not None:
+            touched_bits.update(op.condition[0])
+        for bit in touched_bits:
+            start = max(start, clbit_free_at.get(bit, 0.0))
         op.start_ns = start
         finish = start + op.duration_ns
         for unit in op.units:
             unit_free_at[unit] = finish
+        for bit in touched_bits:
+            clbit_free_at[bit] = finish
     return scheduled
 
 

@@ -1,0 +1,333 @@
+"""OpenQASM 3 subset frontend for dynamic circuits.
+
+The OpenQASM 2 frontend (:mod:`repro.circuits.qasm`) covers classical
+control only through the legacy ``if (creg == n) gate;`` statement form.
+Feed-forward circuits are usually written in OpenQASM 3, so this module
+parses the subset of the 3.0 language that the circuit IR can represent:
+
+- ``qubit[n] name;`` / ``qubit name;`` and ``bit[n] name;`` / ``bit name;``
+  declarations (quantum and classical registers),
+- ``int[k] name = v;`` compile-time integer constants, usable as the
+  comparison value of an ``if`` condition,
+- gate applications over the same built-in gate set as the QASM 2 frontend
+  (``stdgates.inc`` names), with broadcasting and constant parameter
+  expressions,
+- both measurement spellings: ``measure q[i] -> c[j];`` and
+  ``c[j] = measure q[i];``,
+- ``reset q[i];``,
+- ``if (creg == value) { ... }`` blocks and the single-statement form
+  ``if (creg == value) x q[2];``.
+
+``circuit_to_qasm3`` serialises back out with the same exact round-trip
+guarantee as the QASM 2 serializers: ``parse_qasm3(circuit_to_qasm3(c))``
+equals ``c`` gate-for-gate, with bit-identical parameters.  The serializer
+always spells measurements ``c[j] = measure q[i];`` and groups maximal runs
+of equally-conditioned gates into one ``if`` block.
+
+Both frontends share one deferred-statement representation, so parsing
+reuses the tokenizer, expression evaluator, gate table and replay loop of
+:mod:`repro.circuits.qasm` rather than reimplementing them.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.qasm import (
+    QasmError,
+    _creg_bit_ref,
+    _creg_layout,
+    _EXPORT_NAMES,
+    _format_param,
+    _loc,
+    _NAME_DIRECTIVE_RE,
+    _Parser,
+    _replay_statements,
+    _tokenize,
+    _VERSION_RE,
+)
+
+#: Statements that may not appear inside an ``if`` block: declarations are
+#: file-scope, and nested classical control is not representable in the
+#: IR's single ``(bits, value)`` condition.
+_UNCONDITIONABLE = ("include", "qubit", "bit", "int", "if", "barrier")
+
+
+class _Qasm3Parser(_Parser):
+    """The OpenQASM 3 statement grammar over the shared parser plumbing."""
+
+    def __init__(self, tokens) -> None:
+        super().__init__(tokens)
+        self.constants: dict[str, int] = {}
+
+    # -- grammar --------------------------------------------------------
+    def parse_program(self) -> None:
+        self._expect("OPENQASM")
+        version = self._next()
+        if not version[1].startswith("3"):
+            raise QasmError(
+                f"{_loc(version)}: expected an OpenQASM 3 version, got {version[1]}"
+            )
+        self._expect(";")
+        while self._peek() is not None:
+            self._parse_statement()
+
+    def _parse_statement(self, condition: tuple[str, int, str] | None = None) -> None:
+        token = self._next()
+        kind, text = token[0], token[1]
+        loc = _loc(token)
+        if condition is not None and text in _UNCONDITIONABLE:
+            raise QasmError(f"{loc}: {text!r} cannot appear inside an if block")
+        if text == "include":
+            name = self._next()
+            self._expect(";")
+            if name[1].strip('"') != "stdgates.inc":
+                raise QasmError(
+                    f"{loc}: only stdgates.inc is supported, got {name[1]}"
+                )
+            return
+        if text in ("qubit", "bit"):
+            self._parse_declaration(text, loc)
+            return
+        if text == "int":
+            self._parse_int_constant(loc)
+            return
+        if text == "if":
+            self._parse_if_block(loc)
+            return
+        if text == "reset":
+            operands = self._parse_operands()
+            self._expect(";")
+            self.statements.append(("reset", loc, operands, condition))
+            return
+        if text == "measure":
+            self._parse_measure(loc, condition)
+            return
+        if text == "barrier":
+            operands = self._parse_operands()
+            self._expect(";")
+            self.statements.append(("barrier", loc, operands))
+            return
+        if kind == "id":
+            if text in self.cregs:
+                self._parse_assigned_measure(token, condition)
+                return
+            self._parse_application(text, loc, condition)
+            return
+        raise QasmError(f"{loc}: unexpected token {text!r}")
+
+    def _parse_declaration(self, which: str, loc: str) -> None:
+        """``qubit[n] name;`` / ``bit[n] name;`` (size defaults to 1)."""
+        size = 1
+        if self._accept("["):
+            size = self._expect_uint("register size")
+            self._expect("]")
+        name_token = self._next()
+        if name_token[0] != "id":
+            raise QasmError(
+                f"{_loc(name_token)}: expected a register name, got {name_token[1]!r}"
+            )
+        name = name_token[1]
+        self._expect(";")
+        if size < 1:
+            raise QasmError(f"{loc}: register {name!r} must have positive size")
+        if name in self.qregs or name in self.cregs or name in self.constants:
+            raise QasmError(f"{loc}: {name!r} already declared")
+        if which == "qubit":
+            self.qregs[name] = (self.num_qubits, size)
+            self.num_qubits += size
+        else:
+            self.cregs[name] = (self.num_clbits, size)
+            self.num_clbits += size
+
+    def _parse_int_constant(self, loc: str) -> None:
+        """``int[k] name = value;`` — a compile-time integer constant."""
+        width = None
+        if self._accept("["):
+            width = self._expect_uint("integer width")
+            self._expect("]")
+        name_token = self._next()
+        if name_token[0] != "id":
+            raise QasmError(
+                f"{_loc(name_token)}: expected a constant name, got {name_token[1]!r}"
+            )
+        name = name_token[1]
+        self._expect("=")
+        value = self._expect_uint("constant value")
+        self._expect(";")
+        if name in self.qregs or name in self.cregs or name in self.constants:
+            raise QasmError(f"{loc}: {name!r} already declared")
+        if width is not None and value >= (1 << width):
+            raise QasmError(
+                f"{loc}: value {value} does not fit in int[{width}]"
+            )
+        self.constants[name] = value
+
+    def _parse_if_block(self, loc: str) -> None:
+        """``if (creg == value)`` followed by one statement or a block."""
+        self._expect("(")
+        name_token = self._next()
+        name = name_token[1]
+        if name not in self.cregs:
+            raise QasmError(
+                f"{_loc(name_token)}: unknown classical register {name!r} in if"
+            )
+        eq = self._next()
+        if eq[1] != "==":
+            raise QasmError(f"{_loc(eq)}: expected '==' in if condition, got {eq[1]!r}")
+        value = self._parse_condition_value()
+        self._expect(")")
+        _, size = self.cregs[name]
+        if value >= (1 << size):
+            raise QasmError(
+                f"{loc}: condition value {value} does not fit in {name}[{size}]"
+            )
+        condition = (name, value, loc)
+        if self._accept("{"):
+            while not self._accept("}"):
+                self._parse_statement(condition=condition)
+        else:
+            self._parse_statement(condition=condition)
+
+    def _parse_condition_value(self) -> int:
+        """An integer literal or a declared ``int`` constant."""
+        token = self._next()
+        kind, text = token[0], token[1]
+        if kind == "number" and text.isdigit():
+            return int(text)
+        if kind == "id" and text in self.constants:
+            return self.constants[text]
+        raise QasmError(
+            f"{_loc(token)}: expected an integer or int constant, got {text!r}"
+        )
+
+    def _parse_assigned_measure(
+        self, name_token, condition: tuple[str, int, str] | None
+    ) -> None:
+        """``c[j] = measure q[i];`` — the assignment measurement spelling."""
+        name = name_token[1]
+        loc = _loc(name_token)
+        offset, size = self.cregs[name]
+        if self._accept("["):
+            index = self._expect_uint("bit index")
+            self._expect("]")
+            if index >= size:
+                raise QasmError(
+                    f"{loc}: index {index} out of range for {name}[{size}]"
+                )
+            target = [offset + index]
+        else:
+            target = [offset + i for i in range(size)]
+        self._expect("=")
+        self._expect("measure")
+        source = self._parse_operand()
+        self._expect(";")
+        self.statements.append(("measure", loc, source, target, condition))
+
+
+def parse_qasm3(text: str, name: str | None = None) -> QuantumCircuit:
+    """Parse an OpenQASM 3 subset program into a logical circuit.
+
+    ``name`` overrides the circuit name; otherwise a ``// name: <x>``
+    directive in the source is honoured, falling back to ``"qasm"``.
+    Measurements are classified terminal vs mid-circuit from the gate
+    stream, exactly as in the OpenQASM 2 frontend.
+    """
+    version = _VERSION_RE.search(text)
+    if version is None or not version.group("version").startswith("3"):
+        raise QasmError(
+            "not an OpenQASM 3 program (missing 'OPENQASM 3;' header); "
+            "use repro.circuits.qasm.parse_qasm for OpenQASM 2"
+        )
+    if name is None:
+        directive = _NAME_DIRECTIVE_RE.search(text)
+        name = directive.group("name") if directive else "qasm"
+    parser = _Qasm3Parser(_tokenize(text))
+    parser.parse_program()
+    if parser.num_qubits == 0:
+        raise QasmError("the program declares no qubits")
+    circuit = QuantumCircuit(parser.num_qubits, name)
+    for creg_name, (_offset, size) in parser.cregs.items():
+        circuit.add_creg(creg_name, size)
+    return _replay_statements(parser, circuit)
+
+
+# ----------------------------------------------------------------------
+# serializer
+# ----------------------------------------------------------------------
+def _condition_header(
+    layout: list[tuple[str, int, int]],
+    condition: tuple[tuple[int, ...], int],
+) -> str:
+    """``if (name == value)`` header for a conditioned run of gates."""
+    bits, value = condition
+    for name, offset, size in layout:
+        if bits == tuple(range(offset, offset + size)):
+            return f"if ({name} == {value})"
+    raise QasmError(
+        f"condition bits {bits} do not align with a declared classical register; "
+        "declare a creg covering exactly those bits"
+    )
+
+
+def _statement_for(gate, layout: list[tuple[str, int, int]]) -> str:
+    if gate.is_measurement:
+        target = _creg_bit_ref(layout, gate.cbits[0])
+        return f"{target} = measure q[{gate.qubits[0]}];"
+    if gate.name == "reset":
+        return f"reset q[{gate.qubits[0]}];"
+    if gate.name == "barrier":
+        operands = ", ".join(f"q[{qubit}]" for qubit in gate.qubits)
+        return f"barrier {operands};"
+    name = _EXPORT_NAMES.get(gate.name, gate.name)
+    params = ""
+    if gate.params:
+        params = "(" + ", ".join(_format_param(p) for p in gate.params) + ")"
+    operands = ", ".join(f"q[{qubit}]" for qubit in gate.qubits)
+    return f"{name}{params} {operands};"
+
+
+def circuit_to_qasm3(circuit: QuantumCircuit) -> str:
+    """Serialise a logical circuit as an OpenQASM 3 subset program.
+
+    The output round-trips exactly through :func:`parse_qasm3`.
+    Measurements use the assignment spelling ``c[j] = measure q[i];`` and
+    maximal runs of gates sharing one classical condition are grouped into
+    a single ``if (creg == value) { ... }`` block (a run of one gate uses
+    the single-statement form).
+    """
+    lines = [
+        f"// name: {circuit.name}",
+        "OPENQASM 3;",
+        'include "stdgates.inc";',
+        f"qubit[{circuit.num_qubits}] q;",
+    ]
+    needs_cregs = any(
+        gate.is_measurement or gate.condition is not None for gate in circuit
+    )
+    layout = _creg_layout(circuit)
+    if needs_cregs:
+        for reg_name, _offset, size in layout:
+            lines.append(f"bit[{size}] {reg_name};")
+    gates = list(circuit)
+    index = 0
+    while index < len(gates):
+        gate = gates[index]
+        if gate.condition is None:
+            lines.append(_statement_for(gate, layout))
+            index += 1
+            continue
+        run = [gate]
+        while (
+            index + len(run) < len(gates)
+            and gates[index + len(run)].condition == gate.condition
+        ):
+            run.append(gates[index + len(run)])
+        header = _condition_header(layout, gate.condition)
+        if len(run) == 1:
+            lines.append(f"{header} {_statement_for(gate, layout)}")
+        else:
+            lines.append(f"{header} {{")
+            lines.extend(f"  {_statement_for(member, layout)}" for member in run)
+            lines.append("}")
+        index += len(run)
+    return "\n".join(lines) + "\n"

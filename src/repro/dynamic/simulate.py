@@ -1,0 +1,139 @@
+"""Branch-complete ideal simulation of dynamic logical circuits.
+
+``replay_compiled`` verifies static circuits by replaying them as one
+unitary; a dynamic circuit has no single unitary — every mid-circuit
+measurement splits the evolution into outcome branches, and classical
+control selects gates per branch.  :func:`simulate_dynamic` enumerates the
+*complete* branch tree of a logical circuit: each
+:class:`DynamicBranch` carries its probability, the final classical
+register contents, and the post-selected state vector.  That is exact (no
+sampling), so tests can assert full distributions — e.g. that every
+teleportation outcome branch leaves the target qubit in the payload state
+with the four correction patterns equally likely.
+
+The cost is exponential in the number of measurements (every measurement
+at most doubles the branch count), which is exactly right for the
+few-measurement feed-forward circuits this checker exists for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.pulses.unitaries import qubit_gate
+from repro.simulation.statevector import MixedRadixState
+
+#: Single-qubit outcome projectors, indexed by the measured bit value.
+_PROJECTORS = (
+    np.array([[1.0, 0.0], [0.0, 0.0]], dtype=complex),
+    np.array([[0.0, 0.0], [0.0, 1.0]], dtype=complex),
+)
+
+
+@dataclass(frozen=True)
+class DynamicBranch:
+    """One leaf of a dynamic circuit's branch tree.
+
+    ``creg`` packs the flat classical bits little-endian (bit ``i`` of the
+    integer is classical bit ``i``); ``vector`` is the normalised state of
+    the full qubit register conditioned on this branch's outcomes.
+    """
+
+    probability: float
+    creg: int
+    vector: np.ndarray
+
+    def bit(self, index: int) -> int:
+        """The value this branch recorded for one flat classical bit."""
+        return (self.creg >> index) & 1
+
+
+def _condition_met(creg: int, condition: tuple[tuple[int, ...], int]) -> bool:
+    bits, value = condition
+    packed = 0
+    for position, bit in enumerate(bits):
+        packed |= ((creg >> bit) & 1) << position
+    return packed == value
+
+
+def _copy_state(state: MixedRadixState) -> MixedRadixState:
+    clone = MixedRadixState(state.dims)
+    clone.set_vector(state.vector)
+    return clone
+
+
+def simulate_dynamic(circuit: QuantumCircuit) -> list[DynamicBranch]:
+    """Enumerate every outcome branch of a dynamic logical circuit.
+
+    Unitaries evolve each branch's state; conditioned gates act only on
+    branches whose register matches; measurements split each branch into
+    its non-zero-probability outcomes (``reset`` splits, flips the ``|1>``
+    branch back to ``|0>``, and records nothing).  Branch probabilities
+    always sum to 1.  Works unchanged on static circuits, where it returns
+    the single branch ``replay`` would.
+    """
+    dims = (2,) * circuit.num_qubits
+    branches: list[tuple[float, int, MixedRadixState]] = [
+        (1.0, 0, MixedRadixState(dims))
+    ]
+    for gate in circuit:
+        if gate.name == "barrier":
+            continue
+        survivors: list[tuple[float, int, MixedRadixState]] = []
+        for probability, creg, state in branches:
+            if gate.condition is not None and not _condition_met(creg, gate.condition):
+                survivors.append((probability, creg, state))
+                continue
+            if gate.name in ("measure", "measure_mid", "reset"):
+                qubit = gate.qubits[0]
+                for outcome, projector in enumerate(_PROJECTORS):
+                    split = _copy_state(state)
+                    weight = split.apply_kraus(projector, (qubit,))
+                    if weight == 0.0:
+                        continue
+                    new_creg = creg
+                    if gate.name == "reset":
+                        if outcome == 1:
+                            split.apply(qubit_gate("x", ()), (qubit,))
+                    else:
+                        bit = gate.cbits[0]
+                        new_creg = (creg & ~(1 << bit)) | (outcome << bit)
+                    survivors.append((probability * weight, new_creg, split))
+            else:
+                state.apply(qubit_gate(gate.name, gate.params), tuple(gate.qubits))
+                survivors.append((probability, creg, state))
+        branches = survivors
+    return [
+        DynamicBranch(probability, creg, state.vector)
+        for probability, creg, state in branches
+    ]
+
+
+def branch_distribution(branches: list[DynamicBranch]) -> dict[int, float]:
+    """Total probability of each classical register value across branches."""
+    distribution: dict[int, float] = {}
+    for branch in branches:
+        distribution[branch.creg] = distribution.get(branch.creg, 0.0) + branch.probability
+    return distribution
+
+
+def reduced_density(
+    vector: np.ndarray, dims: tuple[int, ...], keep: tuple[int, ...]
+) -> np.ndarray:
+    """Reduced density matrix of ``vector`` on the ``keep`` units.
+
+    Used to check feed-forward identities branch-by-branch: after
+    teleportation with corrections, every branch's reduced state on the
+    target qubit equals the payload, regardless of the measured pattern.
+    """
+    dims = tuple(int(d) for d in dims)
+    keep = tuple(int(k) for k in keep)
+    tensor = np.asarray(vector, dtype=complex).reshape(dims)
+    others = [axis for axis in range(len(dims)) if axis not in keep]
+    permuted = np.transpose(tensor, axes=list(keep) + others)
+    keep_dim = int(np.prod([dims[axis] for axis in keep], dtype=np.int64))
+    matrix = permuted.reshape(keep_dim, -1)
+    return matrix @ matrix.conj().T

@@ -98,6 +98,10 @@ PHYSICAL_GATES: dict[str, PhysicalGateSpec] = {
               "full SWAP of two ququarts (all four encoded qubits move)"),
         # --- measurement -----------------------------------------------------------
         _spec("measure", GateStyle.MEASUREMENT, 0.0, "measurement of one physical unit"),
+        _spec("measure_mid", GateStyle.MEASUREMENT, 0.0,
+              "mid-circuit measurement of one physical unit"),
+        _spec("reset", GateStyle.MEASUREMENT, 0.0,
+              "mid-circuit |0> re-initialisation of one encoded qubit"),
     ]
 }
 

@@ -304,6 +304,17 @@ class GeneratorLanes:
             out[:, draw] = (self._next64(everyone) >> np.uint64(11)) * _TO_DOUBLE
         return out
 
+    def random(self, lanes: np.ndarray) -> np.ndarray:
+        """``rng.random()`` on the selected lanes only.
+
+        One 53-bit uniform per selected lane, consuming a whole 64-bit word
+        there (like ``next_double``, the banked 32-bit half is untouched);
+        unselected lanes do not advance.  This is the draw pattern of
+        mid-circuit measurement, which samples only on the shots whose
+        branch actually executes the measurement.
+        """
+        return (self._next64(lanes) >> np.uint64(11)) * _TO_DOUBLE
+
     def integers(self, lanes: np.ndarray, low: int, high: int) -> np.ndarray:
         """``rng.integers(low, high)`` on the selected lanes only.
 

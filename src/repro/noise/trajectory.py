@@ -88,6 +88,10 @@ class _ShotOutcome:
     gate_events: int
     idle_events: int
     vector: np.ndarray | None
+    #: Pre-computed ideal-vs-noisy fidelity (dynamic shots only, where the
+    #: per-shot ideal state follows the shot's own branch decisions and no
+    #: single circuit-wide ideal vector exists).
+    fidelity: float | None = None
 
 
 class TrajectoryEngine:
@@ -130,12 +134,16 @@ class TrajectoryEngine:
             )
         self.dims = register_dims(compiled)
         self.dimension = int(np.prod(self.dims))
+        self.is_dynamic = compiled.is_dynamic
         self.op_probs = self.model.op_error_probabilities(compiled)
         self.idle_qubits, self.idle_gammas = self.model.idle_decay_channels(compiled)
         self._draws = len(compiled.ops) + len(self.idle_qubits)
         self._ideal_vector: np.ndarray | None = None
         self._op_unitaries: list[tuple[np.ndarray, tuple[int, ...]] | None] = []
         self._pauli_cache: dict[tuple[int, int, int], tuple[np.ndarray, tuple[int, ...]]] = {}
+        self._projector_cache: dict[
+            tuple[int, int, int], tuple[np.ndarray, tuple[int, ...]]
+        ] = {}
         if self.track_state:
             self._prepare_replay()
 
@@ -152,6 +160,12 @@ class TrajectoryEngine:
         self._op_unitaries = [
             physical_op_unitary(op, self.dims, lowered) for op in self.compiled.ops
         ]
+        if self.is_dynamic:
+            # Dynamic programs branch at runtime: there is no single ideal
+            # final vector.  Each shot instead evolves a parallel noise-free
+            # state through its own branch decisions (see _run_shot_dynamic).
+            self._ideal_vector = None
+            return
         state = MixedRadixState(self.dims)
         for embedded in self._op_unitaries:
             if embedded is not None:
@@ -166,6 +180,28 @@ class TrajectoryEngine:
             cached = embed_on_slots(self.dims, matrix, ((unit, slot),))
             self._pauli_cache[key] = cached
         return cached
+
+    def _embedded_projector(
+        self, unit: int, slot: int, outcome: int
+    ) -> tuple[np.ndarray, tuple[int, ...]]:
+        """Measurement projector ``|outcome><outcome|`` at ``(unit, slot)``."""
+        key = (unit, slot, outcome)
+        cached = self._projector_cache.get(key)
+        if cached is None:
+            matrix = np.zeros((2, 2), dtype=complex)
+            matrix[outcome, outcome] = 1.0
+            cached = embed_on_slots(self.dims, matrix, ((unit, slot),))
+            self._projector_cache[key] = cached
+        return cached
+
+    @staticmethod
+    def _condition_met(creg: int, condition: tuple[tuple[int, ...], int]) -> bool:
+        """Evaluate a classical control against one shot's register value."""
+        bits, value = condition
+        got = 0
+        for position, bit in enumerate(bits):
+            got |= ((creg >> bit) & 1) << position
+        return got == value
 
     # ------------------------------------------------------------------
     # state helpers (shared by the scalar and batched paths)
@@ -225,6 +261,8 @@ class TrajectoryEngine:
             # the constructor guarantees the worst_case policy here
             idle_events = int((draws[num_ops:] < self.idle_gammas).sum())
             return _ShotOutcome(gate_events, idle_events, None)
+        if self.is_dynamic:
+            return self._run_shot_dynamic(rng, draws, gate_mask)
 
         state = MixedRadixState(self.dims)
         for index, op in enumerate(self.compiled.ops):
@@ -258,6 +296,86 @@ class TrajectoryEngine:
                     self._apply_damping_survival(state, unit, slot, gamma)
         return _ShotOutcome(gate_events, idle_events, state.vector)
 
+    def _run_shot_dynamic(
+        self, rng: np.random.Generator, draws: np.ndarray, gate_mask: np.ndarray
+    ) -> _ShotOutcome:
+        """One state-tracked shot of a dynamic program (scalar reference).
+
+        A parallel noise-free ``ideal`` state evolves through the *same*
+        instruction stream, following the noisy run's branch decisions:
+        mid-circuit measurement outcomes are sampled from the noisy state
+        and the matching projector is applied to both states.  When the
+        ideal state carries zero weight on the sampled branch the shot's
+        ideal reference is lost (``alive`` drops) and its fidelity is 0.
+
+        Stream consumption: one block of ``self._draws`` uniforms up front
+        (already drawn by the caller), one extra uniform per *executed*
+        mid-circuit measurement/reset at its op position, one bounded-integer
+        Pauli draw per fired-and-executed op — condition-false ops consume
+        nothing, which is what keeps the batched path lane-exact.
+        """
+        num_ops = len(self.compiled.ops)
+        gate_events = int(gate_mask.sum())
+        idle_events = 0
+        state = MixedRadixState(self.dims)
+        ideal = MixedRadixState(self.dims)
+        alive = True
+        creg = 0
+        for index, op in enumerate(self.compiled.ops):
+            executed = op.condition is None or self._condition_met(creg, op.condition)
+            if executed and op.gate in ("measure_mid", "reset"):
+                unit, slot = op.slots[0]
+                draw = float(rng.random())
+                outcome = int(draw < self._excited_population(state, unit, slot))
+                projector, units = self._embedded_projector(unit, slot, outcome)
+                state.apply_kraus(projector, units)
+                if alive:
+                    alive = ideal.apply_kraus(projector, units) > 0.0
+                if op.gate == "measure_mid":
+                    bit = int(op.cbits[0])
+                    creg = (creg & ~(1 << bit)) | (outcome << bit)
+                elif outcome:  # reset: flip the sampled |1> back to |0>
+                    flip = self._embedded_pauli(unit, slot, 1)
+                    state.apply(*flip)
+                    if alive:
+                        ideal.apply(*flip)
+            elif executed:
+                embedded = self._op_unitaries[index]
+                if embedded is not None:
+                    state.apply(*embedded)
+                    if alive:
+                        ideal.apply(*embedded)
+            if gate_mask[index] and executed and op.slots:
+                string = int(rng.integers(1, 4 ** len(op.slots)))
+                for position, (unit, slot) in enumerate(op.slots):
+                    code = (string >> (2 * (len(op.slots) - 1 - position))) & 3
+                    if code == 0:
+                        continue
+                    state.apply(*self._embedded_pauli(unit, slot, code))
+        # idle decay, applied per logical qubit at its final position
+        for position, qubit in enumerate(self.idle_qubits):
+            gamma = float(self.idle_gammas[position])
+            if gamma <= 0.0:
+                continue
+            unit, slot = self.compiled.final_placement[qubit]
+            draw = float(draws[num_ops + position])
+            if self.model.idle_policy == "worst_case":
+                if draw < gamma:
+                    idle_events += 1
+                    self._apply_damping_jump(state, unit, slot)
+            else:  # kraus: jump probability scales with the excited population
+                jump_probability = gamma * self._excited_population(state, unit, slot)
+                if draw < jump_probability:
+                    idle_events += 1
+                    self._apply_damping_jump(state, unit, slot)
+                else:
+                    self._apply_damping_survival(state, unit, slot, gamma)
+        if alive:
+            fidelity = float(abs(np.vdot(ideal.vector, state.vector)) ** 2)
+        else:
+            fidelity = 0.0
+        return _ShotOutcome(gate_events, idle_events, state.vector, fidelity=fidelity)
+
     def run_reference(self, shots: int, seed: int, base_shot: int = 0) -> TrajectoryChunk:
         """Sample trajectories with the original one-``Generator``-per-shot loop.
 
@@ -282,7 +400,10 @@ class TrajectoryEngine:
             if outcome.gate_events == 0 and outcome.idle_events == 0:
                 no_error += 1
             if outcome.vector is not None:
-                fidelity = float(abs(np.vdot(self._ideal_vector, outcome.vector)) ** 2)
+                if outcome.fidelity is not None:
+                    fidelity = outcome.fidelity
+                else:
+                    fidelity = float(abs(np.vdot(self._ideal_vector, outcome.vector)) ** 2)
                 fidelity_sum += fidelity
                 if rng.random() < fidelity:
                     outcome_successes += 1
@@ -421,6 +542,109 @@ class TrajectoryEngine:
                 state.apply_kraus(matrix, units, lanes=survived)
         return lanes, state, gate_mask.sum(axis=1), idle_counts
 
+    def _evolve_block_dynamic(
+        self, seed: int, base_shot: int, count: int
+    ) -> tuple[GeneratorLanes, BatchedMixedRadixState, np.ndarray, np.ndarray, np.ndarray]:
+        """Replay one block of tracked *dynamic* shots, lane-exact vs scalar.
+
+        Mirrors :meth:`_run_shot_dynamic` per lane: each lane carries its
+        own classical register and branch decisions, a parallel noise-free
+        batch follows the same branches, and mid-stream RNG draws touch
+        only the lanes that execute the drawing op — so every lane's stream
+        position matches its scalar ``default_rng((seed, shot))`` twin.
+        Returns the lanes, the noisy batch, per-lane gate/idle event counts
+        and the per-lane ideal-vs-noisy fidelities.
+        """
+        num_ops = len(self.compiled.ops)
+        lanes = GeneratorLanes(seed, base_shot, count)
+        draws = lanes.random_block(self._draws)
+        gate_mask = draws[:, :num_ops] < self.op_probs
+        state = BatchedMixedRadixState(self.dims, count)
+        ideal = BatchedMixedRadixState(self.dims, count)
+        alive = np.ones(count, dtype=bool)
+        creg = np.zeros(count, dtype=np.int64)
+        for index, op in enumerate(self.compiled.ops):
+            if op.condition is None:
+                executed = np.ones(count, dtype=bool)
+            else:
+                bits, value = op.condition
+                got = np.zeros(count, dtype=np.int64)
+                for position, bit in enumerate(bits):
+                    got |= ((creg >> np.int64(bit)) & 1) << np.int64(position)
+                executed = got == value
+            exec_idx = np.flatnonzero(executed)
+            if op.gate in ("measure_mid", "reset"):
+                if exec_idx.size:
+                    unit, slot = op.slots[0]
+                    draw = lanes.random(exec_idx)
+                    excited = self._excited_populations(state, unit, slot)[exec_idx]
+                    outcomes = draw < excited
+                    for outcome in (0, 1):
+                        selected = exec_idx[outcomes == bool(outcome)]
+                        if not selected.size:
+                            continue
+                        projector, units = self._embedded_projector(unit, slot, outcome)
+                        state.apply_kraus(projector, units, lanes=selected)
+                        live = selected[alive[selected]]
+                        if live.size:
+                            weights = ideal.apply_kraus(projector, units, lanes=live)
+                            alive[live[weights == 0.0]] = False
+                    if op.gate == "measure_mid":
+                        bit = np.int64(op.cbits[0])
+                        creg[exec_idx] = (creg[exec_idx] & ~(np.int64(1) << bit)) | (
+                            outcomes.astype(np.int64) << bit
+                        )
+                    else:  # reset: flip the sampled |1> lanes back to |0>
+                        flipped = exec_idx[outcomes]
+                        if flipped.size:
+                            flip, flip_units = self._embedded_pauli(unit, slot, 1)
+                            state.apply(flip, flip_units, lanes=flipped)
+                            live = flipped[alive[flipped]]
+                            if live.size:
+                                ideal.apply(flip, flip_units, lanes=live)
+            else:
+                embedded = self._op_unitaries[index]
+                if embedded is not None and exec_idx.size:
+                    matrix, units = embedded
+                    if op.condition is None:
+                        state.apply(matrix, units)
+                    else:
+                        state.apply(matrix, units, lanes=exec_idx)
+                    live = exec_idx[alive[exec_idx]]
+                    if live.size:
+                        ideal.apply(matrix, units, lanes=live)
+            if op.slots:
+                fired = np.flatnonzero(gate_mask[:, index] & executed)
+                if fired.size:
+                    strings = lanes.integers(fired, 1, 4 ** len(op.slots))
+                    self._apply_pauli_strings(state, op.slots, fired, strings)
+        # idle decay, applied per logical qubit at its final position
+        idle_counts = np.zeros(count, dtype=np.int64)
+        for position, qubit in enumerate(self.idle_qubits):
+            gamma = float(self.idle_gammas[position])
+            if gamma <= 0.0:
+                continue
+            unit, slot = self.compiled.final_placement[qubit]
+            column = draws[:, num_ops + position]
+            if self.model.idle_policy == "worst_case":
+                jumped = np.flatnonzero(column < gamma)
+                survived = None
+            else:  # kraus: jump probability scales with the excited population
+                jump_probability = gamma * self._excited_populations(state, unit, slot)
+                fired = column < jump_probability
+                jumped = np.flatnonzero(fired)
+                survived = np.flatnonzero(~fired)
+            idle_counts[jumped] += 1
+            if jumped.size:
+                matrix, units = self._embedded_damping_jump(unit, slot)
+                state.apply_kraus(matrix, units, lanes=jumped)
+            if survived is not None and survived.size:
+                matrix, units = self._embedded_damping_survival(unit, slot, gamma)
+                state.apply_kraus(matrix, units, lanes=survived)
+        fidelities = state.fidelities_with_batch(ideal)
+        fidelities[~alive] = 0.0
+        return lanes, state, gate_mask.sum(axis=1), idle_counts, fidelities
+
     def _run_tracked_batch(self, shots: int, seed: int, base_shot: int) -> TrajectoryChunk:
         """Vectorised state-tracking sampling over blocks of shots.
 
@@ -439,10 +663,15 @@ class TrajectoryEngine:
         block = self._tracked_block_shots()
         for start in range(0, shots, block):
             count = min(block, shots - start)
-            lanes, state, gate_counts, idle_counts = self._evolve_block(
-                seed, base_shot + start, count
-            )
-            fidelities = state.fidelities_with(self._ideal_vector)
+            if self.is_dynamic:
+                lanes, state, gate_counts, idle_counts, fidelities = (
+                    self._evolve_block_dynamic(seed, base_shot + start, count)
+                )
+            else:
+                lanes, state, gate_counts, idle_counts = self._evolve_block(
+                    seed, base_shot + start, count
+                )
+                fidelities = state.fidelities_with(self._ideal_vector)
             final_draws = lanes.random_block(1)[:, 0]
             gate_events += int(gate_counts.sum())
             idle_events += int(idle_counts.sum())
@@ -496,7 +725,10 @@ class TrajectoryEngine:
         block = self._tracked_block_shots()
         for start in range(0, shots, block):
             count = min(block, shots - start)
-            _, state, _, _ = self._evolve_block(seed, base_shot + start, count)
+            if self.is_dynamic:
+                _, state, _, _, _ = self._evolve_block_dynamic(seed, base_shot + start, count)
+            else:
+                _, state, _, _ = self._evolve_block(seed, base_shot + start, count)
             vectors.extend(state.vectors())
         return vectors
 

@@ -259,6 +259,26 @@ class BatchedMixedRadixState:
             dtype=np.float64,
         )
 
+    def fidelities_with_batch(self, other: "BatchedMixedRadixState") -> np.ndarray:
+        """Per-lane squared overlap ``|<other_lane | lane>|**2``.
+
+        Pairs lane ``i`` of this batch with lane ``i`` of ``other`` — the
+        dynamic trajectory path's per-shot ideal-vs-noisy fidelity, where
+        each lane followed its own branch decisions.  One ``np.vdot`` per
+        lane, bit-equal to the scalar path.
+        """
+        if other.dims != self.dims:
+            raise ValueError("batches live on different registers")
+        if other.batch != self.batch:
+            raise ValueError("batches must have the same number of lanes")
+        return np.array(
+            [
+                float(abs(np.vdot(other._amps[lane], self._amps[lane])) ** 2)
+                for lane in range(self.batch)
+            ],
+            dtype=np.float64,
+        )
+
     def sample_outcomes(self, draws: np.ndarray) -> np.ndarray:
         """Sample one joint computational-basis outcome per lane.
 

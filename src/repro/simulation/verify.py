@@ -146,7 +146,7 @@ def physical_op_unitary(
     (merged ``x01`` ops, ops without slot information, dangling source-gate
     references).
     """
-    if op.gate == "measure":
+    if op.gate in ("measure", "measure_mid", "reset"):
         return None
     if op.gate == "x01":
         raise VerificationError(
@@ -185,9 +185,10 @@ def _replay_op(
         return
     matrix, units = embedded
     state.apply(matrix, units)
-    if op.style.is_swap_like:
-        for qubit, new_slot in op.moves.items():
-            slot_of[qubit] = new_slot
+    # Any op that records moves relocates qubits: routing SWAPs, FQ swap4,
+    # and permanent decodes (reencode_after_measure=False).
+    for qubit, new_slot in op.moves.items():
+        slot_of[qubit] = new_slot
 
 
 def replay_compiled(compiled: CompiledCircuit) -> MixedRadixState:
@@ -195,6 +196,12 @@ def replay_compiled(compiled: CompiledCircuit) -> MixedRadixState:
     lowered = compiled.lowered_circuit
     if not isinstance(lowered, QuantumCircuit):
         raise VerificationError("the compiled circuit does not carry its lowered source")
+    if compiled.is_dynamic:
+        raise VerificationError(
+            "dynamic circuits (mid-circuit measurement / classical control) branch at "
+            "runtime and cannot be replayed as a single unitary; use "
+            "repro.dynamic.simulate.simulate_dynamic for branch-complete checking"
+        )
     dims = register_dims(compiled)
     state = MixedRadixState(dims)
     slot_of = dict(compiled.initial_placement)

@@ -6,6 +6,8 @@ circuits built from random (30 % density), cylinder, torus and binary
 welded tree graphs.  Algorithmic families added on top of the paper's
 eight: the QFT (dense all-to-all interactions), GHZ preparation (purely
 local chain) and seeded random Clifford+T circuits (no structure at all).
+Dynamic circuits: the teleportation chain (mid-circuit measurement with
+feed-forward corrections).
 """
 
 from repro.workloads.graphs import (
@@ -25,11 +27,13 @@ from repro.workloads.random_clifford_t import random_clifford_t
 from repro.workloads.registry import (
     ALGORITHMIC_BENCHMARKS,
     BENCHMARK_NAMES,
+    DYNAMIC_BENCHMARKS,
     STRUCTURED_BENCHMARKS,
     GRAPH_BENCHMARKS,
     MINIMUM_SIZES,
     build_benchmark,
 )
+from repro.workloads.teleport import teleport_chain
 
 __all__ = [
     "random_graph",
@@ -44,8 +48,10 @@ __all__ = [
     "qram_circuit",
     "qaoa_from_graph",
     "random_clifford_t",
+    "teleport_chain",
     "ALGORITHMIC_BENCHMARKS",
     "BENCHMARK_NAMES",
+    "DYNAMIC_BENCHMARKS",
     "STRUCTURED_BENCHMARKS",
     "GRAPH_BENCHMARKS",
     "MINIMUM_SIZES",

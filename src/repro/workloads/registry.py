@@ -19,6 +19,7 @@ from repro.workloads.qaoa import qaoa_from_graph
 from repro.workloads.qft import qft_circuit
 from repro.workloads.qram import qram_circuit
 from repro.workloads.random_clifford_t import random_clifford_t
+from repro.workloads.teleport import teleport_chain
 
 #: Structured benchmarks with localized interaction groups.
 STRUCTURED_BENCHMARKS: tuple[str, ...] = ("cuccaro", "cnu", "qram", "bv")
@@ -35,9 +36,13 @@ GRAPH_BENCHMARKS: tuple[str, ...] = (
 #: (qft), purely local (ghz) and unstructured seeded-random circuits.
 ALGORITHMIC_BENCHMARKS: tuple[str, ...] = ("qft", "ghz", "random_clifford_t")
 
+#: Dynamic benchmarks: mid-circuit measurement with feed-forward control.
+DYNAMIC_BENCHMARKS: tuple[str, ...] = ("teleport",)
+
 #: Every benchmark name understood by :func:`build_benchmark`.
 BENCHMARK_NAMES: tuple[str, ...] = (
     STRUCTURED_BENCHMARKS + GRAPH_BENCHMARKS + ALGORITHMIC_BENCHMARKS
+    + DYNAMIC_BENCHMARKS
 )
 
 
@@ -66,6 +71,7 @@ _BUILDERS: dict[str, Callable[[int, int], QuantumCircuit]] = {
     "qft": lambda n, seed=0: qft_circuit(n),
     "ghz": lambda n, seed=0: ghz_state(n),
     "random_clifford_t": lambda n, seed=0: random_clifford_t(n, seed=seed),
+    "teleport": lambda n, seed=0: teleport_chain(n),
 }
 
 #: Smallest sensible size per benchmark (some constructions need a minimum).
@@ -81,6 +87,7 @@ MINIMUM_SIZES: dict[str, int] = {
     "qft": 2,
     "ghz": 2,
     "random_clifford_t": 2,
+    "teleport": 3,
 }
 
 

@@ -1,0 +1,64 @@
+"""Teleportation-chain workload: the canonical feed-forward circuit.
+
+Each hop consumes a fresh Bell pair: entangle ``(a, b)``, Bell-measure the
+payload against ``a`` mid-circuit, then apply the classically-conditioned
+``X``/``Z`` corrections on ``b``.  The payload state (``ry(theta)|0>``)
+thus walks down the register one Bell pair at a time, and the circuit is
+*dynamic* end to end — every hop's corrections depend on its measurement
+record, so no unitary replay exists and compilation must thread
+decode-before-measure through any compressed pair holding a measured
+qubit.
+
+Even register sizes end with a one-bit teleportation (``cx``, ``h``,
+mid-measure, conditioned ``Z``) so the payload always reaches the last
+qubit using exactly ``num_qubits`` qubits.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def teleport_chain(
+    num_qubits: int,
+    theta: float = 0.3,
+    name: str | None = None,
+) -> QuantumCircuit:
+    """Teleport ``ry(theta)|0>`` from qubit 0 to qubit ``num_qubits - 1``.
+
+    Odd sizes use ``(num_qubits - 1) / 2`` full Bell-pair hops; even sizes
+    append a final one-bit teleportation.  Every measurement gets its own
+    single-bit classical register (``c0``, ``c1``, …) so per-bit
+    feed-forward conditions serialize exactly through both QASM frontends;
+    the last register records the terminal readout of the arrived payload.
+    """
+    if num_qubits < 3:
+        raise ValueError("a teleportation chain needs at least three qubits")
+    circuit = QuantumCircuit(num_qubits, name or f"teleport-{num_qubits}")
+    bell_hops = (num_qubits - 1) // 2
+    half_hop = (num_qubits - 1) % 2 == 1
+    total_bits = 2 * bell_hops + (1 if half_hop else 0) + 1
+    for index in range(total_bits):
+        circuit.add_creg(f"c{index}", 1)
+    circuit.add("ry", 0, params=(theta,))
+    bit = 0
+    for hop in range(bell_hops):
+        source, helper, target = 2 * hop, 2 * hop + 1, 2 * hop + 2
+        circuit.h(helper)
+        circuit.cx(helper, target)
+        circuit.cx(source, helper)
+        circuit.h(source)
+        circuit.measure_mid(source, bit)
+        circuit.measure_mid(helper, bit + 1)
+        circuit.add("x", target, condition=((bit + 1,), 1))
+        circuit.add("z", target, condition=((bit,), 1))
+        bit += 2
+    if half_hop:
+        source, target = num_qubits - 2, num_qubits - 1
+        circuit.cx(source, target)
+        circuit.h(source)
+        circuit.measure_mid(source, bit)
+        circuit.add("z", target, condition=((bit,), 1))
+        bit += 1
+    circuit.measure(num_qubits - 1, bit)
+    return circuit

@@ -208,7 +208,9 @@ class TestCommands:
         source = tmp_path / "bad.qasm"
         source.write_text("OPENQASM 2.0;\nqreg q[1];\nif (c==0) x q[0];\n")
         assert main(["compile", "--qasm", str(source)]) == 2
-        assert "classical control" in capsys.readouterr().err
+        message = capsys.readouterr().err
+        assert "unknown classical register" in message
+        assert "line 3, column 5" in message
 
     def test_compile_benchmark_requires_qubits(self, capsys):
         assert main(["compile", "--benchmark", "bv"]) == 2

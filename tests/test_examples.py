@@ -26,6 +26,30 @@ class TestExamples:
         qasm_files = {path.name for path in EXAMPLES_DIR.glob("*.qasm")}
         assert {"teleport.qasm", "qft4.qasm"} <= qasm_files
 
+    def test_teleport_example_feeds_forward_with_fidelity_one(self):
+        from repro.circuits.qasm import parse_qasm
+        from repro.compiler.pipeline import QompressCompiler
+        from repro.compression import get_strategy
+        from repro.noise.model import NoiseSpec
+        from repro.noise.trajectory import TrajectoryEngine
+        from repro.runner import make_device
+
+        circuit = parse_qasm((EXAMPLES_DIR / "teleport.qasm").read_text())
+        assert circuit.name == "teleport"
+        assert any(gate.condition is not None for gate in circuit)
+        compiled = QompressCompiler(
+            make_device("grid", circuit.num_qubits), get_strategy("eqm"),
+            merge_single_qubit_gates=False,
+        ).compile(circuit)
+        assert compiled.is_dynamic
+        shots = 32
+        engine = TrajectoryEngine(
+            compiled, NoiseSpec(gate_error_scale=0.0, t1_scale=1e15),
+            track_state=True,
+        )
+        chunk = engine.run(shots, seed=7)
+        assert chunk.outcome_fidelity_sum == pytest.approx(float(shots))
+
     def test_qasm_roundtrip_runs(self, capsys):
         module = _load_example("qasm_roundtrip")
         module.main()

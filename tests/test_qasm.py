@@ -144,8 +144,9 @@ class TestGateDefinitions:
 
 class TestParserErrors:
     @pytest.mark.parametrize("body,match", [
-        ("qreg q[1];\nif (c==1) x q[0];\n", "classical control"),
-        ("qreg q[1];\nreset q[0];\n", "reset"),
+        ("qreg q[1];\nif (c==1) x q[0];\n", "unknown classical register"),
+        ("qreg q[1];\ncreg c[1];\nif (c==2) x q[0];\n", "does not fit"),
+        ("qreg q[1];\ncreg c[1];\nif (c==1) barrier q;\n", "conditioned"),
         ("qreg q[1];\nnope q[0];\n", "unknown gate"),
         ("qreg q[2];\ncx q[0],q[5];\n", "out of range"),
         ("qreg q[2];\ncx q,q;\n", "duplicate qubits"),
@@ -165,7 +166,11 @@ class TestParserErrors:
 
     def test_unsupported_version(self):
         with pytest.raises(QasmError, match="version"):
-            parse_qasm("OPENQASM 3.0;\nqreg q[1];\n")
+            parse_qasm("OPENQASM 4.0;\nqreg q[1];\n")
+
+    def test_errors_carry_line_and_column(self):
+        with pytest.raises(QasmError, match=r"line 3, column 3:"):
+            parse_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[9];\n")
 
     def test_unsupported_include(self):
         with pytest.raises(QasmError, match="qelib1"):

@@ -9,6 +9,7 @@ from repro.simulation import simulate_logical_circuit
 from repro.workloads import (
     ALGORITHMIC_BENCHMARKS,
     BENCHMARK_NAMES,
+    DYNAMIC_BENCHMARKS,
     GRAPH_BENCHMARKS,
     STRUCTURED_BENCHMARKS,
     bernstein_vazirani,
@@ -312,7 +313,8 @@ class TestRegistry:
         assert len(circuit) > 0
 
     def test_families_partition(self):
-        families = (STRUCTURED_BENCHMARKS, GRAPH_BENCHMARKS, ALGORITHMIC_BENCHMARKS)
+        families = (STRUCTURED_BENCHMARKS, GRAPH_BENCHMARKS, ALGORITHMIC_BENCHMARKS,
+                    DYNAMIC_BENCHMARKS)
         union = set().union(*families)
         assert union == set(BENCHMARK_NAMES)
         assert sum(len(family) for family in families) == len(BENCHMARK_NAMES)
