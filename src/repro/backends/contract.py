@@ -124,6 +124,12 @@ class ExecutionBackend:
     compiler_overrides: ClassVar[Mapping[str, object]] = {}
     #: Whether ``execute(track_state=True)`` is supported.
     supports_track_state: ClassVar[bool] = False
+    #: Whether this backend *reads* stored artifacts to answer points
+    #: (replay).  The executor and the sweep service pin such points to
+    #: the caller's store root (:func:`repro.runner.points.pin_store_root`)
+    #: so lookups resolve against the configured store, not the process
+    #: default.  Pinning never changes content keys.
+    reads_store: ClassVar[bool] = False
 
     #: Bound on the per-process compiled-handle memo (mirrors the noise
     #: subsystem's compile memo).

@@ -2,8 +2,11 @@
 
 Replay never compiles and never samples a shot — it resolves each point's
 content key against the :class:`~repro.store.ArtifactStore` rooted at the
-default cache directory (``$REPRO_CACHE_DIR`` or ``.repro_cache/``) and
-returns the stored result verbatim.  Because its :attr:`content_name` is
+point's own ``cache_root`` (pinned by the executor / sweep service from
+the caller's configured store, see
+:func:`~repro.runner.points.pin_store_root`), falling back to the default
+cache directory (``$REPRO_CACHE_DIR`` or ``.repro_cache/``) for unpinned
+points, and returns the stored result verbatim.  Because its :attr:`content_name` is
 ``"trajectory"``, a replay point's key equals the trajectory point's key:
 a warm sweep is served entirely as store hits (``executed == 0``), and the
 results are bit-identical to the original run.  A cold point raises
@@ -36,6 +39,9 @@ class ReplayBackend(ExecutionBackend):
     #: Tracked results replay fine — trackedness is a property of the
     #: stored artifact, not of this backend.
     supports_track_state = True
+    #: Replay answers points by *reading* the store, so executors and the
+    #: sweep service pin its points to the caller's store root.
+    reads_store = True
 
     def compile(self, circuit, device, strategy, compiler_kwargs: dict | None = None,
                 ) -> CompiledHandle:
@@ -59,17 +65,20 @@ class ReplayBackend(ExecutionBackend):
     # point-level lookups
     # ------------------------------------------------------------------
     def _lookup(self, point) -> object:
+        from pathlib import Path
+
         from repro.runner.cache import default_cache_dir, point_key
         from repro.store import ArtifactStore
 
-        store = ArtifactStore(default_cache_dir())
+        root = getattr(point, "cache_root", None)
+        store = ArtifactStore(Path(root) if root else default_cache_dir())
         result = store.get_object(point_key(point))
         if result is None:
             raise ReplayMissError(
                 f"no stored result under {store.root} for this point "
                 f"(key {point_key(point)[:12]}…); run it on the "
-                "'trajectory' backend against the same store first, or point "
-                "REPRO_CACHE_DIR at the warm store"
+                "'trajectory' backend against the same store first, or "
+                "configure the replay run with the warm store's root"
             )
         return result
 

@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -41,7 +40,6 @@ from repro.circuits.qasm import QasmError
 from repro.compression import _STRATEGIES
 from repro.noise import NOISE_PRESETS, NoiseSpec, prime_compiled, simulate_point
 from repro.runner import (
-    CACHE_DIR_ENV,
     CompileCache,
     DeviceSpec,
     SweepPlan,
@@ -311,11 +309,11 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
 def _cache_from_args(args: argparse.Namespace) -> CompileCache | None:
     cache_dir = getattr(args, "cache_dir", None)
     if getattr(args, "backend", None) == "replay":
-        # replay answers points from the store at the default cache
-        # directory; pin it (for this process and any workers) to the
-        # requested --cache-dir so lookup and cache agree on one root
+        # replay answers points from a store: always attach the cache so
+        # the executor pins every dispatched point to this root (the
+        # requested --cache-dir, or the default directory) — lookup and
+        # cache agree on one root with no process-wide env mutation
         root = Path(cache_dir) if cache_dir else default_cache_dir()
-        os.environ[CACHE_DIR_ENV] = str(root)
         return CompileCache.from_store(ArtifactStore(root))
     if cache_dir is None:
         return None

@@ -184,6 +184,25 @@ class CompiledCircuit:
             self._error_site_cache = cached
         return cached
 
+    def cached_schedule(self, key: tuple, builder):
+        """Build-once memo for derived schedules, keyed on the artifact.
+
+        Trajectory kernel programs (:mod:`repro.noise.kernel`) and other
+        expensive derivations hang off the compiled circuit so every
+        engine over one artifact shares one build.  ``key`` must encode
+        everything the derivation depends on besides the circuit itself
+        (e.g. the register dims); the same immutability caveat as
+        :meth:`error_site_schedule` applies, and callers must treat the
+        returned object as read-only.
+        """
+        memo = getattr(self, "_schedule_memo", None)
+        if memo is None:
+            memo = {}
+            self._schedule_memo = memo
+        if key not in memo:
+            memo[key] = builder()
+        return memo[key]
+
     # ------------------------------------------------------------------
     # residency accounting (used by the coherence EPS metric)
     # ------------------------------------------------------------------

@@ -92,6 +92,11 @@ class NoisePoint:
         """The execution backend this chunk runs on (the compile point's)."""
         return self.compile_point.backend
 
+    @property
+    def cache_root(self) -> str | None:
+        """Pinned store root (the compile point's; see ``pin_store_root``)."""
+        return self.compile_point.cache_root
+
     def key(self) -> str:
         """Stable content digest (see :func:`~repro.runner.cache.point_key`)."""
         from repro.runner.cache import point_key

@@ -53,6 +53,12 @@ import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.compiler.result import CompiledCircuit
+from repro.noise.kernel import (
+    KernelSchedule,
+    build_event_kernel,
+    compile_schedule,
+    fold_matrix_runs,
+)
 from repro.noise.model import NoiseModel, NoiseSpec, resolve_model
 from repro.noise.result import NoisyResult, TrajectoryChunk
 from repro.noise.rng import GeneratorLanes, uniform_streams
@@ -81,6 +87,11 @@ EVENT_BLOCK_SHOTS = 8192
 #: the per-op gather/GEMM/scatter passes stay cache-friendly).  Purely a
 #: scheduling knob — any block split is bit-invisible.
 TRACKED_BLOCK_AMPLITUDES = 1 << 18
+
+#: Largest shot count :meth:`TrajectoryEngine.final_vectors` will
+#: materialise as one list (O(shots x dimension) complex128 memory).
+#: Larger requests must stream :meth:`TrajectoryEngine.iter_final_vectors`.
+FINAL_VECTORS_MAX_SHOTS = 4096
 
 
 @dataclass(frozen=True)
@@ -112,6 +123,16 @@ class TrajectoryEngine:
         requires a replayable op stream (compile with
         ``merge_single_qubit_gates=False``; the FQ baseline always
         schedules unmerged).
+    use_kernel:
+        ``True`` (the default) executes the pre-compiled fused kernel
+        program (:mod:`repro.noise.kernel`) in both batched paths —
+        bit-identical to the op-at-a-time loop, which ``False`` retains
+        for A/B benchmarking and as a fallback.
+    fold_matrices:
+        Opt-in: additionally matrix-fold adjacent same-unit unitaries
+        into single GEMMs.  Numerically equivalent but **not**
+        bit-identical to the reference path (float rounding differs), so
+        it is excluded from the golden contract.
     """
 
     def __init__(
@@ -119,10 +140,14 @@ class TrajectoryEngine:
         compiled: CompiledCircuit,
         model: NoiseModel | NoiseSpec,
         track_state: bool = False,
+        use_kernel: bool = True,
+        fold_matrices: bool = False,
     ) -> None:
         self.compiled = compiled
         self.model = resolve_model(model, compiled.device)
         self.track_state = bool(track_state)
+        self.use_kernel = bool(use_kernel)
+        self.fold_matrices = bool(fold_matrices)
         if self.model.idle_policy == "kraus" and not self.track_state:
             # validate the policy/track_state combination eagerly: the kraus
             # unraveling needs the state (jump probability scales with the
@@ -144,8 +169,18 @@ class TrajectoryEngine:
         self._projector_cache: dict[
             tuple[int, int, int], tuple[np.ndarray, tuple[int, ...]]
         ] = {}
+        self._event_kernel = build_event_kernel(self.op_probs, self.idle_gammas)
+        self._schedule: KernelSchedule | None = None
         if self.track_state:
             self._prepare_replay()
+            if self.use_kernel or self.fold_matrices:
+                schedule = compile_schedule(self.compiled, self.dims, self._op_unitaries)
+                if self.fold_matrices:
+                    # folding depends on this engine's noise model (which
+                    # sites can fire), so the folded variant is per-engine
+                    # and never cached on the shared artifact
+                    schedule = fold_matrix_runs(schedule, self.op_probs)
+                self._schedule = schedule
 
     # ------------------------------------------------------------------
     # replay preparation (state-tracking mode)
@@ -157,9 +192,14 @@ class TrajectoryEngine:
                 "state tracking needs the lowered source circuit; "
                 "this compiled circuit does not carry one"
             )
-        self._op_unitaries = [
-            physical_op_unitary(op, self.dims, lowered) for op in self.compiled.ops
-        ]
+        # deterministic per (compiled, dims), so every engine over this
+        # artifact (one per noise model) shares one embedded-unitary list
+        self._op_unitaries = self.compiled.cached_schedule(
+            ("op-unitaries", self.dims),
+            lambda: [
+                physical_op_unitary(op, self.dims, lowered) for op in self.compiled.ops
+            ],
+        )
         if self.is_dynamic:
             # Dynamic programs branch at runtime: there is no single ideal
             # final vector.  Each shot instead evolves a parallel noise-free
@@ -426,10 +466,12 @@ class TrajectoryEngine:
 
         Generates every shot's private ``default_rng((seed, shot))`` stream
         in batch (:func:`repro.noise.rng.uniform_streams`) and compares the
-        whole draw matrix against the flat per-op / per-qubit thresholds at
-        once.  The thresholds and the draws are the same floats the scalar
-        loop uses, compared with the same IEEE predicates, so the event
-        counts are bit-identical at any block or chunk split.
+        whole draw matrix against the fused threshold vector of the
+        pre-built :class:`~repro.noise.kernel.EventKernel` at once.  The
+        thresholds and the draws are the same floats the scalar loop uses,
+        compared with the same IEEE predicates, so the event counts are
+        bit-identical at any block or chunk split (and identical between
+        the fused kernel and the retained two-compare loop).
         """
         num_ops = len(self.compiled.ops)
         no_error = 0
@@ -438,10 +480,13 @@ class TrajectoryEngine:
         for start in range(0, shots, EVENT_BLOCK_SHOTS):
             count = min(EVENT_BLOCK_SHOTS, shots - start)
             draws = uniform_streams(seed, base_shot + start, count, self._draws)
-            gate_mask = draws[:, :num_ops] < self.op_probs
-            idle_mask = draws[:, num_ops:] < self.idle_gammas
-            per_shot_gate = gate_mask.sum(axis=1)
-            per_shot_idle = idle_mask.sum(axis=1)
+            if self.use_kernel:
+                per_shot_gate, per_shot_idle = self._event_kernel.count_block(draws)
+            else:
+                gate_mask = draws[:, :num_ops] < self.op_probs
+                idle_mask = draws[:, num_ops:] < self.idle_gammas
+                per_shot_gate = gate_mask.sum(axis=1)
+                per_shot_idle = idle_mask.sum(axis=1)
             no_error += int(((per_shot_gate == 0) & (per_shot_idle == 0)).sum())
             gate_events += int(per_shot_gate.sum())
             idle_events += int(per_shot_idle.sum())
@@ -502,21 +547,32 @@ class TrajectoryEngine:
         Returns the live RNG lanes (positioned exactly where the scalar
         loop's generators would be after ``_run_shot``), the evolved batch
         and the per-lane gate/idle event counts.
+
+        With ``use_kernel`` (the default) the block executes the compiled
+        fused program — one lazily-permuted pass per run instead of a
+        gather/GEMM/scatter per op — which is bit-identical to the
+        retained op-at-a-time loop below (see :mod:`repro.noise.kernel`).
         """
         num_ops = len(self.compiled.ops)
         lanes = GeneratorLanes(seed, base_shot, count)
         draws = lanes.random_block(self._draws)
         gate_mask = draws[:, :num_ops] < self.op_probs
         state = BatchedMixedRadixState(self.dims, count)
-        for index, op in enumerate(self.compiled.ops):
-            embedded = self._op_unitaries[index]
-            if embedded is not None:
-                state.apply(*embedded)
-            if op.slots:
-                fired = np.flatnonzero(gate_mask[:, index])
-                if fired.size:
-                    strings = lanes.integers(fired, 1, 4 ** len(op.slots))
-                    self._apply_pauli_strings(state, op.slots, fired, strings)
+        if self._schedule is not None:
+            amps = state.amplitudes
+            for segment in self._schedule.segments:
+                amps = self._schedule.execute_run(segment, amps, gate_mask, lanes)
+            state.replace_amplitudes(amps)
+        else:
+            for index, op in enumerate(self.compiled.ops):
+                embedded = self._op_unitaries[index]
+                if embedded is not None:
+                    state.apply(*embedded)
+                if op.slots:
+                    fired = np.flatnonzero(gate_mask[:, index])
+                    if fired.size:
+                        strings = lanes.integers(fired, 1, 4 ** len(op.slots))
+                        self._apply_pauli_strings(state, op.slots, fired, strings)
         # idle decay, applied per logical qubit at its final position
         idle_counts = np.zeros(count, dtype=np.int64)
         for position, qubit in enumerate(self.idle_qubits):
@@ -542,6 +598,81 @@ class TrajectoryEngine:
                 state.apply_kraus(matrix, units, lanes=survived)
         return lanes, state, gate_mask.sum(axis=1), idle_counts
 
+    def _apply_dynamic_op(
+        self,
+        index: int,
+        state: BatchedMixedRadixState,
+        ideal: BatchedMixedRadixState,
+        alive: np.ndarray,
+        creg: np.ndarray,
+        lanes: GeneratorLanes,
+        gate_mask: np.ndarray,
+    ) -> None:
+        """Apply one op of a dynamic program to the batch, per-lane exact.
+
+        Mutates ``state``/``ideal``/``alive``/``creg`` in place.  This is
+        the canonical-layout op-at-a-time step shared by the legacy loop
+        and the kernel path (which calls it only for the dynamic ops
+        between fused runs — mid-circuit measurement/``reset`` and
+        conditioned ops need per-lane branch masks).
+        """
+        op = self.compiled.ops[index]
+        count = creg.shape[0]
+        if op.condition is None:
+            executed = np.ones(count, dtype=bool)
+        else:
+            bits, value = op.condition
+            got = np.zeros(count, dtype=np.int64)
+            for position, bit in enumerate(bits):
+                got |= ((creg >> np.int64(bit)) & 1) << np.int64(position)
+            executed = got == value
+        exec_idx = np.flatnonzero(executed)
+        if op.gate in ("measure_mid", "reset"):
+            if exec_idx.size:
+                unit, slot = op.slots[0]
+                draw = lanes.random(exec_idx)
+                excited = self._excited_populations(state, unit, slot)[exec_idx]
+                outcomes = draw < excited
+                for outcome in (0, 1):
+                    selected = exec_idx[outcomes == bool(outcome)]
+                    if not selected.size:
+                        continue
+                    projector, units = self._embedded_projector(unit, slot, outcome)
+                    state.apply_kraus(projector, units, lanes=selected)
+                    live = selected[alive[selected]]
+                    if live.size:
+                        weights = ideal.apply_kraus(projector, units, lanes=live)
+                        alive[live[weights == 0.0]] = False
+                if op.gate == "measure_mid":
+                    bit = np.int64(op.cbits[0])
+                    creg[exec_idx] = (creg[exec_idx] & ~(np.int64(1) << bit)) | (
+                        outcomes.astype(np.int64) << bit
+                    )
+                else:  # reset: flip the sampled |1> lanes back to |0>
+                    flipped = exec_idx[outcomes]
+                    if flipped.size:
+                        flip, flip_units = self._embedded_pauli(unit, slot, 1)
+                        state.apply(flip, flip_units, lanes=flipped)
+                        live = flipped[alive[flipped]]
+                        if live.size:
+                            ideal.apply(flip, flip_units, lanes=live)
+        else:
+            embedded = self._op_unitaries[index]
+            if embedded is not None and exec_idx.size:
+                matrix, units = embedded
+                if op.condition is None:
+                    state.apply(matrix, units)
+                else:
+                    state.apply(matrix, units, lanes=exec_idx)
+                live = exec_idx[alive[exec_idx]]
+                if live.size:
+                    ideal.apply(matrix, units, lanes=live)
+        if op.slots:
+            fired = np.flatnonzero(gate_mask[:, index] & executed)
+            if fired.size:
+                strings = lanes.integers(fired, 1, 4 ** len(op.slots))
+                self._apply_pauli_strings(state, op.slots, fired, strings)
+
     def _evolve_block_dynamic(
         self, seed: int, base_shot: int, count: int
     ) -> tuple[GeneratorLanes, BatchedMixedRadixState, np.ndarray, np.ndarray, np.ndarray]:
@@ -563,61 +694,29 @@ class TrajectoryEngine:
         ideal = BatchedMixedRadixState(self.dims, count)
         alive = np.ones(count, dtype=bool)
         creg = np.zeros(count, dtype=np.int64)
-        for index, op in enumerate(self.compiled.ops):
-            if op.condition is None:
-                executed = np.ones(count, dtype=bool)
-            else:
-                bits, value = op.condition
-                got = np.zeros(count, dtype=np.int64)
-                for position, bit in enumerate(bits):
-                    got |= ((creg >> np.int64(bit)) & 1) << np.int64(position)
-                executed = got == value
-            exec_idx = np.flatnonzero(executed)
-            if op.gate in ("measure_mid", "reset"):
-                if exec_idx.size:
-                    unit, slot = op.slots[0]
-                    draw = lanes.random(exec_idx)
-                    excited = self._excited_populations(state, unit, slot)[exec_idx]
-                    outcomes = draw < excited
-                    for outcome in (0, 1):
-                        selected = exec_idx[outcomes == bool(outcome)]
-                        if not selected.size:
-                            continue
-                        projector, units = self._embedded_projector(unit, slot, outcome)
-                        state.apply_kraus(projector, units, lanes=selected)
-                        live = selected[alive[selected]]
-                        if live.size:
-                            weights = ideal.apply_kraus(projector, units, lanes=live)
-                            alive[live[weights == 0.0]] = False
-                    if op.gate == "measure_mid":
-                        bit = np.int64(op.cbits[0])
-                        creg[exec_idx] = (creg[exec_idx] & ~(np.int64(1) << bit)) | (
-                            outcomes.astype(np.int64) << bit
+        if self._schedule is not None:
+            # fused runs evolve both batches without per-op dispatch; the
+            # dynamic ops between them run in canonical layout, per lane.
+            # ``alive`` only changes at dynamic ops, so the ideal batch's
+            # live-lane subset is constant across a whole run: one
+            # gather/scatter per run instead of one per op.
+            for segment in self._schedule.segments:
+                if isinstance(segment, int):
+                    self._apply_dynamic_op(
+                        segment, state, ideal, alive, creg, lanes, gate_mask
+                    )
+                else:
+                    state.replace_amplitudes(
+                        self._schedule.execute_run(
+                            segment, state.amplitudes, gate_mask, lanes
                         )
-                    else:  # reset: flip the sampled |1> lanes back to |0>
-                        flipped = exec_idx[outcomes]
-                        if flipped.size:
-                            flip, flip_units = self._embedded_pauli(unit, slot, 1)
-                            state.apply(flip, flip_units, lanes=flipped)
-                            live = flipped[alive[flipped]]
-                            if live.size:
-                                ideal.apply(flip, flip_units, lanes=live)
-            else:
-                embedded = self._op_unitaries[index]
-                if embedded is not None and exec_idx.size:
-                    matrix, units = embedded
-                    if op.condition is None:
-                        state.apply(matrix, units)
-                    else:
-                        state.apply(matrix, units, lanes=exec_idx)
-                    live = exec_idx[alive[exec_idx]]
-                    if live.size:
-                        ideal.apply(matrix, units, lanes=live)
-            if op.slots:
-                fired = np.flatnonzero(gate_mask[:, index] & executed)
-                if fired.size:
-                    strings = lanes.integers(fired, 1, 4 ** len(op.slots))
-                    self._apply_pauli_strings(state, op.slots, fired, strings)
+                    )
+                    self._schedule.execute_run_unitaries(
+                        segment, ideal.amplitudes, np.flatnonzero(alive)
+                    )
+        else:
+            for index in range(num_ops):
+                self._apply_dynamic_op(index, state, ideal, alive, creg, lanes, gate_mask)
         # idle decay, applied per logical qubit at its final position
         idle_counts = np.zeros(count, dtype=np.int64)
         for position, qubit in enumerate(self.idle_qubits):
@@ -711,17 +810,20 @@ class TrajectoryEngine:
             return self._run_tracked_batch(shots, seed, base_shot)
         return self._run_event_batch(shots, seed, base_shot)
 
-    def final_vectors(self, shots: int, seed: int, base_shot: int = 0) -> list[np.ndarray]:
-        """Final state vector of each trajectory (state-tracking mode only).
+    def iter_final_vectors(self, shots: int, seed: int, base_shot: int = 0):
+        """Yield each trajectory's final state vector, in shot order.
 
-        Used by the density-matrix agreement path; replays the same
-        deterministic streams :meth:`run` would use, on the batched state.
+        Streaming variant of :meth:`final_vectors` for sweep-scale shot
+        counts: only one block of states (at most
+        ``TRACKED_BLOCK_AMPLITUDES`` amplitudes) is live at a time, so
+        memory stays bounded however many shots are requested.  Replays
+        the same deterministic per-shot streams :meth:`run` would use, on
+        the batched state (state-tracking mode only).
         """
         if not self.track_state:
             raise VerificationError("final_vectors requires track_state=True")
         if shots < 0:
             raise ValueError("shots must be non-negative")
-        vectors: list[np.ndarray] = []
         block = self._tracked_block_shots()
         for start in range(0, shots, block):
             count = min(block, shots - start)
@@ -729,8 +831,23 @@ class TrajectoryEngine:
                 _, state, _, _, _ = self._evolve_block_dynamic(seed, base_shot + start, count)
             else:
                 _, state, _, _ = self._evolve_block(seed, base_shot + start, count)
-            vectors.extend(state.vectors())
-        return vectors
+            yield from state.vectors()
+
+    def final_vectors(self, shots: int, seed: int, base_shot: int = 0) -> list[np.ndarray]:
+        """Final state vector of each trajectory, as one list (capped).
+
+        Used by the density-matrix agreement path.  Materialising every
+        vector costs O(shots x dimension) memory, so this wrapper refuses
+        more than ``FINAL_VECTORS_MAX_SHOTS`` shots — stream
+        :meth:`iter_final_vectors` instead at sweep scale.
+        """
+        if shots > FINAL_VECTORS_MAX_SHOTS:
+            raise ValueError(
+                f"final_vectors materialises every state vector; {shots} shots "
+                f"exceeds the {FINAL_VECTORS_MAX_SHOTS}-shot cap — iterate "
+                "iter_final_vectors() instead"
+            )
+        return list(self.iter_final_vectors(shots, seed, base_shot=base_shot))
 
 
 def simulate_noisy(

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.runner.cache import CompileCache
 from repro.runner.plan import SweepPlan
-from repro.runner.points import SweepPoint, execute_point
+from repro.runner.points import SweepPoint, execute_point, pin_store_root
 
 
 @dataclass
@@ -74,7 +74,14 @@ class ParallelExecutor:
             else:
                 pending.append(index)
         if pending:
-            computed = self._execute([points[index] for index in pending])
+            # store-reading backends (replay) must resolve against *this*
+            # run's store, not the process default — pin the root onto the
+            # dispatched copies (content keys are unchanged, so the cache
+            # bookkeeping below still uses the original points).
+            to_run = [points[index] for index in pending]
+            if self.cache is not None:
+                to_run = [pin_store_root(point, self.cache.root) for point in to_run]
+            computed = self._execute(to_run)
             for index, result in zip(pending, computed):
                 results[index] = result
                 if self.cache is not None:

@@ -204,6 +204,13 @@ class SweepPoint:
     qasm: str | None = None
     #: Execution backend this point runs on (see :mod:`repro.backends`).
     backend: str = DEFAULT_BACKEND
+    #: Store root a store-reading backend (replay) resolves this point
+    #: against; ``None`` falls back to the process default
+    #: (``$REPRO_CACHE_DIR`` or ``.repro_cache/``).  Deliberately **not**
+    #: part of :meth:`payload`: where an artifact is read from must never
+    #: change what the point *is* — replay keys must stay equal to the
+    #: trajectory keys they serve.  See :func:`pin_store_root`.
+    cache_root: str | None = None
 
     @classmethod
     def from_qasm(
@@ -310,6 +317,7 @@ class SweepPoint:
             "compiler_kwargs": [list(pair) for pair in self.compiler_kwargs],
             "qasm": self.qasm,
             "backend": self.backend,
+            "cache_root": self.cache_root,
         }
 
     @classmethod
@@ -329,6 +337,7 @@ class SweepPoint:
             ),
             qasm=spec.get("qasm"),
             backend=spec.get("backend", DEFAULT_BACKEND),
+            cache_root=spec.get("cache_root"),
         )
 
     def build_circuit(self):
@@ -355,6 +364,44 @@ class StrategyResult:
     strategy: str
     report: EPSReport
     compiled: CompiledCircuit
+
+
+def pin_store_root(point, root) -> object:
+    """Pin ``point`` to resolve stored artifacts against ``root``.
+
+    Only points whose backend declares
+    :attr:`~repro.backends.contract.ExecutionBackend.reads_store` (replay)
+    are touched — everything else is returned unchanged.  Pinning sets
+    :attr:`SweepPoint.cache_root` (through ``compile_point`` for a
+    :class:`~repro.noise.points.NoisePoint`), which the backend's lookup
+    honours instead of the process-default cache directory.  The pinned
+    point's :meth:`~SweepPoint.payload` — and therefore its content key —
+    is identical to the original's, so cache bookkeeping done with either
+    point agrees.
+    """
+    import dataclasses
+
+    target = point
+    compile_point = getattr(point, "compile_point", None)
+    if compile_point is not None:
+        target = compile_point
+    if not isinstance(target, SweepPoint):
+        return point
+    from repro.backends import get_backend
+
+    try:
+        backend = get_backend(target.backend)
+    except KeyError:
+        return point
+    if not backend.reads_store:
+        return point
+    root = str(root)
+    if target.cache_root == root:
+        return point
+    pinned = dataclasses.replace(target, cache_root=root)
+    if target is point:
+        return pinned
+    return dataclasses.replace(point, compile_point=pinned)
 
 
 def execute_point(point) -> object:

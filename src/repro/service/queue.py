@@ -34,6 +34,7 @@ from typing import Literal
 
 from repro.runner.cache import code_fingerprint, point_key
 from repro.runner.executor import execute_plan
+from repro.runner.points import pin_store_root
 from repro.store import ArtifactStore, build_manifest, plan_fingerprint
 
 #: Seconds a job waits on another job's in-flight execution before failing;
@@ -207,8 +208,15 @@ class SweepService:
                         borrowed[index] = future
             self._update(job, cache_hits=cache_hits)
             try:
+                # the service executes with no cache attached, so pin
+                # store-reading points (replay) to the service's own store
+                # here; the put_object below keeps using the original
+                # points (pinning never changes keys or payloads)
                 computed = execute_plan(
-                    [job.points[index] for index in owned],
+                    [
+                        pin_store_root(job.points[index], self.store.root)
+                        for index in owned
+                    ],
                     workers=self.workers, chunksize=self.chunksize,
                 )
                 for index, result in zip(owned, computed):

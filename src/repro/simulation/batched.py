@@ -104,6 +104,32 @@ class BatchedMixedRadixState:
         """A ``(batch, dimension)`` copy of every lane's amplitude vector."""
         return self._amps.copy()
 
+    @property
+    def amplitudes(self) -> np.ndarray:
+        """The live ``(batch, dimension)`` amplitude matrix — no copy.
+
+        Kernel-executor plumbing (:mod:`repro.noise.kernel`): fused runs
+        evolve this array outside the class and hand the result back via
+        :meth:`replace_amplitudes`.  Mutating it bypasses every invariant
+        this class maintains; ordinary callers want :meth:`vectors`.
+        """
+        return self._amps
+
+    def replace_amplitudes(self, amps: np.ndarray) -> None:
+        """Adopt ``amps`` as the batch's amplitudes, exactly as given.
+
+        Unlike :meth:`set_vectors` this neither renormalises nor checks
+        norms — the kernel executor's output is bit-exact by construction
+        and must not be perturbed.  Shape and dtype are still enforced.
+        """
+        if amps.shape != (self.batch, self.dimension):
+            raise ValueError(
+                f"amplitude matrix must have shape ({self.batch}, {self.dimension})"
+            )
+        if amps.dtype != self._amps.dtype:
+            raise ValueError(f"amplitude matrix must have dtype {self._amps.dtype}")
+        self._amps = amps
+
     def set_vectors(self, matrix: np.ndarray, atol: float = 1e-3) -> None:
         """Replace every lane's amplitudes (renormalising small drift).
 

@@ -1,0 +1,277 @@
+"""Golden tests for the fused trajectory kernel programs.
+
+The contract under test (see :mod:`repro.noise.kernel`): the fused
+kernel path — the default in both batched trajectory engines — is
+bit-identical to the retained scalar ``run_reference`` across workloads,
+strategies, presets, seeds and chunk/block splits, static and dynamic
+circuits alike; the opt-in ``fold_matrices`` mode is numerically
+equivalent but excluded from that bit-equality contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.noise.trajectory as trajectory_module
+from repro.noise import NoiseSpec, TrajectoryEngine
+from repro.noise.kernel import (
+    EventKernel,
+    FusedRun,
+    KernelSchedule,
+    NoiseSite,
+    UnitaryStep,
+    build_event_kernel,
+    build_plan,
+    compile_schedule,
+    fold_matrix_runs,
+)
+from repro.noise.trajectory import FINAL_VECTORS_MAX_SHOTS
+from repro.runner import SweepPoint
+from repro.simulation.verify import VerificationError
+
+TABLE1 = NoiseSpec.from_preset("table1")
+
+#: Tracked compile pool the property tests draw from: every strategy
+#: family plus a dynamic feed-forward program, compiled once per session
+#: (tracked engines need the unmerged, replayable op stream).
+_POOL_SPECS = (
+    ("bv", 6, "eqm"),
+    ("qft", 4, "rb"),
+    ("ghz", 5, "full_ququart"),
+    ("teleport", 3, "eqm"),
+    ("teleport", 3, "qubit_only"),
+)
+_PRESETS = ("table1", "pessimistic", "heterogeneous", "ideal")
+_COMPILED: dict[int, object] = {}
+_ENGINES: dict[tuple, TrajectoryEngine] = {}
+
+
+def _pooled_compiled(spec_index: int):
+    compiled = _COMPILED.get(spec_index)
+    if compiled is None:
+        bench, size, strategy = _POOL_SPECS[spec_index]
+        compiled = SweepPoint(
+            bench, size, strategy,
+            compiler_kwargs=(("merge_single_qubit_gates", False),),
+        ).execute().compiled
+        _COMPILED[spec_index] = compiled
+    return compiled
+
+
+def _pooled_engine(spec_index: int, preset: str, **kwargs) -> TrajectoryEngine:
+    key = (spec_index, preset, tuple(sorted(kwargs.items())))
+    engine = _ENGINES.get(key)
+    if engine is None:
+        engine = TrajectoryEngine(
+            _pooled_compiled(spec_index), NoiseSpec.from_preset(preset),
+            track_state=True, **kwargs,
+        )
+        _ENGINES[key] = engine
+    return engine
+
+
+class TestFusedGoldenEquivalence:
+    """Fused kernel chunks must equal the scalar reference, bit for bit."""
+
+    @given(
+        spec_index=st.integers(0, len(_POOL_SPECS) - 1),
+        preset=st.sampled_from(_PRESETS),
+        seed=st.one_of(st.integers(0, 2**8), st.integers(0, 2**40)),
+        base_shot=st.integers(0, 5000),
+        shots=st.integers(0, 48),
+        split=st.integers(0, 48),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_fused_matches_reference(
+        self, spec_index, preset, seed, base_shot, shots, split
+    ):
+        engine = _pooled_engine(spec_index, preset)
+        reference = engine.run_reference(shots, seed, base_shot=base_shot)
+        assert engine.run(shots, seed, base_shot=base_shot) == reference
+        # any chunk split of the same shot range is bit-invisible
+        cut = min(split, shots)
+        first = engine.run(cut, seed, base_shot=base_shot)
+        second = engine.run(shots - cut, seed, base_shot=base_shot + cut)
+        assert first.no_error_shots + second.no_error_shots == reference.no_error_shots
+        assert first.gate_events + second.gate_events == reference.gate_events
+        assert first.outcome_successes + second.outcome_successes == (
+            reference.outcome_successes
+        )
+
+    @given(
+        spec_index=st.integers(0, len(_POOL_SPECS) - 1),
+        seed=st.integers(0, 2**16),
+        shots=st.integers(1, 32),
+    )
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_fused_matches_legacy_op_at_a_time(self, spec_index, seed, shots):
+        fused = _pooled_engine(spec_index, "table1")
+        legacy = _pooled_engine(spec_index, "table1", use_kernel=False)
+        assert fused.run(shots, seed) == legacy.run(shots, seed)
+
+    def test_kraus_idle_policy_fused(self):
+        compiled = _pooled_compiled(1)
+        spec = TABLE1.with_idle_policy("kraus")
+        engine = TrajectoryEngine(compiled, spec, track_state=True)
+        assert engine.run(40, seed=9) == engine.run_reference(40, seed=9)
+
+    def test_dynamic_kraus_idle_policy_fused(self):
+        compiled = _pooled_compiled(3)
+        spec = TABLE1.with_idle_policy("kraus")
+        engine = TrajectoryEngine(compiled, spec, track_state=True)
+        assert engine.run(40, seed=9) == engine.run_reference(40, seed=9)
+
+    def test_block_split_is_invisible(self, monkeypatch):
+        engine = _pooled_engine(0, "table1")
+        whole = engine.run(60, seed=3)
+        monkeypatch.setattr(trajectory_module, "TRACKED_BLOCK_AMPLITUDES",
+                            engine.dimension * 5)
+        blocked = TrajectoryEngine(
+            _pooled_compiled(0), TABLE1, track_state=True
+        )
+        assert blocked.run(60, seed=3) == whole
+
+    def test_event_path_fused_matches_reference(self):
+        compiled = SweepPoint("bv", 6, "eqm").execute().compiled
+        fused = TrajectoryEngine(compiled, TABLE1)
+        legacy = TrajectoryEngine(compiled, TABLE1, use_kernel=False)
+        reference = fused.run_reference(300, seed=2)
+        assert fused.run(300, seed=2) == reference
+        assert legacy.run(300, seed=2) == reference
+
+
+class TestKernelCompilation:
+    """The compiled program's structure and artifact-level caching."""
+
+    def test_schedule_cached_on_the_artifact(self):
+        compiled = _pooled_compiled(0)
+        one = _pooled_engine(0, "table1")
+        two = TrajectoryEngine(compiled, NoiseSpec.from_preset("pessimistic"),
+                               track_state=True)
+        assert one._schedule is not None
+        assert one._schedule is two._schedule
+        assert one._op_unitaries is two._op_unitaries
+        again = compile_schedule(compiled, one.dims, one._op_unitaries)
+        assert again is one._schedule
+
+    def test_static_circuit_compiles_to_one_fused_run(self):
+        engine = _pooled_engine(0, "table1")
+        schedule = engine._schedule
+        assert isinstance(schedule, KernelSchedule)
+        assert len(schedule.segments) == 1
+        assert isinstance(schedule.segments[0], FusedRun)
+        assert schedule.num_ops == len(engine.compiled.ops)
+
+    def test_dynamic_circuit_alternates_runs_and_dynamic_ops(self):
+        engine = _pooled_engine(3, "table1")
+        segments = engine._schedule.segments
+        bare = [s for s in segments if isinstance(s, int)]
+        assert bare, "a feed-forward program must keep its dynamic ops bare"
+        for index in bare:
+            assert engine.compiled.ops[index].is_dynamic
+        for segment in segments:
+            if isinstance(segment, FusedRun):
+                for item in segment.items:
+                    assert not engine.compiled.ops[item.op_index].is_dynamic
+
+    def test_build_plan_matches_transform_layouts(self):
+        plan = build_plan((2, 2, 2, 2), (1,))
+        assert plan.sub_dim == 2 and plan.rest == 8
+        assert plan.shape(7) == tuple(
+            7 if axis == 0 else (2, 2, 2, 2)[axis - 1] for axis in plan.axes
+        )
+        narrow = build_plan((2, 2), (0,))
+        assert not narrow.wide  # rest == 2 never takes the wide panel
+        assert narrow.axes[0] == 0
+
+    def test_event_kernel_counts_match_two_compare_loop(self):
+        kernel = build_event_kernel(np.array([0.5, 0.0, 0.25]), np.array([0.125]))
+        assert isinstance(kernel, EventKernel)
+        draws = np.array([[0.4, 0.1, 0.2, 0.1], [0.6, 0.0, 0.3, 0.2]])
+        gate, idle = kernel.count_block(draws)
+        assert gate.tolist() == [2, 0]
+        assert idle.tolist() == [1, 0]
+
+
+class TestMatrixFolding:
+    """`fold_matrices` is numerically equivalent, and only that."""
+
+    def test_folding_merges_adjacent_same_unit_steps(self):
+        engine = _pooled_engine(0, "table1")
+        folded = fold_matrix_runs(engine._schedule, np.zeros(len(engine.compiled.ops)))
+        def count(schedule, kind):
+            return sum(
+                isinstance(item, kind)
+                for segment in schedule.segments
+                if isinstance(segment, FusedRun)
+                for item in segment.items
+            )
+        assert count(folded, NoiseSite) == 0  # zero-prob sites all dropped
+        assert count(folded, UnitaryStep) < count(engine._schedule, UnitaryStep)
+
+    def test_folded_engine_agrees_numerically(self):
+        compiled = _pooled_compiled(1)
+        plain = _pooled_engine(1, "table1")
+        folded = TrajectoryEngine(compiled, TABLE1, track_state=True,
+                                  fold_matrices=True)
+        a = plain.run(200, seed=5)
+        b = folded.run(200, seed=5)
+        # events depend only on the draws, never on the state: exact
+        assert (a.no_error_shots, a.gate_events, a.idle_events) == (
+            b.no_error_shots, b.gate_events, b.idle_events
+        )
+        assert a.outcome_fidelity_sum == pytest.approx(
+            b.outcome_fidelity_sum, rel=1e-9
+        )
+
+    def test_ideal_preset_folds_to_exact_fidelity_one(self):
+        folded = TrajectoryEngine(_pooled_compiled(1),
+                                  NoiseSpec.from_preset("ideal"),
+                                  track_state=True, fold_matrices=True)
+        chunk = folded.run(30, seed=0)
+        assert chunk.no_error_shots == 30
+        assert chunk.outcome_fidelity_sum == pytest.approx(30.0)
+
+
+class TestFinalVectorStreaming:
+    """iter_final_vectors streams; final_vectors stays list-shaped but capped."""
+
+    def test_iterator_matches_list_wrapper(self):
+        engine = _pooled_engine(1, "table1")
+        streamed = list(engine.iter_final_vectors(25, seed=9))
+        listed = engine.final_vectors(25, seed=9)
+        assert len(streamed) == len(listed) == 25
+        for left, right in zip(streamed, listed):
+            assert (left == right).all()
+
+    def test_iterator_is_lazy(self):
+        engine = _pooled_engine(1, "table1")
+        iterator = engine.iter_final_vectors(10, seed=1)
+        assert iter(iterator) is iterator  # a generator, not a list
+        first = next(iterator)
+        assert first.shape == (engine.dimension,)
+
+    def test_list_wrapper_refuses_unbounded_shots(self):
+        engine = _pooled_engine(1, "table1")
+        with pytest.raises(ValueError, match="iter_final_vectors"):
+            engine.final_vectors(FINAL_VECTORS_MAX_SHOTS + 1, seed=0)
+        # the streaming API has no cap: it starts yielding immediately
+        stream = engine.iter_final_vectors(FINAL_VECTORS_MAX_SHOTS + 1, seed=0)
+        assert next(stream).shape == (engine.dimension,)
+
+    def test_requires_track_state(self):
+        compiled = SweepPoint("bv", 4, "eqm").execute().compiled
+        engine = TrajectoryEngine(compiled, TABLE1)
+        with pytest.raises(VerificationError):
+            list(engine.iter_final_vectors(3, seed=0))
+
+    def test_dynamic_vectors_stream_too(self):
+        engine = _pooled_engine(3, "table1")
+        vectors = list(engine.iter_final_vectors(8, seed=4))
+        assert len(vectors) == 8
+        for vector in vectors:
+            assert vector.shape == (engine.dimension,)
+            assert np.isfinite(vector).all()
