@@ -1,0 +1,87 @@
+"""Determinism lint: AST rules guarding the reproducibility contract.
+
+Usage::
+
+    python scripts/lint_determinism.py [PATH ...] [--json]
+
+Walks every ``*.py`` file under the given paths (default: ``src/repro``)
+and flags source patterns that can silently break bit-exact
+reproducibility:
+
+* ``unseeded-rng`` — legacy ``numpy.random`` global-state calls, bare
+  ``random.*`` module functions, or ``default_rng()`` without a seed.
+* ``wallclock-key-path`` — ``time.time``/``datetime.now``-family calls
+  inside functions whose names mark them as content-key or payload
+  producers (…key…, …payload…, …fingerprint…, …digest…, …content…);
+  wall-clock input there makes artifact identity run-dependent.
+* ``unordered-key-path`` — iterating a set expression, or
+  ``json.dumps`` without ``sort_keys=True``, in those same key paths:
+  hash-order leaks straight into content hashes.
+* ``backend-contract`` — ``run_noise_point`` implementations with a
+  return path that is not ``ensure_noisy_result(...)``, bypassing the
+  backend result validation layer.
+
+Exit status is 1 when any error-severity finding is produced, 0 on a
+clean tree, 2 on bad arguments.  ``--json`` prints the merged
+machine-readable :class:`repro.analysis.AnalysisReport` to stdout — the
+document the CI ``static-verify`` job asserts on.
+
+The same rules are importable as :mod:`repro.analysis.source_lint`; this
+wrapper only adds path handling and the exit-code policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Make the script runnable from a bare checkout (no editable install):
+# the package lives under src/, one level above this file's directory.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis import lint_paths  # noqa: E402 - needs the path bootstrap
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    """Parse command-line arguments for the determinism lint."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--json", dest="json_output", action="store_true",
+                        help="print the machine-readable report to stdout")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    """Run the lint and return the process exit code."""
+    args = parse_args(argv)
+    repo_root = Path(__file__).resolve().parents[1]
+    paths = [Path(p) for p in args.paths] if args.paths else [
+        repo_root / "src" / "repro"
+    ]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print("error: no such path(s): "
+              + ", ".join(str(p) for p in missing), file=sys.stderr)
+        return 2
+    report = lint_paths(paths)
+    if args.json_output:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            stream = sys.stderr if finding.severity == "error" else sys.stdout
+            print(finding.describe(), file=stream)
+        files = sum(1 for path in paths for _ in
+                    (path.rglob("*.py") if path.is_dir() else (path,)))
+        verdict = ("clean" if report.ok
+                   else f"{len(report.errors)} error finding(s)")
+        print(f"determinism lint over {files} file(s): {verdict}",
+              file=sys.stdout if report.ok else sys.stderr)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Static analysis: program verification and determinism lint (zero simulation).
+
+Two layers, one report vocabulary:
+
+* **Program verifier** (:mod:`repro.analysis.passes`) — linear-time
+  passes over compiled op streams proving encode/decode bracketing,
+  slot residency, classical dataflow, schedule legality and
+  kernel-schedule conformance.  API: :func:`verify_compiled`.
+* **Determinism lint** (:mod:`repro.analysis.source_lint`) — AST rules
+  over the source tree guarding the reproducibility contract (seeded
+  RNG streams, wall-clock-free content keys, validated backend results).
+
+Batch drivers for the CLI and CI live in :mod:`repro.analysis.drivers`.
+"""
+
+from repro.analysis.report import AnalysisReport, Finding, SEVERITIES
+from repro.analysis.passes import PROGRAM_PASSES, verify_compiled
+from repro.analysis.source_lint import SOURCE_RULES, lint_paths, lint_source_text
+from repro.analysis.drivers import (
+    CANONICAL_STRATEGIES,
+    lint_qasm,
+    lint_store,
+    lint_workloads,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "SEVERITIES",
+    "PROGRAM_PASSES",
+    "verify_compiled",
+    "SOURCE_RULES",
+    "lint_paths",
+    "lint_source_text",
+    "CANONICAL_STRATEGIES",
+    "lint_qasm",
+    "lint_store",
+    "lint_workloads",
+]

@@ -108,6 +108,37 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("--cache-dir", default=None,
                                 help="serve/populate the compile cache rooted here "
                                      "(QASM files are content-keyed by text digest)")
+    compile_parser.add_argument("--verify", action="store_true",
+                                help="statically verify the compiled program "
+                                     "(encode/decode bracketing, residency, "
+                                     "classical dataflow, schedule, kernel "
+                                     "conformance) and fail on any error finding")
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="statically verify compiled programs without simulation "
+                     "(linear in op count, so it scales far past replay)"
+    )
+    lint_source_group = lint_parser.add_mutually_exclusive_group()
+    lint_source_group.add_argument("--qasm", metavar="FILE",
+                                   help="lint this OpenQASM 2.0 file across "
+                                        "strategies instead of the registry")
+    lint_source_group.add_argument("--workload", nargs="+",
+                                   choices=sorted(BENCHMARK_NAMES),
+                                   help="registry benchmarks to lint "
+                                        "(default: the whole registry)")
+    lint_parser.add_argument("--qubits", type=int, default=None,
+                             help="circuit size (default: each benchmark's "
+                                  "minimum sensible size)")
+    lint_parser.add_argument("--strategies", nargs="+",
+                             choices=sorted(set(_STRATEGIES)), default=None,
+                             help="strategies to sweep (default: all seven "
+                                  "canonical strategies)")
+    lint_parser.add_argument("--device", choices=("grid", "heavy_hex", "ring"),
+                             default="grid")
+    lint_parser.add_argument("--seed", type=int, default=0)
+    lint_parser.add_argument("--json", dest="json_output", action="store_true",
+                             help="print the machine-readable report to stdout "
+                                  "(what the CI static-verify gate asserts on)")
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="run the Figure 7 / Figure 10 strategy sweep"
@@ -206,6 +237,10 @@ def build_parser() -> argparse.ArgumentParser:
                                         "backends' CIs do not overlap")
     crosscheck_parser.add_argument("--json", dest="json_output",
                                    help="write the comparison rows to this JSON file")
+    crosscheck_parser.add_argument("--lint", action="store_true",
+                                   help="statically verify every cell's compiled "
+                                        "program first; any error finding fails "
+                                        "the run before the dynamic comparison")
     _add_runner_arguments(crosscheck_parser)
 
     subparsers.add_parser("table1", help="print the Table 1 gate durations")
@@ -227,6 +262,11 @@ def build_parser() -> argparse.ArgumentParser:
     store_parser.add_argument("--json", dest="json_output", action="store_true",
                               help="print the machine-readable report to stdout "
                                    "(what the CI validate-artifacts gate asserts on)")
+    store_parser.add_argument("--lint", action="store_true",
+                              help="with verify: also statically verify every "
+                                   "compiled program the manifests reference, "
+                                   "catching semantically-corrupt artifacts, "
+                                   "not just hash mismatches")
 
     submit_parser = subparsers.add_parser(
         "submit", help="submit a sweep plan to the spool for an async server"
@@ -383,7 +423,94 @@ def _run_compile(args: argparse.Namespace) -> int:
     if cache is not None:
         print(f"\ncache: {cache.stats.hits} hits, {cache.stats.misses} misses "
               f"({cache.root})")
+    if args.verify:
+        from repro.analysis import verify_compiled
+
+        analysis = verify_compiled(result.compiled)
+        for finding in analysis.findings:
+            print(f"  {finding.describe()}",
+                  file=sys.stderr if finding.severity == "error" else sys.stdout)
+        if not analysis.ok:
+            print(f"\nstatic verification FAILED: {len(analysis.errors)} error "
+                  f"finding(s)", file=sys.stderr)
+            return 1
+        print(f"\nstatically verified: {len(analysis.passes_run)} passes, "
+              f"{len(analysis.warnings)} warning(s)")
     return 0
+
+
+def _lint_cells_table(cells: list) -> tuple[list[list], int, int]:
+    """Flatten lint cells into table rows; returns (rows, errors, warnings)."""
+    rows = []
+    total_errors = 0
+    total_warnings = 0
+    for cell in cells:
+        report = cell["report"]
+        total_errors += len(report.errors)
+        total_warnings += len(report.warnings)
+        rows.append([
+            cell["benchmark"], cell["qubits"], cell["strategy"],
+            len(report.passes_run), len(report.errors), len(report.warnings),
+            "ok" if report.ok else "FAIL",
+        ])
+    return rows, total_errors, total_warnings
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint_qasm, lint_workloads
+
+    strategies = tuple(args.strategies) if args.strategies else None
+    if args.qasm is not None:
+        if args.qubits is not None:
+            print("error: --qubits only applies to registry workloads",
+                  file=sys.stderr)
+            return 2
+        try:
+            cells = lint_qasm(args.qasm, strategies=strategies,
+                              device_kind=args.device)
+        except (OSError, QasmError) as error:
+            print(f"error: cannot lint {args.qasm}: {error}", file=sys.stderr)
+            return 2
+    else:
+        cells = lint_workloads(
+            benchmarks=tuple(args.workload) if args.workload else None,
+            num_qubits=args.qubits, strategies=strategies,
+            device_kind=args.device, seed=args.seed,
+        )
+    rows, errors, warnings = _lint_cells_table(cells)
+    if args.json_output:
+        payload = {
+            "schema": 1,
+            "device": args.device,
+            "ok": errors == 0,
+            "errors": errors,
+            "warnings": warnings,
+            "cells": [
+                {
+                    "benchmark": cell["benchmark"],
+                    "qubits": cell["qubits"],
+                    "strategy": cell["strategy"],
+                    **cell["report"].as_dict(),
+                }
+                for cell in cells
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table(
+            ["benchmark", "qubits", "strategy", "passes", "errors",
+             "warnings", "status"], rows,
+        ))
+        for cell in cells:
+            for finding in cell["report"].findings:
+                stream = sys.stderr if finding.severity == "error" else sys.stdout
+                print(f"  {cell['benchmark']}/{cell['strategy']}: "
+                      f"{finding.describe()}", file=stream)
+        verdict = (f"{len(cells)} cells statically verified"
+                   if errors == 0 else
+                   f"{errors} error finding(s) across {len(cells)} cells")
+        print(f"\n{verdict}", file=sys.stdout if errors == 0 else sys.stderr)
+    return 0 if errors == 0 else 1
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
@@ -568,6 +695,33 @@ def _run_crosscheck(args: argparse.Namespace) -> int:
         print("error: --backends needs at least two distinct backends",
               file=sys.stderr)
         return 2
+    if args.lint:
+        # Prove the programs legal before spending shots comparing them;
+        # mirror the crosscheck compile (merging disabled, grid device).
+        from repro.analysis import lint_workloads
+
+        lint_errors = 0
+        cell_count = 0
+        for size in args.sizes:
+            cells = lint_workloads(
+                benchmarks=tuple(args.benchmarks), num_qubits=size,
+                strategies=tuple(args.strategies), device_kind="grid",
+                seed=args.seed,
+                compiler_kwargs={"merge_single_qubit_gates": False},
+            )
+            cell_count += len(cells)
+            for cell in cells:
+                for finding in cell["report"].errors:
+                    lint_errors += 1
+                    print(f"lint: {cell['benchmark']}-{size} "
+                          f"{cell['strategy']}: {finding.describe()}",
+                          file=sys.stderr)
+        if lint_errors:
+            print(f"\nstatic verification FAILED: {lint_errors} error "
+                  f"finding(s); skipping the dynamic comparison",
+                  file=sys.stderr)
+            return 1
+        print(f"lint: {cell_count} cells statically verified\n")
     cache = _cache_from_args(args)
     rows = cross_backend_check(
         benchmarks=tuple(args.benchmarks), sizes=tuple(args.sizes),
@@ -636,8 +790,19 @@ def _run_store(args: argparse.Namespace) -> int:
                   f"kept {report.kept_blobs} referenced blobs")
         return 0
     report = store.verify()
+    lint_report = None
+    lint_counters = None
+    if args.lint:
+        from repro.analysis import lint_store
+
+        lint_report, lint_counters = lint_store(store)
     if args.json_output:
-        print(json.dumps({"root": str(store.root), **report.as_dict()}, indent=2))
+        payload = {"root": str(store.root), **report.as_dict()}
+        if lint_report is not None:
+            # Additive key: the default verify schema stays byte-compatible
+            # with what the CI validate-artifacts gate asserts on.
+            payload["lint"] = {**lint_counters, **lint_report.as_dict()}
+        print(json.dumps(payload, indent=2))
     else:
         print(f"checked {report.checked_blobs} blobs, {report.checked_refs} refs, "
               f"{report.checked_manifests} manifests in {store.root}")
@@ -646,7 +811,20 @@ def _run_store(args: argparse.Namespace) -> int:
                   file=sys.stderr)
         print("store verified: every blob re-hashes and every manifest validates"
               if report.ok else f"{len(report.issues)} issues found", flush=True)
-    return 0 if report.ok else 1
+        if lint_report is not None:
+            for finding in lint_report.findings:
+                print(f"  {finding.describe()}",
+                      file=sys.stderr if finding.severity == "error"
+                      else sys.stdout)
+            print(f"lint: statically verified {lint_counters['artifacts']} "
+                  f"compiled artifacts across {lint_counters['manifests']} "
+                  f"manifests ({lint_counters['skipped']} program-free blobs "
+                  f"skipped): "
+                  + ("clean" if lint_report.ok
+                     else f"{len(lint_report.errors)} error finding(s)"),
+                  flush=True)
+    ok = report.ok and (lint_report is None or lint_report.ok)
+    return 0 if ok else 1
 
 
 def _submit_plan_from_args(args: argparse.Namespace) -> SweepPlan:
@@ -803,6 +981,7 @@ def _run_figure(args: argparse.Namespace) -> int:
 
 _HANDLERS = {
     "compile": _run_compile,
+    "lint": _run_lint,
     "sweep": _run_sweep,
     "simulate": _run_simulate,
     "validate-eps": _run_validate_eps,

@@ -43,6 +43,7 @@ class QompressCompiler:
         strategy=None,
         merge_single_qubit_gates: bool = True,
         reencode_after_measure: bool = True,
+        verify: bool = False,
     ) -> None:
         self.device = device
         self.strategy = strategy
@@ -53,6 +54,13 @@ class QompressCompiler:
         #: saves the 608 ns re-encode at the cost of a permanently bare
         #: partner on an ancilla unit).
         self.reencode_after_measure = reencode_after_measure
+        #: Opt-in post-compile static verification: every compiled program
+        #: is run through :func:`repro.analysis.verify_compiled` and an
+        #: error-severity finding raises
+        #: :class:`~repro.simulation.verify.VerificationError`.  Linear in
+        #: op count (no simulation), so it scales to programs replay
+        #: cannot check.
+        self.verify = verify
 
     # ------------------------------------------------------------------
     # public entry point
@@ -78,7 +86,7 @@ class QompressCompiler:
         """Compile with an explicit plan (used by the exhaustive search)."""
         lowered = circuit if already_lowered else decompose_to_basis(circuit)
         if plan.full_ququart:
-            return self._compile_full_ququart(lowered, plan, strategy_name)
+            return self._verified(self._compile_full_ququart(lowered, plan, strategy_name))
         placement, ququart_units = initial_mapping(
             lowered,
             self.device,
@@ -98,7 +106,7 @@ class QompressCompiler:
             merge_singles=self.merge_single_qubit_gates,
         )
         compressed = self._co_located_pairs(placement)
-        return CompiledCircuit(
+        return self._verified(CompiledCircuit(
             circuit_name=circuit.name,
             device=self.device,
             strategy_name=strategy_name,
@@ -109,7 +117,17 @@ class QompressCompiler:
             compressed_pairs=compressed,
             num_logical_qubits=circuit.num_qubits,
             lowered_circuit=lowered,
-        )
+        ))
+
+    def _verified(self, compiled: CompiledCircuit) -> CompiledCircuit:
+        """Run the opt-in post-compile static verifier on a result."""
+        if self.verify:
+            # Imported lazily: repro.analysis depends on the compiler IR,
+            # so a module-level import would be a cycle.
+            from repro.analysis import verify_compiled
+
+            verify_compiled(compiled).raise_if_errors()
+        return compiled
 
     @staticmethod
     def _co_located_pairs(placement: dict[int, Slot]) -> tuple[tuple[int, int], ...]:

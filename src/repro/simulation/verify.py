@@ -34,8 +34,15 @@ from repro.pulses.unitaries import SWAP_MATRIX, embed_operator, qubit_gate
 from repro.simulation.statevector import MixedRadixState
 
 
-class VerificationError(AssertionError):
-    """Raised when a compiled circuit is not equivalent to its source."""
+class VerificationError(Exception):
+    """Raised when a compiled circuit fails verification.
+
+    Covers both replay-detected inequivalence (this module) and
+    statically-detected illegal programs (:mod:`repro.analysis`).  A
+    proper :class:`Exception` subclass on purpose: it used to derive from
+    ``AssertionError``, which ``python -O`` semantics train readers to
+    treat as strippable debug checks — these are not.
+    """
 
 
 def _double_swap_matrix() -> np.ndarray:
